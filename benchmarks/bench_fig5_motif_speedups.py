@@ -1,0 +1,83 @@
+"""Figure 5: per-motif speedups of mixed precision over double.
+
+Two parts:
+
+1. Model (Frontier, 320^3/GCD): penalized speedup per motif across the
+   node sweep — total ~1.6x, orthogonalization ~2x at small scale and
+   declining at full scale (all-reduce latency), GS/SpMV ~1.45-1.55x
+   (index-array traffic).
+2. Real cross-check: the actual benchmark driver at laptop scale, with
+   measured NumPy wall times — the *ordering* of motif speedups must
+   match the model (ortho best; sparse motifs lower).
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core import BenchmarkConfig, run_benchmark
+from repro.perf.scaling import ScalingModel
+
+NODE_SWEEP = [1, 8, 64, 512, 1024, 4096, 9408]
+MOTIFS = ("gs", "ortho", "spmv", "restrict", "total")
+
+
+def test_fig5_model_speedups(benchmark, paper_reference):
+    model = ScalingModel()
+    rows = []
+    for nodes in NODE_SWEEP:
+        s = model.motif_speedups(nodes * 8)
+        rows.append([nodes] + [s.get(m, float("nan")) for m in MOTIFS])
+    print_table(
+        "Figure 5: penalized mxp/double speedup by motif (model, present impl)",
+        ["nodes"] + list(MOTIFS),
+        rows,
+        widths=[6] + [9] * len(MOTIFS),
+    )
+    ref = ScalingModel(impl="reference")
+    s_ref = ref.motif_speedups(8)
+    print(f"\nreference (xsdk) impl at 1 node: total={s_ref['total']:.3f}x "
+          f"(paper: optimized ~{paper_reference['overall_speedup']}x, much "
+          f"lower for the reference)")
+
+    s1 = model.motif_speedups(8)
+    assert s1["total"] == pytest.approx(1.6, abs=0.07)
+    assert s1["ortho"] > s1["gs"] > 1.3
+    assert s1["ortho"] > s1["spmv"] > 1.3
+    s_full = model.motif_speedups(9408 * 8)
+    assert s_full["ortho"] < s1["ortho"]  # all-reduce erosion
+    assert s_ref["total"] < s1["total"] - 0.2
+
+    benchmark(lambda: model.motif_speedups(9408 * 8))
+
+
+def test_fig5_real_smallscale_crosscheck(benchmark):
+    """Measured NumPy speedups at 32^3: fp32 wins and ortho wins most."""
+    cfg = BenchmarkConfig(
+        local_nx=32, nranks=1, max_iters_per_solve=30, validation_max_iters=60
+    )
+    result = run_benchmark(cfg)
+    s = result.speedups
+    print_table(
+        "Figure 5 (real, 32^3 serial NumPy): measured motif speedups",
+        ["motif", "speedup"],
+        [[m, s[m]] for m in MOTIFS if m in s],
+        widths=[10, 10],
+    )
+    # Raw (unpenalized) time ratio must favor fp32 overall.
+    t_m = sum(result.mxp.seconds_by_motif.values())
+    t_d = sum(result.double.seconds_by_motif.values())
+    print(f"raw time ratio double/mxp: {t_d / t_m:.3f}")
+    assert t_d / t_m > 1.1  # fp32 genuinely faster on real hardware
+    # Dense BLAS-2 motif gains at least as much as the sparse ones.
+    assert s["ortho"] >= s["spmv"] - 0.25
+
+    benchmark.pedantic(
+        lambda: run_benchmark(
+            BenchmarkConfig(
+                local_nx=16, nranks=1, max_iters_per_solve=10,
+                validation_max_iters=40,
+            )
+        ).speedup,
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,71 @@
+"""Figure 7: time breakdown by motif (GS, Ortho, SpMV, Restr).
+
+The paper shows stacked bars at 1 node and 9408 nodes for the mxp and
+double runs: GS dominates; mxp spends a smaller share in ortho than
+double; the ortho share grows toward full-system scale as all-reduces
+synchronize 75k ranks.
+
+Model breakdown plus a real measured breakdown from the driver.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core import BenchmarkConfig, run_benchmark
+from repro.perf.scaling import ScalingModel
+
+MOTIFS = ("gs", "ortho", "spmv", "restrict")
+
+
+def test_fig7_model_breakdown(benchmark):
+    model = ScalingModel()
+    rows = []
+    for nodes in (1, 9408):
+        for mode in ("mxp", "double"):
+            b = model.time_breakdown(mode, nodes * 8)
+            rows.append([nodes, mode] + [b[m] for m in MOTIFS])
+    print_table(
+        "Figure 7: fraction of solver time per motif (model)",
+        ["nodes", "mode"] + list(MOTIFS),
+        rows,
+        widths=[6, 7] + [9] * len(MOTIFS),
+    )
+
+    b1m = model.time_breakdown("mxp", 8)
+    b1d = model.time_breakdown("double", 8)
+    bfm = model.time_breakdown("mxp", 9408 * 8)
+    assert b1m["gs"] == max(b1m.values())  # smoother dominates
+    assert b1m["ortho"] < b1d["ortho"]  # mxp spends less share in ortho
+    assert bfm["ortho"] > b1m["ortho"]  # ortho share grows at scale
+
+    benchmark(lambda: model.time_breakdown("mxp", 9408 * 8))
+
+
+def test_fig7_real_breakdown(benchmark):
+    cfg = BenchmarkConfig(
+        local_nx=32, nranks=1, max_iters_per_solve=20, validation_max_iters=50
+    )
+    result = run_benchmark(cfg)
+    rows = []
+    for phase in (result.mxp, result.double):
+        fr = phase.time_fractions()
+        rows.append([phase.label] + [fr.get(m, 0.0) for m in MOTIFS])
+    print_table(
+        "Figure 7 (real, 32^3 serial NumPy): measured time fractions",
+        ["mode"] + list(MOTIFS),
+        rows,
+        widths=[7] + [9] * len(MOTIFS),
+    )
+    fr_m = result.mxp.time_fractions()
+    assert fr_m["gs"] == max(fr_m[m] for m in MOTIFS)
+
+    benchmark.pedantic(
+        lambda: run_benchmark(
+            BenchmarkConfig(
+                local_nx=16, nranks=1, max_iters_per_solve=10,
+                validation_max_iters=40,
+            )
+        ).mxp.time_fractions(),
+        rounds=1,
+        iterations=1,
+    )

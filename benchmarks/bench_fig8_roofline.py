@@ -1,0 +1,44 @@
+"""Figure 8: roofline of the benchmark's hot kernels on one GCD.
+
+The ten most expensive kernels (double and single GS, SpMV, CGS2 GEMV,
+dot, and the fused SpMV-restriction) plotted against the MI250x GCD's
+HBM bandwidth ceiling.  The paper's finding — every kernel sits at the
+HBM limit — is asserted, and the model's attained GFLOP/s per kernel
+is printed with its arithmetic intensity.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.perf import FRONTIER_GCD, roofline_ceiling, roofline_points
+
+
+def test_fig8_roofline(benchmark):
+    points = roofline_points()
+    rows = []
+    for p in points:
+        ceiling = roofline_ceiling(FRONTIER_GCD, p.arithmetic_intensity, p.precision)
+        rows.append(
+            [p.name, p.precision, p.arithmetic_intensity, p.gflops, ceiling,
+             "mem" if p.memory_bound else "cmp"]
+        )
+    print_table(
+        "Figure 8: roofline points, one MI250x GCD (320^3 local)",
+        ["kernel", "prec", "AI (F/B)", "GF/s", "ceiling", "bound"],
+        rows,
+        widths=[28, 5, 10, 9, 9, 5],
+    )
+    bw = FRONTIER_GCD.effective_bw / 1e12
+    print(f"\nHBM ceiling: {bw:.2f} TB/s effective "
+          f"({FRONTIER_GCD.mem_bw / 1e12:.1f} TB/s peak x {FRONTIER_GCD.mem_eff:.2f})")
+
+    # The paper's central roofline observation.
+    assert len(points) == 10
+    for p in points:
+        assert p.memory_bound, f"{p.name} should be memory bound"
+        ceiling = roofline_ceiling(FRONTIER_GCD, p.arithmetic_intensity, p.precision)
+        # Attained rate within launch-overhead distance of the ceiling.
+        assert p.gflops > 0.5 * ceiling
+        assert p.gflops <= ceiling * 1.0001
+
+    benchmark(roofline_points)

@@ -1,0 +1,56 @@
+"""Headline validation numbers (§4): n_d = 2305, n_ir = 2382 on 1 node.
+
+The paper validates on one node (8 GCDs, 320^3 each): double GMRES
+takes 2305 iterations to drop nine orders, GMRES-IR 2382, giving the
+0.968 penalty applied to every reported mxp GFLOP/s figure.
+
+Offline substitution: real runs at a ladder of serial problem sizes
+show the same phenomenology — iteration counts grow with size, mxp
+takes slightly more iterations than double, and the ratio approaches
+the paper's as the problem hardens (cycle-boundary quantization is the
+small-size artifact).
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core import BenchmarkConfig, run_validation
+
+
+def test_headline_validation_penalty(benchmark, paper_reference):
+    rows = []
+    for nx in (16, 24, 32):
+        val = run_validation(
+            BenchmarkConfig(
+                local_nx=nx, nranks=1, validation_max_iters=2000
+            )
+        )
+        rows.append([f"{nx}^3", val.n_d, val.n_ir, val.ratio, val.penalty])
+    print_table(
+        "Validation ladder (real runs, serial)",
+        ["size", "n_d", "n_ir", "ratio", "penalty"],
+        rows,
+        widths=[6, 6, 6, 9, 9],
+    )
+    print(
+        f"\npaper (8 GCDs x 320^3): n_d={paper_reference['validation_n_d']} "
+        f"n_ir={paper_reference['validation_n_ir']} "
+        f"ratio={paper_reference['penalty']:.4f}"
+    )
+
+    for _, n_d, n_ir, ratio, penalty in rows:
+        assert n_ir >= n_d  # mixed precision never converges faster here
+        assert penalty == min(1.0, ratio)
+        assert ratio > 0.55  # bounded penalty even at tiny sizes
+    # Iteration counts grow with problem size (paper: GMRES takes more
+    # iterations at larger scales).
+    n_ds = [r[1] for r in rows]
+    assert n_ds == sorted(n_ds)
+
+    benchmark.pedantic(
+        lambda: run_validation(
+            BenchmarkConfig(local_nx=16, nranks=1, validation_max_iters=500)
+        ).penalty,
+        rounds=1,
+        iterations=1,
+    )

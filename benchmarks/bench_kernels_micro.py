@@ -1,0 +1,149 @@
+"""Kernel microbenchmarks (real wall time, pytest-benchmark).
+
+The motifs the paper's roofline (Fig. 8) plots, measured on this host's
+NumPy engine: SpMV in both formats and precisions, the multicolor GS
+sweep, CGS2 orthogonalization, dot, and the fused restriction.  These
+are the timings the real-run figures (5/7 cross-checks) are built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Subdomain
+from repro.mg.restriction import coarse_to_fine_map, fused_residual_restrict
+from repro.mg.smoothers import MulticolorGS
+from repro.parallel import SerialComm
+from repro.solvers.ortho import cgs2
+from repro.sparse.coloring import color_sets, structured_coloring8
+from repro.stencil import generate_problem
+
+N = 48  # 110,592 rows — big enough to be bandwidth-limited in NumPy
+
+
+@pytest.fixture(scope="module")
+def prob():
+    return generate_problem(Subdomain.serial(N, N, N))
+
+
+@pytest.fixture(scope="module")
+def vectors(prob):
+    rng = np.random.default_rng(0)
+    x64 = rng.standard_normal(prob.A.ncols)
+    return {"x64": x64, "x32": x64.astype(np.float32)}
+
+
+@pytest.fixture(scope="module")
+def mats(prob):
+    return {
+        "ell64": prob.A,
+        "ell32": prob.A.astype("fp32"),
+        "csr64": prob.A.to_csr(),
+        "csr32": prob.A.to_csr().astype("fp32"),
+    }
+
+
+class TestSpMV:
+    def test_spmv_ell_fp64(self, benchmark, mats, vectors):
+        benchmark(lambda: mats["ell64"].spmv(vectors["x64"]))
+
+    def test_spmv_ell_fp32(self, benchmark, mats, vectors):
+        benchmark(lambda: mats["ell32"].spmv(vectors["x32"]))
+
+    def test_spmv_csr_fp64(self, benchmark, mats, vectors):
+        benchmark(lambda: mats["csr64"].spmv(vectors["x64"]))
+
+    def test_spmv_csr_fp32(self, benchmark, mats, vectors):
+        benchmark(lambda: mats["csr32"].spmv(vectors["x32"]))
+
+
+class TestGaussSeidel:
+    @pytest.fixture(scope="class")
+    def smoothers(self, prob, mats):
+        sets = color_sets(structured_coloring8(prob.sub))
+        return {
+            "fp64": MulticolorGS(mats["ell64"], mats["ell64"].diagonal(), sets),
+            "fp32": MulticolorGS(mats["ell32"], mats["ell32"].diagonal(), sets),
+        }
+
+    def test_gs_sweep_fp64(self, benchmark, smoothers, prob):
+        r = prob.b
+        x = np.zeros(prob.nlocal)
+        benchmark(lambda: smoothers["fp64"].forward(r, x))
+
+    def test_gs_sweep_fp32(self, benchmark, smoothers, prob):
+        r = prob.b.astype(np.float32)
+        x = np.zeros(prob.nlocal, dtype=np.float32)
+        benchmark(lambda: smoothers["fp32"].forward(r, x))
+
+
+class TestOrtho:
+    K = 15
+
+    @pytest.fixture(scope="class")
+    def basis(self, prob):
+        rng = np.random.default_rng(1)
+        n = prob.nlocal
+        Q64 = np.linalg.qr(rng.standard_normal((n, self.K + 1)))[0]
+        return {"fp64": Q64.copy(), "fp32": Q64.astype(np.float32)}
+
+    def test_cgs2_fp64(self, benchmark, basis, prob):
+        rng = np.random.default_rng(2)
+        comm = SerialComm()
+        w0 = rng.standard_normal(prob.nlocal)
+
+        def step():
+            w = w0.copy()
+            return cgs2(comm, basis["fp64"], self.K, w)
+
+        benchmark(step)
+
+    def test_cgs2_fp32(self, benchmark, basis, prob):
+        rng = np.random.default_rng(2)
+        comm = SerialComm()
+        w0 = rng.standard_normal(prob.nlocal).astype(np.float32)
+
+        def step():
+            w = w0.copy()
+            return cgs2(comm, basis["fp32"], self.K, w)
+
+        benchmark(step)
+
+
+class TestVectorOps:
+    def test_dot_fp64(self, benchmark, vectors, prob):
+        a = vectors["x64"][: prob.nlocal]
+        benchmark(lambda: float(a @ a))
+
+    def test_dot_fp32(self, benchmark, vectors, prob):
+        a = vectors["x32"][: prob.nlocal]
+        benchmark(lambda: float(a @ a))
+
+
+class TestRestriction:
+    def test_fused_restrict_fp64(self, benchmark, prob, vectors):
+        coarse = prob.sub.coarsen()
+        f_c = coarse_to_fine_map(prob.sub, coarse)
+        r = np.random.default_rng(3).standard_normal(prob.nlocal)
+        benchmark(lambda: fused_residual_restrict(prob.A, r, vectors["x64"], f_c))
+
+
+class TestEndToEnd:
+    def test_mg_vcycle_fp32(self, benchmark, prob):
+        from repro.mg import MGConfig, MultigridPreconditioner
+
+        mg = MultigridPreconditioner.build(
+            prob, SerialComm(), MGConfig(), precision="fp32"
+        )
+        r = prob.b.astype(np.float32)
+        benchmark(lambda: mg.apply(r))
+
+    def test_gmres_iteration_mxp(self, benchmark, prob):
+        from repro.fp import MIXED_DS_POLICY
+        from repro.solvers import GMRESIRSolver
+
+        solver = GMRESIRSolver(prob, SerialComm(), policy=MIXED_DS_POLICY)
+        benchmark.pedantic(
+            lambda: solver.solve(prob.b, tol=0.0, maxiter=5),
+            rounds=2,
+            iterations=1,
+        )

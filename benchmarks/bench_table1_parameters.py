@@ -1,0 +1,33 @@
+"""Table 1: HPG-MxP parameters (official values vs this run's).
+
+Prints the parameter table and times the benchmark's setup path
+(problem generation + optimization phase) — the work the official
+benchmark performs before the timed sections.
+"""
+
+from conftest import print_table
+
+from repro.core import BenchmarkConfig
+from repro.geometry import Subdomain
+from repro.mg import MultigridPreconditioner
+from repro.parallel import SerialComm
+from repro.stencil import generate_problem
+
+
+def test_table1_parameters(benchmark):
+    cfg = BenchmarkConfig(local_nx=32, nranks=1)
+    rows = [[name, str(official), str(actual)] for name, (official, actual) in cfg.table1().items()]
+    print_table(
+        "Table 1: HPG-MxP parameters (official | this run)",
+        ["parameter", "official", "this run"],
+        rows,
+        widths=[48, 12, 14],
+    )
+
+    def setup_phase():
+        prob = generate_problem(Subdomain.serial(32, 32, 32))
+        MultigridPreconditioner.build(prob, SerialComm(), cfg.mg_config())
+        return prob.A.nnz
+
+    nnz = benchmark(setup_phase)
+    assert nnz > 0

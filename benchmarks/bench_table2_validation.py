@@ -1,0 +1,94 @@
+"""Table 2: iteration ratios n_d/n_ir, standard vs full-scale validation.
+
+The paper's Table 2 compares the two validation modes from 2 to 4096
+nodes: the standard (1-node) ratio is constant at 0.968 while the
+full-scale ratio wobbles around 1, and the full-scale achieved
+residual stalls above 1e-9 once the iteration cap binds (1.15e-5 at
+1024 nodes).
+
+Offline substitution (DESIGN.md §2): "nodes" map to SPMD rank counts
+{1, 2, 4, 8} with 16^3-local problems and a reduced iteration cap, so
+the cap-binding transition happens inside the sweep.  The standard
+column reuses the 1-rank ratio, exactly like the benchmark reuses its
+one-node ratio at every scale.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.core import BenchmarkConfig, run_validation
+
+
+RANK_SWEEP = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def table2_rows(paper_reference):
+    # Reduced cap so large "scales" hit it before 1e-9 (the paper's
+    # 10,000-iteration analogue: binds at 64+ nodes there, at 4+ ranks
+    # here).
+    cap = 25
+    std = run_validation(
+        BenchmarkConfig(
+            local_nx=16, nranks=1, validation_mode="standard",
+            validation_max_iters=2000,
+        )
+    )
+    rows = []
+    for nranks in RANK_SWEEP:
+        fs = run_validation(
+            BenchmarkConfig(
+                local_nx=16,
+                nranks=nranks,
+                validation_mode="fullscale",
+                validation_max_iters=cap,
+            )
+        )
+        rows.append(
+            {
+                "ranks": nranks,
+                "std_ratio": std.ratio,
+                "fs_ratio": fs.ratio,
+                "fs_relres": fs.double_relres,
+                "fs_capped": fs.n_d >= cap,
+            }
+        )
+    return rows
+
+
+def test_table2_validation_modes(benchmark, table2_rows, paper_reference):
+    print_table(
+        "Table 2 (scaled): iteration ratios n_d/n_ir per validation mode",
+        ["ranks", "std ratio", "fullscale ratio", "fullscale relres", "cap bound"],
+        [
+            [r["ranks"], r["std_ratio"], r["fs_ratio"], r["fs_relres"], r["fs_capped"]]
+            for r in table2_rows
+        ],
+        widths=[6, 12, 16, 18, 10],
+    )
+    print("\npaper Table 2 (Frontier nodes):")
+    for nodes, (s, f, rr) in paper_reference["table2"].items():
+        print(f"  {nodes:>5} nodes: std={s:.3f} fullscale={f:.3f} relres={rr:.3e}")
+
+    # Shape assertions mirroring the paper's findings:
+    # (1) both modes give comparable stringency (ratios near each other),
+    first = table2_rows[0]
+    assert abs(first["std_ratio"] - first["fs_ratio"]) < 0.25
+    # (2) at the largest scale the cap binds and the residual stalls.
+    last = table2_rows[-1]
+    assert last["fs_capped"]
+    assert last["fs_relres"] > 1e-9
+    # (3) ratios stay in Table 2's band.
+    for r in table2_rows:
+        assert 0.55 < r["fs_ratio"] <= 1.6
+
+    # Benchmark one full-scale validation at the smallest size.
+    def one_validation():
+        return run_validation(
+            BenchmarkConfig(
+                local_nx=16, nranks=1, validation_mode="fullscale",
+                validation_max_iters=25,
+            )
+        ).ratio
+
+    benchmark.pedantic(one_validation, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""Shared helpers for the table/figure benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md's experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the paper-style rows each benchmark prints; the
+pytest-benchmark fixture times a representative unit of work so the
+harness integrates with ``--benchmark-only`` runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[list], widths=None):
+    """Print a fixed-width table in the benchmark output."""
+    widths = widths or [max(len(str(h)), 12) for h in headers]
+    print()
+    print(f"== {title} ==")
+    print("  ".join(f"{h:>{w}}" for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(f"{_fmt(v):>{w}}" for v, w in zip(row, widths)))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+@pytest.fixture(scope="session")
+def paper_reference():
+    """Paper-reported values used in side-by-side output."""
+    return {
+        "validation_n_d": 2305,
+        "validation_n_ir": 2382,
+        "penalty": 2305 / 2382,
+        "full_system_nodes": 9408,
+        "full_system_pflops": 17.23,
+        "weak_scaling_efficiency": 0.78,
+        "overall_speedup": 1.6,
+        "hpcg_full_system_pflops": 10.4,
+        "table2": {
+            # nodes: (std ratio, fullscale ratio, fullscale relres)
+            2: (0.968, 0.966, 9.98e-10),
+            8: (0.968, 1.008, 9.99e-10),
+            64: (0.968, 1.050, 1.65e-6),
+            128: (0.968, 1.023, 2.82e-6),
+            1024: (0.968, 1.067, 1.154e-5),
+            4096: (0.968, 0.958, 1.148e-5),
+        },
+    }

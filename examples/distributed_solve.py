@@ -1,0 +1,72 @@
+"""Distributed GMRES-IR across SPMD ranks (the paper's MPI structure).
+
+Runs the same global 32^3 problem on 1, 2, 4 and 8 ranks of the
+thread-backed SPMD runtime: a 3D processor grid, 27-point halo
+exchanges, all-reduce dot products — the communication pattern of the
+Frontier runs, in miniature.  Iteration counts grow slightly with rank
+count because the Gauss-Seidel smoother is block-Jacobi across
+subdomain boundaries, exactly as in the real benchmark.
+
+Run:  python examples/distributed_solve.py
+"""
+
+import numpy as np
+
+from repro import MIXED_DS_POLICY, BoxGrid, ProcessGrid, Subdomain, run_spmd
+from repro.mg import MGConfig
+from repro.solvers import gmres_solve
+from repro.stencil import generate_problem
+
+GLOBAL = 32  # global grid is GLOBAL^3 regardless of rank count
+
+
+def solve_on_ranks(comm):
+    proc = ProcessGrid.from_size(comm.size)
+    local = BoxGrid(GLOBAL // proc.px, GLOBAL // proc.py, GLOBAL // proc.pz)
+    sub = Subdomain(local, proc, comm.rank)
+    problem = generate_problem(sub)
+    x, stats = gmres_solve(
+        problem,
+        comm,
+        policy=MIXED_DS_POLICY,
+        tol=1e-9,
+        maxiter=2000,
+        mg_config=MGConfig(nlevels=3),
+    )
+    err = float(np.abs(x - 1.0).max())
+    return {
+        "iterations": stats.iterations,
+        "converged": stats.converged,
+        "error": err,
+        "halo_neighbors": len(problem.halo.directions),
+        "sends": comm.stats.sends,
+        "allreduces": comm.stats.allreduces,
+    }
+
+
+def main() -> None:
+    print(f"global problem: {GLOBAL}^3 = {GLOBAL**3:,} rows\n")
+    print(f"{'ranks':>5} {'grid':>7} {'iters':>6} {'max err':>10} "
+          f"{'nbrs(r0)':>9} {'msgs(r0)':>9} {'allreduce':>10}")
+    for p in (1, 2, 4, 8):
+        results = run_spmd(p, solve_on_ranks) if p > 1 else None
+        if results is None:
+            from repro import SerialComm
+
+            results = [solve_on_ranks(SerialComm())]
+        r0 = results[0]
+        proc = ProcessGrid.from_size(p)
+        assert all(r["converged"] for r in results)
+        # Every rank reports identical iteration counts (deterministic
+        # all-reduce ordering).
+        assert len({r["iterations"] for r in results}) == 1
+        print(
+            f"{p:>5} {proc.px}x{proc.py}x{proc.pz:<3} {r0['iterations']:>6} "
+            f"{r0['error']:>10.2e} {r0['halo_neighbors']:>9} "
+            f"{r0['sends']:>9} {r0['allreduces']:>10}"
+        )
+    print("\nall runs converged to 1e-9; identical iterations on every rank")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: solve the benchmark problem with mixed-precision GMRES-IR.
+
+Generates the HPG-MxP 27-point stencil system (32^3, exact solution of
+ones), solves it with plain double-precision GMRES and with the
+double+single GMRES-IR of the paper's Algorithm 3, and shows that the
+mixed solver reaches the same nine-orders residual reduction at a small
+iteration penalty — the quantity the benchmark's validation phase
+turns into the GFLOP/s penalty factor.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    DOUBLE_POLICY,
+    MIXED_DS_POLICY,
+    SerialComm,
+    Subdomain,
+    generate_problem,
+    gmres_solve,
+)
+from repro.core import penalty_factor
+
+
+def main() -> None:
+    # The benchmark matrix: diag 26, off-diag -1, weakly diagonally
+    # dominant; b is chosen so the exact solution is all ones.
+    sub = Subdomain.serial(32, 32, 32)
+    problem = generate_problem(sub)
+    comm = SerialComm()
+    print(f"problem: {sub.global_grid} grid, {problem.A.nnz:,} nonzeros")
+
+    x_d, stats_d = gmres_solve(
+        problem, comm, policy=DOUBLE_POLICY, tol=1e-9, maxiter=2000
+    )
+    print(f"\ndouble GMRES      : {stats_d.summary()}")
+    print(f"  error vs exact ones: {np.abs(x_d - 1.0).max():.2e}")
+
+    x_m, stats_m = gmres_solve(
+        problem, comm, policy=MIXED_DS_POLICY, tol=1e-9, maxiter=2000
+    )
+    print(f"mixed GMRES-IR    : {stats_m.summary()}")
+    print(f"  error vs exact ones: {np.abs(x_m - 1.0).max():.2e}")
+    print(f"  policy: {MIXED_DS_POLICY.describe()}")
+
+    penalty = penalty_factor(stats_d.iterations, stats_m.iterations)
+    print(
+        f"\nvalidation ratio n_d/n_ir = {stats_d.iterations}/{stats_m.iterations}"
+        f" = {stats_d.iterations / stats_m.iterations:.3f}"
+        f"  -> GFLOP/s penalty {penalty:.3f}"
+    )
+    print("(paper, 8 GCDs x 320^3: 2305/2382 = 0.968)")
+
+
+if __name__ == "__main__":
+    main()

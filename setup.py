@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the wheel package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+``pip install -e . --no-build-isolation --no-use-pep517`` path used in
+offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Figure-data API: the paper's series as plain data structures.
+
+The benchmarks under ``benchmarks/`` print paper-style tables; this
+package exposes the same series programmatically (and as CSV) so users
+can plot or post-process them without the pytest harness.
+"""
+
+from repro.analysis.figures import (
+    FigureSeries,
+    fig4_weak_scaling,
+    fig5_motif_speedups,
+    fig6_k80_speedups,
+    fig7_time_breakdown,
+    fig8_roofline,
+    fig9_overlap,
+    all_figures,
+)
+
+__all__ = [
+    "FigureSeries",
+    "fig4_weak_scaling",
+    "fig5_motif_speedups",
+    "fig6_k80_speedups",
+    "fig7_time_breakdown",
+    "fig8_roofline",
+    "fig9_overlap",
+    "all_figures",
+]

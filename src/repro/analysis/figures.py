@@ -1,0 +1,178 @@
+"""Builders for every model-generated figure of the paper.
+
+Each builder returns a :class:`FigureSeries` — column names plus rows —
+that can be written to CSV or consumed directly.  Real-measurement
+figures (Table 2, the validation ladder) live in the benchmarks since
+they run solvers; everything here is model-evaluated and fast.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+from repro.perf.machine import FRONTIER_GCD, NVIDIA_K80
+from repro.perf.roofline import roofline_points
+from repro.perf.scaling import ScalingModel, paper_node_counts
+from repro.perf.timeline import gs_operation_timeline
+
+#: The four motifs of Figs. 5-7 plus the total.
+MOTIFS = ("gs", "ortho", "spmv", "restrict")
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: a name, column headers, and rows."""
+
+    name: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def to_csv(self) -> str:
+        """Render as CSV text."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def save(self, path: str) -> None:
+        with open(path, "w", newline="") as f:
+            f.write(self.to_csv())
+
+    def column(self, name: str) -> list:
+        """Extract one column by header name."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+
+def fig4_weak_scaling(
+    node_counts: list[int] | None = None,
+) -> FigureSeries:
+    """Fig. 4: per-GCD penalized GFLOP/s vs nodes, present + xsdk."""
+    nodes = node_counts or paper_node_counts()
+    present = ScalingModel()
+    xsdk = ScalingModel(impl="reference")
+    rows_p = present.weak_scaling_series(nodes, mode="mxp")
+    rows_x = xsdk.weak_scaling_series(nodes, mode="mxp")
+    rows_d = present.weak_scaling_series(nodes, mode="double")
+    series = FigureSeries(
+        name="fig4_weak_scaling",
+        columns=[
+            "nodes",
+            "gcds",
+            "present_mxp_gflops_per_gcd",
+            "xsdk_mxp_gflops_per_gcd",
+            "present_double_gflops_per_gcd",
+            "present_efficiency",
+            "present_total_pflops",
+        ],
+    )
+    for p, x, d in zip(rows_p, rows_x, rows_d):
+        series.rows.append(
+            [
+                p["nodes"],
+                p["gcds"],
+                p["gflops_per_gcd"],
+                x["gflops_per_gcd"],
+                d["gflops_per_gcd"],
+                p["efficiency"],
+                p["total_pflops"],
+            ]
+        )
+    return series
+
+
+def fig5_motif_speedups(
+    node_counts: list[int] | None = None,
+) -> FigureSeries:
+    """Fig. 5: penalized per-motif speedups across scales."""
+    nodes = node_counts or [1, 8, 64, 512, 1024, 4096, 9408]
+    model = ScalingModel()
+    series = FigureSeries(
+        name="fig5_motif_speedups",
+        columns=["nodes"] + list(MOTIFS) + ["total"],
+    )
+    for n in nodes:
+        s = model.motif_speedups(n * FRONTIER_GCD.gcds_per_node)
+        series.rows.append([n] + [s.get(m) for m in MOTIFS] + [s["total"]])
+    return series
+
+
+def fig6_k80_speedups(node_counts: list[int] | None = None) -> FigureSeries:
+    """Fig. 6: the same speedups on the K80 cluster."""
+    nodes = node_counts or [1, 2, 4]
+    model = ScalingModel(machine=NVIDIA_K80, local_dims=(128, 128, 128))
+    series = FigureSeries(
+        name="fig6_k80_speedups",
+        columns=["nodes"] + list(MOTIFS) + ["total"],
+    )
+    for n in nodes:
+        s = model.motif_speedups(n * NVIDIA_K80.gcds_per_node)
+        series.rows.append([n] + [s.get(m) for m in MOTIFS] + [s["total"]])
+    return series
+
+
+def fig7_time_breakdown(
+    node_counts: list[int] | None = None,
+) -> FigureSeries:
+    """Fig. 7: fraction of solve time per motif, mxp and double."""
+    nodes = node_counts or [1, 9408]
+    model = ScalingModel()
+    series = FigureSeries(
+        name="fig7_time_breakdown",
+        columns=["nodes", "mode"] + list(MOTIFS),
+    )
+    for n in nodes:
+        for mode in ("mxp", "double"):
+            b = model.time_breakdown(mode, n * FRONTIER_GCD.gcds_per_node)
+            series.rows.append([n, mode] + [b[m] for m in MOTIFS])
+    return series
+
+
+def fig8_roofline(local_dims: tuple[int, int, int] = (320, 320, 320)) -> FigureSeries:
+    """Fig. 8: the ten hot kernels on the roofline."""
+    series = FigureSeries(
+        name="fig8_roofline",
+        columns=[
+            "kernel",
+            "precision",
+            "arithmetic_intensity",
+            "gflops",
+            "memory_bound",
+        ],
+    )
+    for p in roofline_points(local_dims=local_dims):
+        series.rows.append(
+            [p.name, p.precision, p.arithmetic_intensity, p.gflops, p.memory_bound]
+        )
+    return series
+
+
+def fig9_overlap(sizes: list[int] | None = None) -> FigureSeries:
+    """Fig. 9: exposed communication per level size."""
+    sizes = sizes or [320, 160, 80, 40]
+    series = FigureSeries(
+        name="fig9_overlap",
+        columns=["local_size", "makespan_us", "exposed_comm_us", "fully_overlapped"],
+    )
+    for s in sizes:
+        tl = gs_operation_timeline(local_dims=(s, s, s))
+        series.rows.append(
+            [s, tl.makespan * 1e6, tl.exposed_comm * 1e6, tl.fully_overlapped]
+        )
+    return series
+
+
+def all_figures() -> dict[str, FigureSeries]:
+    """Every model-generated figure, keyed by name."""
+    out = [
+        fig4_weak_scaling(),
+        fig5_motif_speedups(),
+        fig6_k80_speedups(),
+        fig7_time_breakdown(),
+        fig8_roofline(),
+        fig9_overlap(),
+    ]
+    return {s.name: s for s in out}

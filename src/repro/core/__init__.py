@@ -1,0 +1,66 @@
+"""The HPG-MxP benchmark core: drivers, validation, flop model, metrics.
+
+This is the paper's primary contribution area: an optimized HPG-MxP
+implementation with both validation modes, plus the HPCG driver used
+for the cross-benchmark comparison in §4.1.
+"""
+
+from repro.core.config import BenchmarkConfig, OFFICIAL_TABLE1
+from repro.core.benchmark import BenchmarkResult, HPGMxPBenchmark, run_benchmark
+from repro.core.validation import ValidationResult, run_validation
+from repro.core.metrics import PhaseMetrics, motif_speedups, penalty_factor
+from repro.core.hpcg import HPCGBenchmark, HPCGConfig, HPCGResult, run_hpcg
+from repro.core.report import format_report, result_to_dict
+from repro.core.memory import (
+    MemoryFootprint,
+    equalized_double_mesh,
+    memory_overhead_ratio,
+    solver_footprint,
+)
+from repro.core.convergence import (
+    IterationScalingFit,
+    fit_iteration_scaling,
+    measure_iteration_scaling,
+)
+from repro.core.output_file import (
+    parse_results_document,
+    save_results_document,
+    write_results_document,
+)
+from repro.core.compliance import (
+    ComplianceReport,
+    check_official_compliance,
+    official_config,
+)
+
+__all__ = [
+    "BenchmarkConfig",
+    "OFFICIAL_TABLE1",
+    "BenchmarkResult",
+    "HPGMxPBenchmark",
+    "run_benchmark",
+    "ValidationResult",
+    "run_validation",
+    "PhaseMetrics",
+    "motif_speedups",
+    "penalty_factor",
+    "HPCGBenchmark",
+    "HPCGConfig",
+    "HPCGResult",
+    "run_hpcg",
+    "format_report",
+    "result_to_dict",
+    "MemoryFootprint",
+    "equalized_double_mesh",
+    "memory_overhead_ratio",
+    "solver_footprint",
+    "IterationScalingFit",
+    "fit_iteration_scaling",
+    "measure_iteration_scaling",
+    "parse_results_document",
+    "save_results_document",
+    "write_results_document",
+    "ComplianceReport",
+    "check_official_compliance",
+    "official_config",
+]

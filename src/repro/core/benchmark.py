@@ -1,0 +1,189 @@
+"""The HPG-MxP benchmark driver.
+
+Orchestrates the benchmark's three phases (§3) as separate SPMD
+launches — validation (standard or full-scale), the timed
+mixed-precision GMRES-IR phase, and the timed double-precision GMRES
+phase — then assembles the penalized GFLOP/s ratings and per-motif
+breakdowns the paper's figures are built from.
+
+Timing semantics offline: the official benchmark fills a wall-clock
+budget with repeated solves; here a fixed number of solves runs and
+real per-motif wall time is accumulated by :class:`MotifTimers`.  Flop
+counts always come from the model in :mod:`repro.core.flops`, exactly
+as in the official code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import BenchmarkConfig
+from repro.core.flops import (
+    flops_gmres_solve,
+    hierarchy_dims,
+)
+from repro.core.metrics import PhaseMetrics, motif_speedups
+from repro.core.validation import ValidationResult, run_validation
+from repro.fp.policy import PrecisionPolicy
+from repro.geometry.grid import BoxGrid
+from repro.geometry.partition import ProcessGrid, Subdomain
+from repro.parallel.comm import Communicator, SerialComm
+from repro.parallel.spmd import run_spmd
+from repro.solvers.gmres_ir import GMRESIRSolver
+from repro.stencil.poisson27 import ProblemSpec, generate_problem
+from repro.util.timers import MotifTimers
+
+
+@dataclass
+class BenchmarkResult:
+    """Everything a benchmark run produces."""
+
+    config: BenchmarkConfig
+    validation: ValidationResult
+    mxp: PhaseMetrics
+    double: PhaseMetrics
+    setup_seconds: float = 0.0
+    speedups: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Headline penalized speedup of mxp over double (Fig. 5)."""
+        return self.speedups.get("total", 0.0)
+
+
+def _phase_worker(
+    comm: Communicator,
+    config: BenchmarkConfig,
+    policy: PrecisionPolicy,
+) -> dict:
+    """One rank's timed phase: setup, then ``num_solves`` fixed solves."""
+    proc = ProcessGrid.from_size(comm.size)
+    sub = Subdomain(BoxGrid(*config.local_dims), proc, comm.rank)
+    problem = generate_problem(sub, spec=ProblemSpec(kind=config.matrix_kind))
+
+    t_setup0 = time.perf_counter()
+    timers = MotifTimers()
+    solver = GMRESIRSolver(
+        problem,
+        comm,
+        policy=policy,
+        mg_config=config.mg_config(),
+        restart=config.restart,
+        ortho=config.ortho,
+        timers=timers,
+        matrix_format=config.matrix_format,
+    )
+    setup_seconds = time.perf_counter() - t_setup0
+
+    comm.barrier()
+    t0 = time.perf_counter()
+    cycle_lengths: list[int] = []
+    iterations = 0
+    solves = 0
+    while True:
+        # tol=0: run the fixed iteration budget (the benchmark phase
+        # executes a fixed number of iterations, not to convergence).
+        _, stats = solver.solve(
+            problem.b, tol=0.0, maxiter=config.max_iters_per_solve
+        )
+        cycle_lengths.extend(stats.cycle_lengths)
+        iterations += stats.iterations
+        solves += 1
+        if config.time_budget_seconds is not None:
+            # Official semantics: repeat whole solves until the budget
+            # is spent.  All ranks agree via the rank-0 clock.
+            elapsed = comm.bcast(time.perf_counter() - t0, root=0)
+            if elapsed >= config.time_budget_seconds:
+                break
+        elif solves >= config.num_solves:
+            break
+    comm.barrier()
+    wall = time.perf_counter() - t0
+
+    return {
+        "seconds_by_motif": dict(timers.seconds),
+        "wall": wall,
+        "setup": setup_seconds,
+        "cycle_lengths": cycle_lengths,
+        "iterations": iterations,
+    }
+
+
+def _merge_phase(
+    label: str,
+    config: BenchmarkConfig,
+    per_rank: list[dict],
+    penalty: float,
+) -> tuple[PhaseMetrics, float]:
+    """Combine per-rank phase records into one :class:`PhaseMetrics`.
+
+    Ranks execute identical work in lockstep, so motif seconds are
+    merged with an elementwise max (the slowest rank paces the run).
+    """
+    motifs: dict[str, float] = {}
+    for rec in per_rank:
+        for m, s in rec["seconds_by_motif"].items():
+            motifs[m] = max(motifs.get(m, 0.0), s)
+    wall = max(rec["wall"] for rec in per_rank)
+    setup = max(rec["setup"] for rec in per_rank)
+
+    nx, ny, nz = config.local_dims
+    proc = ProcessGrid.from_size(config.nranks)
+    dims = hierarchy_dims(
+        nx * proc.px, ny * proc.py, nz * proc.pz, config.nlevels
+    )
+    flops = flops_gmres_solve(
+        dims, config.mg_config(), per_rank[0]["cycle_lengths"], config.ortho
+    )
+    metrics = PhaseMetrics(
+        label=label,
+        flops_by_motif=flops,
+        seconds_by_motif=motifs,
+        total_seconds=wall,
+        iterations=per_rank[0]["iterations"],
+        penalty=penalty,
+    )
+    return metrics, setup
+
+
+class HPGMxPBenchmark:
+    """Top-level benchmark: validation + timed mxp + timed double."""
+
+    def __init__(self, config: BenchmarkConfig | None = None) -> None:
+        self.config = config or BenchmarkConfig()
+
+    def _run_phase(self, policy: PrecisionPolicy) -> list[dict]:
+        cfg = self.config
+        if cfg.nranks == 1:
+            return [_phase_worker(SerialComm(), cfg, policy)]
+        return run_spmd(cfg.nranks, _phase_worker, cfg, policy)
+
+    def run(self) -> BenchmarkResult:
+        """Execute all three phases and assemble the result."""
+        cfg = self.config
+
+        validation = run_validation(cfg)
+
+        mxp_records = self._run_phase(cfg.mixed_policy())
+        mxp, setup_mxp = _merge_phase("mxp", cfg, mxp_records, validation.penalty)
+
+        dbl_records = self._run_phase(cfg.double_policy())
+        double, setup_dbl = _merge_phase("double", cfg, dbl_records, 1.0)
+
+        speedups = motif_speedups(mxp, double)
+        return BenchmarkResult(
+            config=cfg,
+            validation=validation,
+            mxp=mxp,
+            double=double,
+            setup_seconds=max(setup_mxp, setup_dbl),
+            speedups=speedups,
+        )
+
+
+def run_benchmark(config: BenchmarkConfig | None = None) -> BenchmarkResult:
+    """Convenience entry point."""
+    return HPGMxPBenchmark(config).run()

@@ -1,0 +1,106 @@
+"""Iteration-count scaling analysis (bridging laptop scale to Frontier).
+
+The paper observes that GMRES "takes more and more iterations to
+converge to a fixed tolerance as the problem scale increases" (§3.3) —
+the consequence of the fixed 4-level multigrid hierarchy, which loses
+textbook O(N) optimality as the grid outgrows it.  This module fits a
+power law ``iters = c * N^alpha`` to measured iteration counts and
+extrapolates, quantifying how our scaled-down validation connects to
+the paper's 2305-iteration run at 8x320^3.
+
+For this stencil with a fixed-depth hierarchy the expected exponent is
+``alpha ~ 1/3`` (iterations proportional to the grid's linear extent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IterationScalingFit:
+    """Power-law fit ``iters = c * N^alpha`` (N = global unknowns)."""
+
+    c: float
+    alpha: float
+    r_squared: float
+    sizes: tuple[int, ...]
+    iterations: tuple[int, ...]
+
+    def predict(self, n_global: float) -> float:
+        """Predicted iterations at a global problem size."""
+        return self.c * n_global**self.alpha
+
+    def predict_paper_validation(self) -> float:
+        """Prediction at the paper's validation size (8 ranks x 320^3)."""
+        return self.predict(8 * 320**3)
+
+    def describe(self) -> str:
+        return (
+            f"iters ~ {self.c:.3g} * N^{self.alpha:.3f} "
+            f"(R^2 = {self.r_squared:.4f})"
+        )
+
+
+def fit_iteration_scaling(
+    sizes: list[int], iterations: list[int]
+) -> IterationScalingFit:
+    """Least-squares power-law fit on log-log axes.
+
+    Parameters
+    ----------
+    sizes:
+        Global unknown counts.
+    iterations:
+        Iterations to the fixed tolerance at each size.
+    """
+    if len(sizes) != len(iterations) or len(sizes) < 2:
+        raise ValueError("need at least two (size, iterations) pairs")
+    x = np.log(np.asarray(sizes, dtype=np.float64))
+    y = np.log(np.asarray(iterations, dtype=np.float64))
+    alpha, logc = np.polyfit(x, y, 1)
+    yhat = alpha * x + logc
+    ss_res = float(((y - yhat) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return IterationScalingFit(
+        c=float(np.exp(logc)),
+        alpha=float(alpha),
+        r_squared=r2,
+        sizes=tuple(int(s) for s in sizes),
+        iterations=tuple(int(i) for i in iterations),
+    )
+
+
+def measure_iteration_scaling(
+    box_sizes: list[int] | None = None,
+    tol: float = 1e-9,
+    maxiter: int = 4000,
+    mixed: bool = False,
+) -> IterationScalingFit:
+    """Run real solves across a ladder of serial box sizes and fit.
+
+    Uses the actual GMRES(-IR) solver on this machine; sizes must be
+    divisible by 8 (4-level hierarchy).
+    """
+    from repro.fp.policy import DOUBLE_POLICY, MIXED_DS_POLICY
+    from repro.geometry.partition import Subdomain
+    from repro.parallel.comm import SerialComm
+    from repro.solvers.gmres_ir import gmres_solve
+    from repro.stencil.poisson27 import generate_problem
+
+    box_sizes = box_sizes or [16, 24, 32]
+    policy = MIXED_DS_POLICY if mixed else DOUBLE_POLICY
+    sizes, iters = [], []
+    for nx in box_sizes:
+        prob = generate_problem(Subdomain.serial(nx, nx, nx))
+        _, stats = gmres_solve(
+            prob, SerialComm(), policy=policy, tol=tol, maxiter=maxiter
+        )
+        if not stats.converged:
+            raise RuntimeError(f"solver did not converge at {nx}^3")
+        sizes.append(nx**3)
+        iters.append(stats.iterations)
+    return fit_iteration_scaling(sizes, iters)

@@ -1,0 +1,220 @@
+"""The benchmark's floating-point operation model.
+
+HPG-MxP does not count flops by instrumenting kernels; it uses "a
+carefully constructed model" (§3) evaluated from problem dimensions and
+iteration counts, with operations of every precision counted equally.
+This module reproduces that model, including the paper's adjustment for
+the fused SpMV-restriction ("We updated the accounting", §3.2.4).
+
+Conventions (matching HPCG/HPGMP):
+
+- SpMV: ``2*nnz``.
+- Forward Gauss-Seidel sweep: ``2*nnz + 2*n`` (matrix pass + relax).
+- Dot product: ``2*n``;  WAXPBY: ``3*n``;  scale: ``n``.
+- CGS2 step against k vectors: two GEMVT + two GEMV = ``8*n*k``.
+- Fused residual+restrict: the residual is evaluated only at coarse
+  rows: ``(2*row_width + 1) * n_coarse``; the unfused reference does a
+  full SpMV + subtraction + injection: ``2*nnz + n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mg.multigrid import MGConfig
+
+
+def stencil27_nnz(nx: int, ny: int, nz: int) -> int:
+    """Exact nonzero count of the 27-point stencil matrix on a box.
+
+    Interior rows have 27 entries; boundary truncation removes the
+    offsets that fall outside.  Summing over offsets:
+    ``nnz = sum_{o in {-1,0,1}^3} (nx-|ox|)(ny-|oy|)(nz-|oz|)``.
+    """
+    total = 0
+    for ox in (-1, 0, 1):
+        for oy in (-1, 0, 1):
+            for oz in (-1, 0, 1):
+                total += (nx - abs(ox)) * (ny - abs(oy)) * (nz - abs(oz))
+    return total
+
+
+@dataclass(frozen=True)
+class LevelDims:
+    """Global dimensions of one multigrid level."""
+
+    n: int
+    nnz: int
+    row_width: int = 27
+
+
+def hierarchy_dims(
+    nx: int, ny: int, nz: int, nlevels: int
+) -> list[LevelDims]:
+    """Global level dimensions for a box coarsened by 2 per level."""
+    dims = []
+    for _ in range(nlevels):
+        dims.append(LevelDims(n=nx * ny * nz, nnz=stencil27_nnz(nx, ny, nz)))
+        nx, ny, nz = max(nx // 2, 1), max(ny // 2, 1), max(nz // 2, 1)
+    return dims
+
+
+# ----------------------------------------------------------------------
+# Elementary motifs
+# ----------------------------------------------------------------------
+def flops_spmv(nnz: int) -> int:
+    """Sparse matrix-vector product."""
+    return 2 * nnz
+
+
+def flops_gs_sweep(nnz: int, n: int) -> int:
+    """One forward (or backward) Gauss-Seidel sweep in relaxation form."""
+    return 2 * nnz + 2 * n
+
+
+def flops_dot(n: int) -> int:
+    return 2 * n
+
+
+def flops_waxpby(n: int) -> int:
+    return 3 * n
+
+
+def flops_ortho_step(n: int, k: int, method: str = "cgs2") -> int:
+    """Orthogonalization of one new basis vector against ``k`` vectors.
+
+    CGS2 = GEMVT + GEMV, twice (``8nk``); CGS/MGS = once (``4nk``).
+    The subsequent normalization (norm ``2n`` + scale ``n``) is counted
+    here too since the benchmark attributes it to the ortho motif.
+    """
+    passes = 2 if method == "cgs2" else 1
+    return passes * 4 * n * k + 3 * n
+
+
+def flops_fused_restrict(row_width: int, n_coarse: int) -> int:
+    """Fused residual+restriction (optimized path, eq. 6)."""
+    return (2 * row_width + 1) * n_coarse
+
+
+def flops_unfused_restrict(nnz_fine: int, n_fine: int) -> int:
+    """Full residual SpMV + subtraction; injection itself is copy-only."""
+    return 2 * nnz_fine + n_fine
+
+
+def flops_prolong(n_coarse: int) -> int:
+    """Transpose-injection correction: one add per coarse point."""
+    return n_coarse
+
+
+# ----------------------------------------------------------------------
+# Composite motifs
+# ----------------------------------------------------------------------
+def flops_mg_vcycle(dims: list[LevelDims], config: MGConfig) -> dict[str, int]:
+    """Flops of one V-cycle, split by motif.
+
+    Returns a dict with keys ``gs``, ``restrict``, ``prolong``.
+    """
+    sweeps_per_smooth = 2 if config.sweep == "symmetric" else 1
+    gs = 0
+    restrict = 0
+    prolong = 0
+    nlev = len(dims)
+    for lvl, d in enumerate(dims):
+        if lvl == nlev - 1:
+            gs += config.coarse_sweeps * sweeps_per_smooth * flops_gs_sweep(d.nnz, d.n)
+            continue
+        coarse = dims[lvl + 1]
+        gs += (
+            (config.npre + config.npost)
+            * sweeps_per_smooth
+            * flops_gs_sweep(d.nnz, d.n)
+        )
+        if config.fused_restrict:
+            restrict += flops_fused_restrict(d.row_width, coarse.n)
+        else:
+            restrict += flops_unfused_restrict(d.nnz, d.n)
+        prolong += flops_prolong(coarse.n)
+    return {"gs": gs, "restrict": restrict, "prolong": prolong}
+
+
+def flops_gmres_iteration(
+    dims: list[LevelDims], config: MGConfig, k: int, ortho: str = "cgs2"
+) -> dict[str, int]:
+    """Flops of inner Arnoldi step ``k`` (1-based), split by motif."""
+    fine = dims[0]
+    mg = flops_mg_vcycle(dims, config)
+    return {
+        "gs": mg["gs"],
+        "restrict": mg["restrict"],
+        "prolong": mg["prolong"],
+        "spmv": flops_spmv(fine.nnz),
+        "ortho": flops_ortho_step(fine.n, k, ortho),
+    }
+
+
+def flops_gmres_cycle_overhead(
+    dims: list[LevelDims], config: MGConfig, k_cycle: int
+) -> dict[str, int]:
+    """Per-restart-cycle flops outside the inner loop.
+
+    Outer residual (SpMV + waxpby), norm + scale, the solution update
+    GEMV ``Q t`` (2nk), the final preconditioner application, and the
+    double-precision solution add.
+    """
+    fine = dims[0]
+    mg = flops_mg_vcycle(dims, config)
+    out = {
+        "spmv": flops_spmv(fine.nnz),
+        "waxpby": flops_waxpby(fine.n) + fine.n,  # residual sub + x update
+        "dot": flops_dot(fine.n),
+        "ortho": 2 * fine.n * k_cycle + fine.n,  # Q t GEMV + scale of r
+        "gs": mg["gs"],
+        "restrict": mg["restrict"],
+        "prolong": mg["prolong"],
+    }
+    return out
+
+
+def flops_gmres_solve(
+    dims: list[LevelDims],
+    config: MGConfig,
+    cycle_lengths: list[int],
+    ortho: str = "cgs2",
+) -> dict[str, int]:
+    """Total flops of a GMRES(-IR) solve, by motif.
+
+    ``cycle_lengths`` is the per-restart inner-step count recorded by
+    the solver; the ortho cost depends on the within-cycle index, so the
+    exact sum is ``sum_{cycle} sum_{k=1..len} ortho(k)``.
+    """
+    totals: dict[str, int] = {
+        m: 0 for m in ("gs", "restrict", "prolong", "spmv", "ortho", "waxpby", "dot")
+    }
+    for k_cycle in cycle_lengths:
+        for k in range(1, k_cycle + 1):
+            step = flops_gmres_iteration(dims, config, k, ortho)
+            for m, f in step.items():
+                totals[m] += f
+        overhead = flops_gmres_cycle_overhead(dims, config, k_cycle)
+        for m, f in overhead.items():
+            totals[m] += f
+    return totals
+
+
+def flops_pcg_iteration(dims: list[LevelDims], config: MGConfig) -> dict[str, int]:
+    """Flops of one PCG iteration (HPCG model): SpMV + MG + 3 dots + 3 waxpby."""
+    fine = dims[0]
+    mg = flops_mg_vcycle(dims, config)
+    return {
+        "gs": mg["gs"],
+        "restrict": mg["restrict"],
+        "prolong": mg["prolong"],
+        "spmv": flops_spmv(fine.nnz),
+        "dot": 3 * flops_dot(fine.n),
+        "waxpby": 3 * flops_waxpby(fine.n),
+    }
+
+
+def total_flops(by_motif: dict[str, int]) -> int:
+    """Sum a motif breakdown."""
+    return sum(by_motif.values())

@@ -1,0 +1,90 @@
+"""Benchmark metrics: GFLOP/s ratings and the validation penalty.
+
+The reported figure of merit is ``F = F_raw * min(1, n_d / n_ir)``:
+raw mixed-precision GFLOP/s (all precisions counted equally) scaled by
+the validation iteration ratio when — and only when — mixed precision
+needed *more* iterations.  A mixed solver that happens to converge
+faster gets no bonus (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def penalty_factor(n_d: int, n_ir: int) -> float:
+    """``min(1, n_d / n_ir)`` — the benchmark's convergence penalty."""
+    if n_ir <= 0:
+        raise ValueError("n_ir must be positive")
+    return min(1.0, n_d / n_ir)
+
+
+@dataclass
+class PhaseMetrics:
+    """Performance record of one timed phase (mxp or double).
+
+    Seconds may come from real wall-clock measurement (small scale) or
+    from the performance model (exascale projection); the flop counts
+    always come from the model, as in the official benchmark.
+    """
+
+    label: str
+    flops_by_motif: dict[str, int] = field(default_factory=dict)
+    seconds_by_motif: dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    iterations: int = 0
+    penalty: float = 1.0
+
+    @property
+    def total_flops(self) -> int:
+        return sum(self.flops_by_motif.values())
+
+    @property
+    def gflops_raw(self) -> float:
+        """Raw GFLOP/s before the validation penalty."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_flops / self.total_seconds / 1e9
+
+    @property
+    def gflops(self) -> float:
+        """Reported (penalized) GFLOP/s."""
+        return self.gflops_raw * self.penalty
+
+    def motif_gflops(self, motif: str) -> float:
+        """Penalized GFLOP/s of one motif (used for Fig. 5's bars)."""
+        secs = self.seconds_by_motif.get(motif, 0.0)
+        if secs <= 0:
+            return 0.0
+        return self.flops_by_motif.get(motif, 0) / secs / 1e9 * self.penalty
+
+    def time_fractions(self) -> dict[str, float]:
+        """Fraction of phase time per motif (Fig. 7's bars)."""
+        tot = sum(self.seconds_by_motif.values())
+        if tot <= 0:
+            return {m: 0.0 for m in self.seconds_by_motif}
+        return {m: s / tot for m, s in self.seconds_by_motif.items()}
+
+
+def motif_speedups(
+    mxp: PhaseMetrics, double: PhaseMetrics, motifs: tuple[str, ...] | None = None
+) -> dict[str, float]:
+    """Per-motif speedup of mxp over double (Fig. 5 / Fig. 6).
+
+    Defined as the paper does: the ratio of penalized GFLOP/s ratings —
+    equivalently (same flop model) the time ratio adjusted by penalty.
+    """
+    if motifs is None:
+        motifs = tuple(
+            m
+            for m in set(mxp.seconds_by_motif) | set(double.seconds_by_motif)
+            if double.seconds_by_motif.get(m, 0) > 0
+        )
+    out: dict[str, float] = {}
+    for m in motifs:
+        g_m = mxp.motif_gflops(m)
+        g_d = double.motif_gflops(m)
+        if g_d > 0:
+            out[m] = g_m / g_d
+    out["total"] = mxp.gflops / double.gflops if double.gflops > 0 else 0.0
+    return out

@@ -1,0 +1,126 @@
+"""Official-style results document (the benchmark's .yaml output).
+
+HPCG and HPG-MxP write a structured results file with machine summary,
+setup, validation, per-motif performance, and the final rating; TOP500
+submissions parse it.  This writer emits the same shape of document
+(YAML-compatible plain text, no external YAML dependency) for this
+reproduction's runs, plus a loader for round-tripping in tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.benchmark import BenchmarkResult
+from repro.util.timers import MOTIFS
+from repro.version import __version__
+
+
+def _emit(lines: list[str], key: str, value, indent: int = 0) -> None:
+    pad = "  " * indent
+    if isinstance(value, float):
+        lines.append(f"{pad}{key}: {value:.6g}")
+    else:
+        lines.append(f"{pad}{key}: {value}")
+
+
+def write_results_document(result: BenchmarkResult) -> str:
+    """Render a benchmark result as the official-style YAML document."""
+    cfg = result.config
+    val = result.validation
+    nx, ny, nz = cfg.local_dims
+    lines: list[str] = []
+    lines.append("HPG-MxP-Benchmark:")
+    _emit(lines, "version", __version__, 1)
+    _emit(lines, "implementation", cfg.impl, 1)
+
+    lines.append("  Machine Summary:")
+    _emit(lines, "Distributed Processes", cfg.nranks, 2)
+    _emit(lines, "GCDs per node", cfg.gcds_per_node, 2)
+    _emit(lines, "Nodes", cfg.nodes, 2)
+
+    lines.append("  Global Problem Dimensions:")
+    from repro.geometry.partition import ProcessGrid
+
+    proc = ProcessGrid.from_size(cfg.nranks)
+    _emit(lines, "Global nx", nx * proc.px, 2)
+    _emit(lines, "Global ny", ny * proc.py, 2)
+    _emit(lines, "Global nz", nz * proc.pz, 2)
+
+    lines.append("  Local Domain Dimensions:")
+    _emit(lines, "nx", nx, 2)
+    _emit(lines, "ny", ny, 2)
+    _emit(lines, "nz", nz, 2)
+
+    lines.append("  Setup Information:")
+    _emit(lines, "Setup Time", result.setup_seconds, 2)
+    _emit(lines, "Matrix format", cfg.matrix_format, 2)
+    _emit(lines, "Orthogonalization", cfg.ortho, 2)
+    _emit(lines, "Restart length", cfg.restart, 2)
+
+    lines.append("  Validation Testing:")
+    _emit(lines, "Mode", val.mode, 2)
+    _emit(lines, "Ranks used", val.ranks, 2)
+    _emit(lines, "Reference iterations (n_d)", val.n_d, 2)
+    _emit(lines, "Optimized iterations (n_ir)", val.n_ir, 2)
+    _emit(lines, "Iteration ratio", val.ratio, 2)
+    _emit(lines, "Penalty factor", val.penalty, 2)
+    _emit(lines, "Reference residual", val.double_relres, 2)
+    _emit(lines, "Optimized residual", val.ir_relres, 2)
+
+    for phase in (result.mxp, result.double):
+        lines.append(f"  Benchmark Phase {phase.label}:")
+        _emit(lines, "Iterations", phase.iterations, 2)
+        _emit(lines, "Wall time (s)", phase.total_seconds, 2)
+        _emit(lines, "Total model GFLOP", phase.total_flops / 1e9, 2)
+        lines.append("    Seconds by motif:")
+        for motif in MOTIFS:
+            secs = phase.seconds_by_motif.get(motif, 0.0)
+            if secs > 0:
+                _emit(lines, motif, secs, 3)
+        lines.append("    GFLOP/s by motif:")
+        for motif in MOTIFS:
+            g = phase.motif_gflops(motif)
+            if g > 0:
+                _emit(lines, motif, g, 3)
+        _emit(lines, "GFLOP/s raw", phase.gflops_raw, 2)
+        _emit(lines, "GFLOP/s rating", phase.gflops, 2)
+
+    lines.append("  Final Summary:")
+    _emit(lines, "HPG-MxP rating (GFLOP/s)", result.mxp.gflops, 2)
+    _emit(lines, "Double-precision rating (GFLOP/s)", result.double.gflops, 2)
+    _emit(lines, "Penalized speedup", result.speedup, 2)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def save_results_document(result: BenchmarkResult, path: str) -> None:
+    """Write the document to a file."""
+    with open(path, "w") as f:
+        f.write(write_results_document(result))
+
+
+def parse_results_document(text: str) -> dict:
+    """Parse the document back into a nested dict (tests round-trip it).
+
+    Minimal indentation-based parser for the subset this writer emits.
+    """
+    root: dict = {}
+    stack: list[tuple[int, dict]] = [(-1, root)]
+    for raw in text.splitlines():
+        if not raw.strip():
+            continue
+        indent = (len(raw) - len(raw.lstrip())) // 2
+        key, _, value = raw.strip().partition(":")
+        value = value.strip()
+        while stack and stack[-1][0] >= indent:
+            stack.pop()
+        parent = stack[-1][1]
+        if value == "":
+            child: dict = {}
+            parent[key] = child
+            stack.append((indent, child))
+        else:
+            try:
+                parent[key] = float(value) if "." in value or "e" in value.lower() else int(value)
+            except ValueError:
+                parent[key] = value
+    return root

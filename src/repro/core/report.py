@@ -1,0 +1,86 @@
+"""Human-readable benchmark reports (official-output style)."""
+
+from __future__ import annotations
+
+from repro.core.benchmark import BenchmarkResult
+from repro.util.timers import MOTIFS
+
+
+def format_report(result: BenchmarkResult) -> str:
+    """Render a benchmark result as an official-style text report."""
+    cfg = result.config
+    val = result.validation
+    lines: list[str] = []
+    add = lines.append
+
+    add("HPG-MxP Benchmark (reproduction)")
+    add("=" * 60)
+    add("[Parameters]  (official value | this run)")
+    for name, (official, actual) in cfg.table1().items():
+        add(f"  {name}: {official} | {actual}")
+    add(f"  Implementation: {cfg.impl}")
+    add(f"  Ranks (GCDs): {cfg.nranks}  (nodes: {cfg.nodes:g})")
+    add(f"  Matrix: {cfg.matrix_kind}, format {cfg.matrix_format}")
+    add(f"  Setup/optimization time: {result.setup_seconds:.3f} s")
+    add("")
+    add(f"[Validation]  mode={val.mode} on {val.ranks} rank(s)")
+    add(f"  double GMRES iterations (n_d): {val.n_d}")
+    add(f"  GMRES-IR iterations (n_ir):    {val.n_ir}")
+    add(f"  ratio n_d/n_ir: {val.ratio:.4f}   penalty applied: {val.penalty:.4f}")
+    add(f"  double relres: {val.double_relres:.3e}  (converged: {val.double_converged})")
+    add(f"  mxp relres:    {val.ir_relres:.3e}  (converged: {val.ir_converged})")
+    if val.target_residual is not None:
+        add(f"  fullscale target residual: {val.target_residual:.3e}")
+    add("")
+    for phase in (result.mxp, result.double):
+        add(f"[Phase: {phase.label}]")
+        add(f"  iterations: {phase.iterations}")
+        add(f"  wall seconds: {phase.total_seconds:.3f}")
+        add(f"  model GFLOP:  {phase.total_flops / 1e9:.3f}")
+        add(f"  GFLOP/s raw:  {phase.gflops_raw:.3f}")
+        add(f"  GFLOP/s rated:{phase.gflops:.3f}  (penalty {phase.penalty:.4f})")
+        add("  time by motif:")
+        fr = phase.time_fractions()
+        for m in MOTIFS:
+            s = phase.seconds_by_motif.get(m, 0.0)
+            if s > 0:
+                add(f"    {m:<9} {s:8.3f} s  ({100 * fr.get(m, 0):5.1f}%)")
+        add("")
+    add("[Speedups mxp vs double]  (penalized GFLOP/s ratio)")
+    for m, v in sorted(result.speedups.items()):
+        add(f"  {m:<9} {v:.3f}x")
+    return "\n".join(lines)
+
+
+def result_to_dict(result: BenchmarkResult) -> dict:
+    """Machine-readable summary (EXPERIMENTS.md bookkeeping)."""
+    val = result.validation
+    return {
+        "config": {
+            "local_dims": result.config.local_dims,
+            "nranks": result.config.nranks,
+            "impl": result.config.impl,
+            "restart": result.config.restart,
+            "validation_mode": result.config.validation_mode,
+        },
+        "validation": {
+            "n_d": val.n_d,
+            "n_ir": val.n_ir,
+            "ratio": val.ratio,
+            "penalty": val.penalty,
+            "double_relres": val.double_relres,
+            "ir_relres": val.ir_relres,
+        },
+        "mxp": {
+            "gflops": result.mxp.gflops,
+            "gflops_raw": result.mxp.gflops_raw,
+            "seconds": result.mxp.total_seconds,
+            "iterations": result.mxp.iterations,
+        },
+        "double": {
+            "gflops": result.double.gflops,
+            "seconds": result.double.total_seconds,
+            "iterations": result.double.iterations,
+        },
+        "speedups": dict(result.speedups),
+    }

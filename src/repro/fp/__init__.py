@@ -1,0 +1,24 @@
+"""Floating-point precision framework.
+
+HPG-MxP counts floating point operations of every precision equally and
+lets most solver steps run in a low precision while pinning the outer
+residual and solution updates to double.  This package provides:
+
+- :class:`~repro.fp.precision.Precision` — an enum of IEEE formats with
+  their dtype, byte width, and unit roundoff.
+- :class:`~repro.fp.policy.PrecisionPolicy` — which GMRES-IR step runs in
+  which precision (the paper's "blue" steps of Algorithm 3).
+"""
+
+from repro.fp.precision import Precision, as_dtype, cast, machine_eps
+from repro.fp.policy import PrecisionPolicy, DOUBLE_POLICY, MIXED_DS_POLICY
+
+__all__ = [
+    "Precision",
+    "as_dtype",
+    "cast",
+    "machine_eps",
+    "PrecisionPolicy",
+    "DOUBLE_POLICY",
+    "MIXED_DS_POLICY",
+]

@@ -1,0 +1,127 @@
+"""Precision policies for the GMRES-IR solver (paper Algorithm 3).
+
+Algorithm 3 marks most steps blue: "allowed to be performed in low or
+mixed precision".  Two steps are pinned to double precision by the
+benchmark specification:
+
+- the residual update ``r <- b - A x`` (line 7), and
+- the solution update ``x <- x_0 + M^{-1} r`` (line 47).
+
+A :class:`PrecisionPolicy` records the precision for each group of
+steps.  The all-double policy reproduces plain GMRES; the double-single
+policy is the configuration the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.fp.precision import Precision
+
+
+@dataclass(frozen=True)
+class PrecisionPolicy:
+    """Which precision each GMRES-IR ingredient uses.
+
+    Attributes
+    ----------
+    matrix:
+        Storage/compute precision of the low-precision copy of ``A`` used
+        inside the restart cycle (SpMV, line 19).  GMRES-IR keeps this
+        *in addition* to the double-precision matrix, which the paper
+        notes makes its memory footprint larger than plain GMRES.
+    preconditioner:
+        Precision of the multigrid preconditioner (matrices, smoother
+        sweeps, grid-transfer vectors; lines 18 and 47's ``M^{-1}``).
+    krylov_basis:
+        Storage precision of the Krylov basis vectors ``Q``.
+    orthogonalization:
+        Compute precision of the CGS2 GEMV/GEMVT kernels (lines 20-27).
+    least_squares:
+        Precision of the small host-side Hessenberg/Givens updates.  The
+        paper performs the QR update redundantly on every process on the
+        CPU; double is cheap and is what the reference code does.
+    residual_update:
+        Precision of the outer residual computation (line 7).  The
+        benchmark requires double.
+    solution_update:
+        Precision of the outer solution update (line 47).  The benchmark
+        requires double.
+    """
+
+    matrix: Precision = Precision.DOUBLE
+    preconditioner: Precision = Precision.DOUBLE
+    krylov_basis: Precision = Precision.DOUBLE
+    orthogonalization: Precision = Precision.DOUBLE
+    least_squares: Precision = Precision.DOUBLE
+    residual_update: Precision = field(default=Precision.DOUBLE)
+    solution_update: Precision = field(default=Precision.DOUBLE)
+
+    def __post_init__(self) -> None:
+        if self.residual_update is not Precision.DOUBLE:
+            raise ValueError(
+                "HPG-MxP requires the residual update in double precision"
+            )
+        if self.solution_update is not Precision.DOUBLE:
+            raise ValueError(
+                "HPG-MxP requires the solution update in double precision"
+            )
+
+    @property
+    def is_uniform_double(self) -> bool:
+        """True when every step runs in double (plain GMRES)."""
+        return all(
+            p is Precision.DOUBLE
+            for p in (
+                self.matrix,
+                self.preconditioner,
+                self.krylov_basis,
+                self.orthogonalization,
+                self.least_squares,
+            )
+        )
+
+    @property
+    def low(self) -> Precision:
+        """The lowest precision appearing anywhere in the policy."""
+        return min(
+            (
+                self.matrix,
+                self.preconditioner,
+                self.krylov_basis,
+                self.orthogonalization,
+                self.least_squares,
+            ),
+            key=lambda p: p.bytes,
+        )
+
+    def with_low(self, prec: "Precision | str") -> "PrecisionPolicy":
+        """Return a policy with all blue steps set to ``prec``."""
+        p = Precision.from_any(prec)
+        return replace(
+            self,
+            matrix=p,
+            preconditioner=p,
+            krylov_basis=p,
+            orthogonalization=p,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used by reports)."""
+        if self.is_uniform_double:
+            return "uniform fp64 (plain GMRES)"
+        return (
+            f"matrix={self.matrix.short_name} "
+            f"precond={self.preconditioner.short_name} "
+            f"basis={self.krylov_basis.short_name} "
+            f"ortho={self.orthogonalization.short_name} "
+            f"lsq={self.least_squares.short_name} "
+            f"outer=fp64"
+        )
+
+
+#: Plain double-precision GMRES configuration (the "double" phase).
+DOUBLE_POLICY = PrecisionPolicy()
+
+#: The paper's double+single GMRES-IR configuration (the "mxp" phase).
+MIXED_DS_POLICY = PrecisionPolicy().with_low(Precision.SINGLE)

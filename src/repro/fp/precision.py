@@ -1,0 +1,108 @@
+"""IEEE floating-point formats used by the benchmark.
+
+The HPG-MxP benchmark allows any precision format in most solver steps;
+the paper restricts itself to double (FP64) and single (FP32), with FP16
+named as future work.  All three are modeled here so the performance
+model can also answer "what if half precision" questions (paper §5).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class Precision(enum.Enum):
+    """An IEEE-754 binary floating point format.
+
+    Members carry the numpy dtype name; helper properties expose byte
+    width and unit roundoff, which the performance model uses for byte
+    traffic and the solvers use for tolerance sanity checks.
+    """
+
+    HALF = "float16"
+    SINGLE = "float32"
+    DOUBLE = "float64"
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Numpy dtype for this format."""
+        return np.dtype(self.value)
+
+    @property
+    def bytes(self) -> int:
+        """Storage width in bytes (2, 4 or 8)."""
+        return self.dtype.itemsize
+
+    @property
+    def bits(self) -> int:
+        """Storage width in bits."""
+        return 8 * self.bytes
+
+    @property
+    def eps(self) -> float:
+        """Unit roundoff (machine epsilon) of the format."""
+        return float(np.finfo(self.dtype).eps)
+
+    @property
+    def short_name(self) -> str:
+        """Conventional short name: fp16 / fp32 / fp64."""
+        return {"float16": "fp16", "float32": "fp32", "float64": "fp64"}[self.value]
+
+    @classmethod
+    def from_any(cls, spec: "Precision | str | np.dtype | type") -> "Precision":
+        """Coerce a precision-like spec (enum, name, dtype) to a Precision.
+
+        Accepts ``Precision`` members, strings like ``"fp32"``/``"single"``/
+        ``"float32"``, numpy dtypes and python float types.
+        """
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, str):
+            key = spec.lower()
+            aliases = {
+                "half": cls.HALF,
+                "fp16": cls.HALF,
+                "float16": cls.HALF,
+                "single": cls.SINGLE,
+                "fp32": cls.SINGLE,
+                "float32": cls.SINGLE,
+                "float": cls.SINGLE,
+                "double": cls.DOUBLE,
+                "fp64": cls.DOUBLE,
+                "float64": cls.DOUBLE,
+            }
+            if key in aliases:
+                return aliases[key]
+            raise ValueError(f"unknown precision spec: {spec!r}")
+        dt = np.dtype(spec)
+        for member in cls:
+            if member.dtype == dt:
+                return member
+        raise ValueError(f"no Precision for dtype {dt}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.short_name
+
+
+def as_dtype(spec: "Precision | str | np.dtype | type") -> np.dtype:
+    """Return the numpy dtype for any precision-like spec."""
+    return Precision.from_any(spec).dtype
+
+
+def machine_eps(spec: "Precision | str | np.dtype | type") -> float:
+    """Unit roundoff for any precision-like spec."""
+    return Precision.from_any(spec).eps
+
+
+def cast(array: np.ndarray, prec: "Precision | str") -> np.ndarray:
+    """Cast an array to the given precision.
+
+    Returns the input unchanged (no copy) when it already has the target
+    dtype — mirroring how a device kernel would skip a conversion pass.
+    """
+    dtype = Precision.from_any(prec).dtype
+    if array.dtype == dtype:
+        return array
+    return array.astype(dtype)

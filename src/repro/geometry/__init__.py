@@ -1,0 +1,30 @@
+"""Structured 3D geometry: grids, processor grids, subdomains, halos.
+
+HPCG and HPG-MxP discretize a cube with a 27-point stencil and factor
+the MPI ranks into a 3D processor grid matching the mesh.  Every module
+in this package is pure index arithmetic — no communication — so both
+the problem generator and the halo-exchange plans can be derived
+independently (and identically) on every rank.
+"""
+
+from repro.geometry.grid import BoxGrid
+from repro.geometry.partition import ProcessGrid, Subdomain, factor3d
+from repro.geometry.halo import (
+    DIRECTIONS,
+    direction_index,
+    opposite_direction,
+    HaloPattern,
+    build_halo_pattern,
+)
+
+__all__ = [
+    "BoxGrid",
+    "ProcessGrid",
+    "Subdomain",
+    "factor3d",
+    "DIRECTIONS",
+    "direction_index",
+    "opposite_direction",
+    "HaloPattern",
+    "build_halo_pattern",
+]

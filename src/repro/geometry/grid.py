@@ -1,0 +1,101 @@
+"""Axis-aligned box grids with HPCG's linearization convention.
+
+Points are numbered x-fastest: ``i = ix + nx*(iy + ny*iz)``.  All index
+helpers are vectorized; they accept and return numpy arrays so callers
+never loop over points in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxGrid:
+    """A structured grid of ``nx * ny * nz`` points.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Number of points along each axis.  Must all be positive.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError(f"grid dims must be positive, got {self.shape}")
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Dims as an ``(nx, ny, nz)`` tuple."""
+        return (self.nx, self.ny, self.nz)
+
+    @property
+    def npoints(self) -> int:
+        """Total number of grid points."""
+        return self.nx * self.ny * self.nz
+
+    def linear_index(self, ix, iy, iz):
+        """Map (vectorized) coordinates to linear indices (x fastest)."""
+        return ix + self.nx * (iy + self.ny * iz)
+
+    def coords(self, i):
+        """Inverse of :meth:`linear_index` (vectorized)."""
+        i = np.asarray(i)
+        iz, rem = np.divmod(i, self.nx * self.ny)
+        iy, ix = np.divmod(rem, self.nx)
+        return ix, iy, iz
+
+    def all_coords(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Coordinates of every point in linear-index order.
+
+        Returns three int64 arrays of length :attr:`npoints`.
+        """
+        return self.coords(np.arange(self.npoints, dtype=np.int64))
+
+    def contains(self, ix, iy, iz):
+        """Vectorized bounds check."""
+        ix = np.asarray(ix)
+        iy = np.asarray(iy)
+        iz = np.asarray(iz)
+        return (
+            (ix >= 0)
+            & (ix < self.nx)
+            & (iy >= 0)
+            & (iy < self.ny)
+            & (iz >= 0)
+            & (iz < self.nz)
+        )
+
+    def coarsen(self, factor: int = 2) -> "BoxGrid":
+        """The grid coarsened by ``factor`` along every axis.
+
+        HPCG-style coarsening: requires each dimension to be divisible by
+        the factor (the benchmark requires local dims divisible by 8 for
+        a 4-level hierarchy).
+        """
+        if any(d % factor != 0 for d in self.shape):
+            raise ValueError(
+                f"grid {self.shape} not divisible by coarsening factor {factor}"
+            )
+        return BoxGrid(self.nx // factor, self.ny // factor, self.nz // factor)
+
+    def boundary_mask(self) -> np.ndarray:
+        """Boolean mask of points on the geometric boundary of the box."""
+        ix, iy, iz = self.all_coords()
+        return (
+            (ix == 0)
+            | (ix == self.nx - 1)
+            | (iy == 0)
+            | (iy == self.ny - 1)
+            | (iz == 0)
+            | (iz == self.nz - 1)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.nx}x{self.ny}x{self.nz}"

@@ -1,0 +1,242 @@
+"""Halo (ghost-layer) geometry for the 27-point stencil.
+
+Each rank owns an ``nx*ny*nz`` box; the 27-point stencil reaches one
+layer of points owned by up to 26 neighbor ranks (6 faces, 12 edges,
+8 corners).  Ghost values are stored in a single flat array appended
+after the ``nlocal`` owned values, grouped in blocks by direction.
+
+The critical invariant is that the *receiver's* enumeration of a ghost
+block equals the *sender's* enumeration of its matching boundary points.
+Both sides enumerate points in ascending local linear index, which is
+ascending ``(z, y, x)`` lexicographic order; since neighboring ranks are
+aligned along the shared coordinates, the orders coincide.  This lets
+every rank build its matrix columns and its exchange plan with zero
+communication, exactly like HPCG's ``SetupHalo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.partition import Subdomain
+
+#: The 26 neighbor directions in a fixed canonical order (z outer,
+#: y middle, x inner), excluding (0,0,0).
+DIRECTIONS: tuple[tuple[int, int, int], ...] = tuple(
+    (dx, dy, dz)
+    for dz in (-1, 0, 1)
+    for dy in (-1, 0, 1)
+    for dx in (-1, 0, 1)
+    if (dx, dy, dz) != (0, 0, 0)
+)
+
+#: All 27 stencil offsets including the center, same enumeration order.
+STENCIL_OFFSETS: tuple[tuple[int, int, int], ...] = tuple(
+    (dx, dy, dz) for dz in (-1, 0, 1) for dy in (-1, 0, 1) for dx in (-1, 0, 1)
+)
+
+#: Slot of the (0,0,0) center offset in STENCIL_OFFSETS.
+CENTER_SLOT = STENCIL_OFFSETS.index((0, 0, 0))
+
+
+def direction_code(dx: int, dy: int, dz: int) -> int:
+    """Dense code 0..26 for a direction triple (13 = center)."""
+    return (dx + 1) + 3 * (dy + 1) + 9 * (dz + 1)
+
+
+def direction_index(direction: tuple[int, int, int]) -> int:
+    """Position of a direction in :data:`DIRECTIONS` (0..25)."""
+    return DIRECTIONS.index(direction)
+
+
+def opposite_direction(direction: tuple[int, int, int]) -> tuple[int, int, int]:
+    """The direction pointing back at the sender."""
+    return (-direction[0], -direction[1], -direction[2])
+
+
+@dataclass
+class HaloPattern:
+    """Complete ghost-layer plan for one rank's subdomain.
+
+    Attributes
+    ----------
+    sub:
+        The subdomain this plan belongs to.
+    neighbor_ranks:
+        Direction -> neighbor rank, for the directions that exist.
+    send_indices:
+        Direction -> local linear indices of owned points this rank must
+        send to that neighbor (ascending order).
+    ghost_offsets / ghost_counts:
+        Direction -> start offset / length of the ghost block, relative
+        to the start of the ghost segment.
+    n_ghost:
+        Total ghost points.
+    boundary_rows / interior_rows:
+        Local row indices whose stencil does / does not touch a ghost
+        point — the compute-communication overlap split of §3.2.3.
+    """
+
+    sub: Subdomain
+    neighbor_ranks: dict[tuple[int, int, int], int]
+    send_indices: dict[tuple[int, int, int], np.ndarray]
+    ghost_offsets: dict[tuple[int, int, int], int]
+    ghost_counts: dict[tuple[int, int, int], int]
+    n_ghost: int
+    boundary_rows: np.ndarray
+    interior_rows: np.ndarray
+    # Dense per-direction-code lookup tables used by the vectorized
+    # ghost-column computation in the matrix generator.
+    _code_offset: np.ndarray = field(repr=False, default=None)
+    _code_bx: np.ndarray = field(repr=False, default=None)
+    _code_by: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def nlocal(self) -> int:
+        """Owned points (columns 0..nlocal-1 of the local matrix)."""
+        return self.sub.nlocal
+
+    @property
+    def ncols(self) -> int:
+        """Total local column count: owned + ghost."""
+        return self.nlocal + self.n_ghost
+
+    @property
+    def directions(self) -> list[tuple[int, int, int]]:
+        """Existing neighbor directions in canonical order."""
+        return list(self.neighbor_ranks.keys())
+
+    @property
+    def total_send_count(self) -> int:
+        """Total points packed per exchange (equals total received)."""
+        return sum(len(ix) for ix in self.send_indices.values())
+
+    def ghost_columns(self, lx: np.ndarray, ly: np.ndarray, lz: np.ndarray) -> np.ndarray:
+        """Vectorized local-column lookup for out-of-box neighbor coords.
+
+        Inputs are local coordinates that may lie one layer outside the
+        box (values -1 or n along any axis).  Points inside the box map
+        to their local linear index; points outside map into the ghost
+        segment.  The caller must have masked away coordinates that fall
+        outside the *global* domain (those have no column at all).
+        """
+        local = self.sub.local
+        nx, ny, nz = local.shape
+        ddx = np.where(lx < 0, -1, np.where(lx >= nx, 1, 0))
+        ddy = np.where(ly < 0, -1, np.where(ly >= ny, 1, 0))
+        ddz = np.where(lz < 0, -1, np.where(lz >= nz, 1, 0))
+        inside = (ddx == 0) & (ddy == 0) & (ddz == 0)
+
+        # Owned columns.
+        col_local = local.linear_index(lx, ly, lz)
+
+        # Ghost columns via per-code tables.
+        code = (ddx + 1) + 3 * (ddy + 1) + 9 * (ddz + 1)
+        offs = self._code_offset[code]
+        bx = self._code_bx[code]
+        by = self._code_by[code]
+        wx = np.where(ddx != 0, 0, lx)
+        wy = np.where(ddy != 0, 0, ly)
+        wz = np.where(ddz != 0, 0, lz)
+        col_ghost = self.nlocal + offs + wx + bx * (wy + by * wz)
+
+        if np.any((~inside) & (offs < 0)):
+            raise ValueError(
+                "ghost column requested for a direction with no neighbor; "
+                "mask global-boundary coordinates before calling"
+            )
+        return np.where(inside, col_local, col_ghost)
+
+
+def _block_dims(
+    direction: tuple[int, int, int], shape: tuple[int, int, int]
+) -> tuple[int, int, int]:
+    """Ghost-block dims for a direction: 1 along the offset axes."""
+    return tuple(1 if d != 0 else n for d, n in zip(direction, shape))
+
+
+def _boundary_indices(
+    sub: Subdomain, direction: tuple[int, int, int]
+) -> np.ndarray:
+    """Owned points on the face/edge/corner facing ``direction``.
+
+    Returned in ascending local linear index order (the canonical block
+    enumeration shared by sender and receiver).
+    """
+    nx, ny, nz = sub.local.shape
+    ranges = []
+    for d, n in zip(direction, (nx, ny, nz)):
+        if d == -1:
+            ranges.append(np.array([0]))
+        elif d == 1:
+            ranges.append(np.array([n - 1]))
+        else:
+            ranges.append(np.arange(n))
+    # Enumerate z outer, y, x inner to get ascending linear indices.
+    zz, yy, xx = np.meshgrid(ranges[2], ranges[1], ranges[0], indexing="ij")
+    return sub.local.linear_index(xx.ravel(), yy.ravel(), zz.ravel())
+
+
+def build_halo_pattern(sub: Subdomain) -> HaloPattern:
+    """Construct the full halo plan for a subdomain (no communication)."""
+    neighbor_ranks: dict[tuple[int, int, int], int] = {}
+    send_indices: dict[tuple[int, int, int], np.ndarray] = {}
+    ghost_offsets: dict[tuple[int, int, int], int] = {}
+    ghost_counts: dict[tuple[int, int, int], int] = {}
+
+    code_offset = np.full(27, -1, dtype=np.int64)
+    code_bx = np.zeros(27, dtype=np.int64)
+    code_by = np.zeros(27, dtype=np.int64)
+
+    offset = 0
+    for d in DIRECTIONS:
+        nb = sub.proc.neighbor(sub.rank, d)
+        if nb is None:
+            continue
+        neighbor_ranks[d] = nb
+        send_indices[d] = _boundary_indices(sub, d)
+        bx, by, bz = _block_dims(d, sub.local.shape)
+        count = bx * by * bz
+        ghost_offsets[d] = offset
+        ghost_counts[d] = count
+        code = direction_code(*d)
+        code_offset[code] = offset
+        code_bx[code] = bx
+        code_by[code] = by
+        offset += count
+
+    # Overlap split: a row touches a ghost iff it sits on a face that has
+    # a neighbor rank on the other side.
+    nx, ny, nz = sub.local.shape
+    ix, iy, iz = sub.local.all_coords()
+    cx, cy, cz = sub.proc.rank_coords(sub.rank)
+    touches = np.zeros(sub.nlocal, dtype=bool)
+    if cx > 0:
+        touches |= ix == 0
+    if cx < sub.proc.px - 1:
+        touches |= ix == nx - 1
+    if cy > 0:
+        touches |= iy == 0
+    if cy < sub.proc.py - 1:
+        touches |= iy == ny - 1
+    if cz > 0:
+        touches |= iz == 0
+    if cz < sub.proc.pz - 1:
+        touches |= iz == nz - 1
+
+    all_rows = np.arange(sub.nlocal, dtype=np.int64)
+    return HaloPattern(
+        sub=sub,
+        neighbor_ranks=neighbor_ranks,
+        send_indices=send_indices,
+        ghost_offsets=ghost_offsets,
+        ghost_counts=ghost_counts,
+        n_ghost=offset,
+        boundary_rows=all_rows[touches],
+        interior_rows=all_rows[~touches],
+        _code_offset=code_offset,
+        _code_bx=code_bx,
+        _code_by=code_by,
+    )

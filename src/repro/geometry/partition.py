@@ -1,0 +1,201 @@
+"""3D processor grids and rank subdomains.
+
+HPCG factors the ``p`` MPI ranks into a 3D grid ``px*py*pz`` as close to
+a cube as possible and assigns each rank an identical ``nx*ny*nz`` local
+box; the global grid is ``(px*nx, py*ny, pz*nz)``.  HPG-MxP inherits
+this scheme and this module reproduces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.grid import BoxGrid
+
+
+def factor3d(p: int) -> tuple[int, int, int]:
+    """Factor ``p`` ranks into a 3D grid as close to a cube as possible.
+
+    Mirrors HPCG's ``ComputeOptimalShapeXYZ`` intent: among all ordered
+    factorizations ``px*py*pz = p`` choose the one minimizing the spread
+    ``max - min``, breaking ties toward larger surface-minimizing shapes
+    (then lexicographically).  Deterministic for a given ``p``.
+    """
+    if p < 1:
+        raise ValueError("processor count must be positive")
+    best: tuple[int, int, int] | None = None
+    best_key: tuple[int, int, int, int, int] | None = None
+    for px in range(1, p + 1):
+        if p % px:
+            continue
+        q = p // px
+        for py in range(1, q + 1):
+            if q % py:
+                continue
+            pz = q // py
+            dims = sorted((px, py, pz))
+            # Primary: minimize spread; secondary: minimize surface area
+            # of the unit subdomain arrangement; tertiary: stable order.
+            surface = dims[0] * dims[1] + dims[1] * dims[2] + dims[0] * dims[2]
+            key = (dims[2] - dims[0], -surface, px, py, pz)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (px, py, pz)
+    assert best is not None
+    return best
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A 3D grid of ranks, numbered x-fastest like mesh points."""
+
+    px: int
+    py: int
+    pz: int
+
+    def __post_init__(self) -> None:
+        if min(self.px, self.py, self.pz) < 1:
+            raise ValueError("process grid dims must be positive")
+
+    @classmethod
+    def from_size(cls, size: int) -> "ProcessGrid":
+        """Build the near-cubic grid for ``size`` ranks."""
+        return cls(*factor3d(size))
+
+    @property
+    def size(self) -> int:
+        """Total number of ranks."""
+        return self.px * self.py * self.pz
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.px, self.py, self.pz)
+
+    def rank_coords(self, rank: int) -> tuple[int, int, int]:
+        """Coordinates of a rank in the processor grid."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for {self.size} ranks")
+        cz, rem = divmod(rank, self.px * self.py)
+        cy, cx = divmod(rem, self.px)
+        return (cx, cy, cz)
+
+    def coords_rank(self, cx: int, cy: int, cz: int) -> int:
+        """Inverse of :meth:`rank_coords`."""
+        return cx + self.px * (cy + self.py * cz)
+
+    def neighbor(self, rank: int, direction: tuple[int, int, int]) -> int | None:
+        """Neighbor rank in a 26-direction, or None at the global edge."""
+        cx, cy, cz = self.rank_coords(rank)
+        nx, ny, nz = cx + direction[0], cy + direction[1], cz + direction[2]
+        if 0 <= nx < self.px and 0 <= ny < self.py and 0 <= nz < self.pz:
+            return self.coords_rank(nx, ny, nz)
+        return None
+
+    def neighbors(self, rank: int) -> dict[tuple[int, int, int], int]:
+        """All existing 26-neighbors of a rank, keyed by direction."""
+        from repro.geometry.halo import DIRECTIONS
+
+        out: dict[tuple[int, int, int], int] = {}
+        for d in DIRECTIONS:
+            nb = self.neighbor(rank, d)
+            if nb is not None:
+                out[d] = nb
+        return out
+
+
+@dataclass(frozen=True)
+class Subdomain:
+    """The box of grid points owned by one rank.
+
+    Attributes
+    ----------
+    local:
+        The rank's local grid (every rank has the same dims).
+    proc:
+        The processor grid.
+    rank:
+        This rank's id in the processor grid.
+    """
+
+    local: BoxGrid
+    proc: ProcessGrid
+    rank: int
+
+    @classmethod
+    def build(cls, local: BoxGrid, proc: ProcessGrid, rank: int) -> "Subdomain":
+        if not 0 <= rank < proc.size:
+            raise ValueError(f"rank {rank} out of range")
+        return cls(local=local, proc=proc, rank=rank)
+
+    @property
+    def global_grid(self) -> BoxGrid:
+        """The full problem grid across all ranks."""
+        return BoxGrid(
+            self.local.nx * self.proc.px,
+            self.local.ny * self.proc.py,
+            self.local.nz * self.proc.pz,
+        )
+
+    @property
+    def origin(self) -> tuple[int, int, int]:
+        """Global coordinates of this rank's (0,0,0) local point."""
+        cx, cy, cz = self.proc.rank_coords(self.rank)
+        return (cx * self.local.nx, cy * self.local.ny, cz * self.local.nz)
+
+    @property
+    def nlocal(self) -> int:
+        """Number of locally-owned points (= local matrix rows)."""
+        return self.local.npoints
+
+    @property
+    def nglobal(self) -> int:
+        """Number of points in the global problem."""
+        return self.global_grid.npoints
+
+    def local_coords(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Local coordinates of every owned point, linear order."""
+        return self.local.all_coords()
+
+    def global_coords(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Global coordinates of every owned point, linear order."""
+        ix, iy, iz = self.local.all_coords()
+        gx0, gy0, gz0 = self.origin
+        return ix + gx0, iy + gy0, iz + gz0
+
+    def owner_of(self, gx, gy, gz):
+        """Vectorized owner-rank lookup for global coordinates.
+
+        Out-of-domain coordinates map to -1.
+        """
+        gx = np.asarray(gx)
+        gy = np.asarray(gy)
+        gz = np.asarray(gz)
+        gg = self.global_grid
+        inside = (
+            (gx >= 0)
+            & (gx < gg.nx)
+            & (gy >= 0)
+            & (gy < gg.ny)
+            & (gz >= 0)
+            & (gz < gg.nz)
+        )
+        cx = np.clip(gx // self.local.nx, 0, self.proc.px - 1)
+        cy = np.clip(gy // self.local.ny, 0, self.proc.py - 1)
+        cz = np.clip(gz // self.local.nz, 0, self.proc.pz - 1)
+        rank = cx + self.proc.px * (cy + self.proc.py * cz)
+        return np.where(inside, rank, -1)
+
+    def coarsen(self, factor: int = 2) -> "Subdomain":
+        """Subdomain of the coarse grid (same rank layout)."""
+        return Subdomain(
+            local=self.local.coarsen(factor), proc=self.proc, rank=self.rank
+        )
+
+    @classmethod
+    def serial(cls, nx: int, ny: int | None = None, nz: int | None = None) -> "Subdomain":
+        """Single-rank subdomain covering the whole grid (convenience)."""
+        ny = nx if ny is None else ny
+        nz = nx if nz is None else nz
+        return cls(local=BoxGrid(nx, ny, nz), proc=ProcessGrid(1, 1, 1), rank=0)

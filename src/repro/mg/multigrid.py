@@ -1,0 +1,248 @@
+"""The 4-level geometric multigrid V-cycle preconditioner.
+
+Hierarchy construction mirrors HPCG/HPG-MxP: each level's problem is
+*re-discretized* on the coarsened grid (not a Galerkin product), the
+level count is fixed (4), and the coarsest level is "solved" with a
+few smoother sweeps.  Because the level count does not grow with the
+problem, textbook O(N) multigrid scalability is deliberately absent —
+the paper points out this is why iteration counts climb at scale, which
+Table 2 and the full-scale validation probe.
+
+The preconditioner owns per-level matrices in a single precision; for
+GMRES-IR the whole hierarchy is instantiated in the policy's
+preconditioner precision (single), separate from the double operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fp.precision import Precision
+from repro.geometry.halo import build_halo_pattern
+from repro.geometry.partition import Subdomain
+from repro.mg.restriction import (
+    coarse_to_fine_map,
+    exchange_and_fused_restrict,
+    prolong_correct,
+)
+from repro.mg.smoothers import Smoother, make_smoother, smooth_distributed
+from repro.parallel.comm import Communicator
+from repro.parallel.halo_exchange import HaloExchange
+from repro.sparse.coloring import color_sets, structured_coloring8
+from repro.sparse.ell import ELLMatrix
+from repro.stencil.poisson27 import Problem, ProblemSpec, generate_problem
+from repro.util.timers import NullTimers
+
+
+@dataclass(frozen=True)
+class MGConfig:
+    """Multigrid preconditioner configuration.
+
+    Defaults follow the HPG-MxP specification: 4 levels, one forward
+    Gauss-Seidel pre- and post-smoothing sweep, one sweep as the
+    coarsest-level solve, multicolor smoother, fused restriction.
+    HPCG's preconditioner is the same shape with ``sweep="symmetric"``.
+    """
+
+    nlevels: int = 4
+    npre: int = 1
+    npost: int = 1
+    smoother: str = "multicolor"  # "multicolor" | "levelsched"
+    sweep: str = "forward"  # "forward" | "symmetric"
+    coarse_sweeps: int = 1
+    fused_restrict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.nlevels < 1:
+            raise ValueError("nlevels must be >= 1")
+        if self.smoother not in ("multicolor", "levelsched"):
+            raise ValueError(f"unknown smoother {self.smoother!r}")
+        if self.sweep not in ("forward", "symmetric"):
+            raise ValueError(f"unknown sweep {self.sweep!r}")
+
+
+@dataclass
+class MGLevel:
+    """All per-level state: matrix, halo plan, smoother, transfers."""
+
+    sub: Subdomain
+    A: ELLMatrix
+    diag: np.ndarray
+    halo_ex: HaloExchange
+    smoother: Smoother
+    f_c: np.ndarray | None  # map to next-coarser level (None on coarsest)
+    zfull: np.ndarray = field(repr=False, default=None)  # iterate workspace
+
+    @property
+    def nlocal(self) -> int:
+        return self.sub.nlocal
+
+    @property
+    def nnz(self) -> int:
+        return self.A.nnz
+
+    @property
+    def num_colors(self) -> int:
+        return self.smoother.num_passes
+
+
+class MultigridPreconditioner:
+    """One V-cycle of geometric multigrid, applied with zero guess."""
+
+    def __init__(
+        self,
+        levels: list[MGLevel],
+        config: MGConfig,
+        precision: Precision,
+        timers=None,
+    ) -> None:
+        self.levels = levels
+        self.config = config
+        self.precision = precision
+        self.timers = timers if timers is not None else NullTimers()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        problem: Problem,
+        comm: Communicator,
+        config: MGConfig | None = None,
+        precision: "Precision | str" = Precision.DOUBLE,
+        timers=None,
+        fine_matrix: ELLMatrix | None = None,
+    ) -> "MultigridPreconditioner":
+        """Build the hierarchy under ``problem``'s fine grid.
+
+        Every rank constructs its levels independently; coarse problems
+        are re-discretizations on the coarsened subdomain.  Requires the
+        local dims to be divisible by ``2**(nlevels-1)``.
+
+        ``fine_matrix`` lets the caller share an already-cast fine-level
+        matrix (e.g. the solver's low-precision Krylov operator) instead
+        of making another copy — the sharing the memory model assumes.
+        """
+        config = config or MGConfig()
+        prec = Precision.from_any(precision)
+        spec = problem.spec
+        if fine_matrix is not None and fine_matrix.vals.dtype != prec.dtype:
+            raise ValueError(
+                "fine_matrix precision must match the preconditioner precision"
+            )
+
+        levels: list[MGLevel] = []
+        sub = problem.sub
+        level_problem = problem
+        for lvl in range(config.nlevels):
+            if lvl == 0 and fine_matrix is not None:
+                A = fine_matrix
+            else:
+                A = level_problem.A.astype(prec)
+            halo_ex = HaloExchange(level_problem.halo, comm)
+            diag = A.diagonal()
+            smoother = cls._build_smoother(A, diag, sub, config)
+            f_c = None
+            if lvl < config.nlevels - 1:
+                coarse_sub = sub.coarsen(2)
+                f_c = coarse_to_fine_map(sub, coarse_sub)
+            level = MGLevel(
+                sub=sub,
+                A=A,
+                diag=diag,
+                halo_ex=halo_ex,
+                smoother=smoother,
+                f_c=f_c,
+            )
+            level.zfull = np.zeros(
+                level.nlocal + level.halo_ex.n_ghost, dtype=prec.dtype
+            )
+            levels.append(level)
+            if f_c is not None:
+                sub = sub.coarsen(2)
+                level_problem = generate_problem(sub, spec=spec)
+        return cls(levels, config, prec, timers)
+
+    @staticmethod
+    def _build_smoother(
+        A: ELLMatrix, diag: np.ndarray, sub: Subdomain, config: MGConfig
+    ) -> Smoother:
+        if config.smoother == "multicolor":
+            colors = structured_coloring8(sub)
+            return make_smoother(A, "multicolor", diag=diag, sets=color_sets(colors))
+        return make_smoother(A, "levelsched")
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """z = M^{-1} r: one V-cycle from a zero initial guess.
+
+        ``r`` is cast to the preconditioner precision on entry; the
+        result is returned in that precision.
+        """
+        r_prec = np.asarray(r, dtype=self.precision.dtype)
+        z = self._vcycle(0, r_prec)
+        if out is not None:
+            out[:] = z
+            return out
+        return z
+
+    def _vcycle(self, lvl: int, r: np.ndarray) -> np.ndarray:
+        level = self.levels[lvl]
+        cfg = self.config
+        zfull = level.zfull
+        zfull[:] = 0.0
+
+        if lvl == len(self.levels) - 1:
+            with self.timers.section("gs"):
+                for _ in range(cfg.coarse_sweeps):
+                    smooth_distributed(
+                        level.smoother, level.halo_ex, r, zfull, cfg.sweep
+                    )
+            return zfull[: level.nlocal].copy()
+
+        with self.timers.section("gs"):
+            for _ in range(cfg.npre):
+                smooth_distributed(level.smoother, level.halo_ex, r, zfull, cfg.sweep)
+
+        with self.timers.section("restrict"):
+            r_c = exchange_and_fused_restrict(
+                level.halo_ex,
+                level.A,
+                r,
+                zfull,
+                level.f_c,
+                fused=cfg.fused_restrict,
+            )
+
+        z_c = self._vcycle(lvl + 1, r_c)
+        # Recursion reuses deeper workspaces only, so zfull is intact.
+
+        with self.timers.section("prolong"):
+            prolong_correct(zfull, z_c, level.f_c)
+
+        with self.timers.section("gs"):
+            for _ in range(cfg.npost):
+                smooth_distributed(level.smoother, level.halo_ex, r, zfull, cfg.sweep)
+
+        return zfull[: level.nlocal].copy()
+
+    # ------------------------------------------------------------------
+    # Introspection (flop/byte models)
+    # ------------------------------------------------------------------
+    def level_dims(self) -> list[dict]:
+        """Per-level sizes for the flop and byte models."""
+        return [
+            {
+                "nlocal": lv.nlocal,
+                "nnz": lv.nnz,
+                "width": lv.A.width,
+                "num_colors": lv.num_colors,
+                "n_ghost": lv.halo_ex.n_ghost,
+            }
+            for lv in self.levels
+        ]

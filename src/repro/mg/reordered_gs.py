@@ -1,0 +1,70 @@
+"""Multicolor Gauss-Seidel with physical color-block reordering.
+
+The paper does not merely *iterate* over color index sets — it
+"reorder[s] the matrix and vectors symmetrically using an independent
+set ordering" (§3.2.1) so each color pass reads a contiguous block of
+rows (coalesced on a GPU, cache-friendly here).  This smoother applies
+that scheme: the matrix is permuted once at construction, sweeps run on
+contiguous row slices, and vectors are permuted on entry/exit.
+
+It must agree with the index-set :class:`~repro.mg.smoothers.MulticolorGS`
+to rounding, which tests assert — the reordering is a data-layout
+optimization, not an algorithmic change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.partition import Subdomain
+from repro.mg.smoothers import Smoother
+from repro.sparse.coloring import structured_coloring8
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.reorder import coloring_permutation, permute_symmetric
+
+
+class ReorderedMulticolorGS(Smoother):
+    """Color-block-contiguous multicolor GS (the paper's layout)."""
+
+    def __init__(self, A: ELLMatrix, sub: Subdomain) -> None:
+        colors = structured_coloring8(sub)
+        self.old_of_new, self.new_of_old = coloring_permutation(colors)
+        self.A_perm = permute_symmetric(A, self.new_of_old)
+        self.diag_perm = self.A_perm.diagonal()
+        # Contiguous [start, end) row blocks per color in the new order.
+        counts = np.bincount(colors, minlength=int(colors.max()) + 1)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        self.blocks = [
+            (int(bounds[c]), int(bounds[c + 1])) for c in range(len(counts))
+        ]
+        self.num_passes = len(self.blocks)
+        self.nlocal = A.nrows
+        self._ghost = A.ncols - A.nrows
+
+    # ------------------------------------------------------------------
+    def _permute_in(self, xfull: np.ndarray) -> np.ndarray:
+        """Owned part to color order; ghost segment is layout-invariant."""
+        out = np.empty_like(xfull)
+        out[: self.nlocal] = xfull[: self.nlocal][self.old_of_new]
+        out[self.nlocal :] = xfull[self.nlocal :]
+        return out
+
+    def _permute_out(self, xperm: np.ndarray, xfull: np.ndarray) -> None:
+        xfull[: self.nlocal] = xperm[: self.nlocal][self.new_of_old]
+        xfull[self.nlocal :] = xperm[self.nlocal :]
+
+    def _sweep(self, r: np.ndarray, xfull: np.ndarray, blocks) -> None:
+        rp = r[self.old_of_new]
+        xp = self._permute_in(xfull)
+        A, diag = self.A_perm, self.diag_perm
+        for start, end in blocks:
+            rows = np.arange(start, end)
+            ax = A.spmv_rows(rows, xp)
+            xp[start:end] += (rp[start:end] - ax) / diag[start:end]
+        self._permute_out(xp, xfull)
+
+    def forward(self, r: np.ndarray, xfull: np.ndarray) -> None:
+        self._sweep(r, xfull, self.blocks)
+
+    def backward(self, r: np.ndarray, xfull: np.ndarray) -> None:
+        self._sweep(r, xfull, list(reversed(self.blocks)))

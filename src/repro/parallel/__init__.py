@@ -1,0 +1,46 @@
+"""SPMD runtime: an MPI-like communication layer that runs in-process.
+
+The paper's code runs MPI across 75,264 GCDs.  Offline, this package
+provides the same programming model — ranks, point-to-point messages,
+deterministic collectives, neighbor halo exchanges — executed by one
+thread per rank inside a single Python process (NumPy releases the GIL,
+so rank threads genuinely overlap).  Distributed algorithms written
+against :class:`Communicator` are oblivious to the transport.
+"""
+
+from repro.parallel.comm import (
+    CommStats,
+    Communicator,
+    CompletedRequest,
+    RecvRequest,
+    Request,
+    SerialComm,
+)
+from repro.parallel.spmd import ThreadComm, run_spmd
+from repro.parallel.halo_exchange import HaloExchange
+from repro.parallel.distributed import ddot, dnorm2, dnorm2_sq
+from repro.parallel.collectives import (
+    ALLREDUCE_ALGORITHMS,
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+)
+
+__all__ = [
+    "CommStats",
+    "Communicator",
+    "CompletedRequest",
+    "RecvRequest",
+    "Request",
+    "SerialComm",
+    "ThreadComm",
+    "run_spmd",
+    "HaloExchange",
+    "ddot",
+    "dnorm2",
+    "dnorm2_sq",
+    "ALLREDUCE_ALGORITHMS",
+    "allreduce_rabenseifner",
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+]

@@ -1,0 +1,178 @@
+"""Software all-reduce algorithms over the point-to-point layer.
+
+The built-in ``Communicator.allreduce`` is a shared-memory rendezvous;
+real MPI implementations compose all-reduce from point-to-point
+messages.  These are the three canonical algorithms — whose structure
+the performance model's cost formulas mirror — implemented over
+``send``/``recv`` so they run (and are validated) on the SPMD runtime:
+
+- **recursive doubling**: ``log2 p`` rounds, each rank exchanging full
+  payloads — latency-optimal for short messages (the benchmark's dot
+  products).
+- **ring**: ``2(p-1)`` steps moving ``n/p`` chunks — bandwidth-optimal
+  for long messages.
+- **reduce-scatter + all-gather (Rabenseifner)**: recursive halving
+  then doubling — the large-message algorithm whose cost
+  ``2·log2(p)·alpha + 2·n·beta·(p-1)/p`` appears in
+  :func:`repro.perf.network.allreduce_time`.
+
+Restriction: power-of-two rank counts (the classic formulations).
+Determinism: every algorithm reduces in a fixed pairing order, but
+*different* algorithms may round differently — tests compare against
+the rendezvous all-reduce with a floating-point tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.comm import Communicator
+
+#: Tag space reserved for software collectives.
+COLL_TAG_BASE = 77000
+
+
+def _require_power_of_two(p: int) -> None:
+    if p & (p - 1):
+        raise ValueError(f"software collectives require power-of-two ranks, got {p}")
+
+
+def allreduce_recursive_doubling(
+    comm: Communicator, value: np.ndarray
+) -> np.ndarray:
+    """Recursive-doubling all-reduce (sum), log2(p) exchange rounds."""
+    p = comm.size
+    if p == 1:
+        return value.copy()
+    _require_power_of_two(p)
+    acc = np.array(value, dtype=np.float64, copy=True)
+    rank = comm.rank
+    round_no = 0
+    dist = 1
+    while dist < p:
+        partner = rank ^ dist
+        tag = COLL_TAG_BASE + round_no
+        comm.send(acc, partner, tag)
+        other = comm.recv(partner, tag)
+        # Fixed order: lower rank's contribution first.
+        acc = other + acc if partner < rank else acc + other
+        dist <<= 1
+        round_no += 1
+    return acc
+
+
+def allreduce_ring(comm: Communicator, value: np.ndarray) -> np.ndarray:
+    """Ring all-reduce (sum): reduce-scatter ring + all-gather ring."""
+    p = comm.size
+    if p == 1:
+        return value.copy()
+    acc = np.array(value, dtype=np.float64, copy=True)
+    n = len(acc)
+    rank = comm.rank
+    right = (rank + 1) % p
+    left = (rank - 1) % p
+    # Chunk boundaries (chunks may be uneven when p does not divide n).
+    bounds = np.linspace(0, n, p + 1).astype(int)
+
+    def chunk(i: int) -> slice:
+        i %= p
+        return slice(bounds[i], bounds[i + 1])
+
+    # Reduce-scatter: after p-1 steps, rank owns the full sum of chunk
+    # (rank+1) mod p.
+    for step in range(p - 1):
+        send_idx = (rank - step) % p
+        recv_idx = (rank - step - 1) % p
+        tag = COLL_TAG_BASE + 100 + step
+        comm.send(acc[chunk(send_idx)], right, tag)
+        data = comm.recv(left, tag)
+        acc[chunk(recv_idx)] += data
+    # All-gather: circulate the completed chunks.
+    for step in range(p - 1):
+        send_idx = (rank - step + 1) % p
+        recv_idx = (rank - step) % p
+        tag = COLL_TAG_BASE + 200 + step
+        comm.send(acc[chunk(send_idx)], right, tag)
+        acc[chunk(recv_idx)] = comm.recv(left, tag)
+    return acc
+
+
+def allreduce_rabenseifner(comm: Communicator, value: np.ndarray) -> np.ndarray:
+    """Recursive-halving reduce-scatter + recursive-doubling all-gather."""
+    p = comm.size
+    if p == 1:
+        return value.copy()
+    _require_power_of_two(p)
+    acc = np.array(value, dtype=np.float64, copy=True)
+    n = len(acc)
+    rank = comm.rank
+
+    # Reduce-scatter phase: halve the active window each round.
+    lo, hi = 0, n  # this rank's live segment [lo, hi)
+    dist = p >> 1
+    round_no = 0
+    while dist >= 1:
+        partner = rank ^ dist
+        mid = (lo + hi) // 2
+        tag = COLL_TAG_BASE + 300 + round_no
+        if rank < partner:
+            # Keep the low half; send the high half.
+            comm.send(acc[mid:hi], partner, tag)
+            data = comm.recv(partner, tag)
+            if partner < rank:  # pragma: no cover - unreachable here
+                acc[lo:mid] = data + acc[lo:mid]
+            else:
+                acc[lo:mid] += data
+            hi = mid
+        else:
+            comm.send(acc[lo:mid], partner, tag)
+            data = comm.recv(partner, tag)
+            acc[mid:hi] = data + acc[mid:hi]
+            lo = mid
+        dist >>= 1
+        round_no += 1
+
+    # All-gather phase: mirror the halving.
+    dist = 1
+    while dist < p:
+        partner = rank ^ dist
+        width = hi - lo
+        tag = COLL_TAG_BASE + 400 + round_no
+        comm.send(acc[lo:hi], partner, tag)
+        data = comm.recv(partner, tag)
+        if partner < rank:
+            acc[lo - width : lo] = data
+            lo -= width
+        else:
+            acc[hi : hi + width] = data
+            hi += width
+        dist <<= 1
+        round_no += 1
+    return acc
+
+
+#: Algorithm registry.
+ALLREDUCE_ALGORITHMS = {
+    "recursive_doubling": allreduce_recursive_doubling,
+    "ring": allreduce_ring,
+    "rabenseifner": allreduce_rabenseifner,
+}
+
+
+def message_counts(algorithm: str, p: int) -> dict[str, float]:
+    """Messages and relative volume per rank, for the cost model.
+
+    Volume is in units of the full payload size n.
+    """
+    import math
+
+    if p == 1:
+        return {"messages": 0, "volume": 0.0}
+    log2p = math.log2(p)
+    if algorithm == "recursive_doubling":
+        return {"messages": log2p, "volume": log2p}
+    if algorithm == "ring":
+        return {"messages": 2 * (p - 1), "volume": 2 * (p - 1) / p}
+    if algorithm == "rabenseifner":
+        return {"messages": 2 * log2p, "volume": 2 * (p - 1) / p}
+    raise ValueError(f"unknown algorithm {algorithm!r}")

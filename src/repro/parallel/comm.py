@@ -1,0 +1,198 @@
+"""Communicator abstraction and the trivial serial implementation.
+
+The interface follows mpi4py's buffer-style idioms (explicit arrays,
+tags for point-to-point matching) restricted to what the benchmark
+needs: sends/recvs for halo exchange, all-reduce for dot products,
+all-gather and broadcast for setup/validation bookkeeping.
+
+Every communicator records :class:`CommStats`; tests assert message
+counts (e.g. a middle rank exchanges with 26 neighbors) and the
+performance model cross-checks its communication-volume formulas
+against these counters.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CommStats:
+    """Communication counters accumulated by a communicator."""
+
+    sends: int = 0
+    send_bytes: int = 0
+    recvs: int = 0
+    recv_bytes: int = 0
+    allreduces: int = 0
+    allreduce_bytes: int = 0
+    allgathers: int = 0
+    bcasts: int = 0
+    barriers: int = 0
+
+    def reset(self) -> None:
+        for f in (
+            "sends",
+            "send_bytes",
+            "recvs",
+            "recv_bytes",
+            "allreduces",
+            "allreduce_bytes",
+            "allgathers",
+            "bcasts",
+            "barriers",
+        ):
+            setattr(self, f, 0)
+
+
+class Communicator(abc.ABC):
+    """Minimal MPI-like communicator."""
+
+    stats: CommStats
+
+    @property
+    @abc.abstractmethod
+    def rank(self) -> int:
+        """This process's rank in [0, size)."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of ranks."""
+
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+
+    @abc.abstractmethod
+    def allreduce(self, value, op: str = "sum"):
+        """Reduce a scalar or array across ranks; all ranks get the result.
+
+        The reduction order is fixed (rank 0, 1, 2, ...), so results are
+        bitwise identical on every rank and across repeated runs — the
+        property that makes distributed dot products reproducible.
+        """
+
+    @abc.abstractmethod
+    def allgather(self, value) -> list:
+        """Gather one python object per rank, returned in rank order."""
+
+    @abc.abstractmethod
+    def bcast(self, value, root: int = 0):
+        """Broadcast a python object from ``root``."""
+
+    @abc.abstractmethod
+    def send(self, array: np.ndarray, dest: int, tag: int) -> None:
+        """Send an array to ``dest`` (buffered; never blocks)."""
+
+    @abc.abstractmethod
+    def recv(self, source: int, tag: int) -> np.ndarray:
+        """Receive the matching array from ``source``."""
+
+    def isend(self, array: np.ndarray, dest: int, tag: int) -> "Request":
+        """Nonblocking send.  The default implementation buffers the
+        message eagerly (sends here never block), so the request is
+        complete on return — mpi4py's buffered-send semantics."""
+        self.send(array, dest, tag)
+        return CompletedRequest(None)
+
+    def irecv(self, source: int, tag: int) -> "Request":
+        """Nonblocking receive; ``wait()`` blocks for the message."""
+        return RecvRequest(self, source, tag)
+
+    # Convenience ----------------------------------------------------
+    def allreduce_scalar(self, x: float, op: str = "sum") -> float:
+        """Scalar all-reduce returning a python float."""
+        return float(self.allreduce(float(x), op=op))
+
+    @property
+    def is_serial(self) -> bool:
+        return self.size == 1
+
+
+class Request(abc.ABC):
+    """Handle to a nonblocking operation (mpi4py-style)."""
+
+    @abc.abstractmethod
+    def wait(self):
+        """Block until complete; return the received array (recvs)."""
+
+    @abc.abstractmethod
+    def test(self) -> bool:
+        """True when the operation has completed."""
+
+
+class CompletedRequest(Request):
+    """An already-finished operation."""
+
+    def __init__(self, value) -> None:
+        self._value = value
+
+    def wait(self):
+        return self._value
+
+    def test(self) -> bool:
+        return True
+
+
+class RecvRequest(Request):
+    """Lazy receive: completion is checked/awaited on demand."""
+
+    def __init__(self, comm: "Communicator", source: int, tag: int) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value = None
+
+    def wait(self):
+        if not self._done:
+            self._value = self._comm.recv(self._source, self._tag)
+            self._done = True
+        return self._value
+
+    def test(self) -> bool:
+        return self._done
+
+
+class SerialComm(Communicator):
+    """The single-rank communicator: every operation is local."""
+
+    def __init__(self) -> None:
+        self.stats = CommStats()
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def barrier(self) -> None:
+        self.stats.barriers += 1
+
+    def allreduce(self, value, op: str = "sum"):
+        self.stats.allreduces += 1
+        if isinstance(value, np.ndarray):
+            self.stats.allreduce_bytes += value.nbytes
+            return value.copy()
+        self.stats.allreduce_bytes += 8
+        return value
+
+    def allgather(self, value) -> list:
+        self.stats.allgathers += 1
+        return [value]
+
+    def bcast(self, value, root: int = 0):
+        self.stats.bcasts += 1
+        return value
+
+    def send(self, array: np.ndarray, dest: int, tag: int) -> None:
+        raise RuntimeError("SerialComm has no peers to send to")
+
+    def recv(self, source: int, tag: int) -> np.ndarray:
+        raise RuntimeError("SerialComm has no peers to receive from")

@@ -1,0 +1,46 @@
+"""Distributed vector reductions.
+
+Dot products are the benchmark's global synchronization points: each
+GMRES inner iteration performs CGS2's two batched reductions plus a
+norm, every one an MPI all-reduce.  Local partial sums are computed in
+the vector's native precision (as a GPU BLAS kernel would) and reduced
+across ranks in double, in fixed rank order — deterministic across
+runs for a given rank count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.comm import Communicator
+
+
+def ddot(comm: Communicator, a: np.ndarray, b: np.ndarray) -> float:
+    """Global dot product ``sum_i a_i * b_i`` over all owned entries."""
+    local = float(np.dot(a, b))
+    if comm.is_serial:
+        return local
+    return comm.allreduce_scalar(local, op="sum")
+
+
+def dnorm2_sq(comm: Communicator, a: np.ndarray) -> float:
+    """Global squared 2-norm."""
+    return ddot(comm, a, a)
+
+
+def dnorm2(comm: Communicator, a: np.ndarray) -> float:
+    """Global 2-norm."""
+    return float(np.sqrt(max(dnorm2_sq(comm, a), 0.0)))
+
+
+def dmatvec_block(comm: Communicator, Q: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Global ``Q^T v`` for a block of basis vectors (CGS2's GEMVT).
+
+    ``Q`` is ``(nlocal, k)``; the result is the length-``k`` vector of
+    global inner products, reduced in one batched all-reduce — the
+    latency batching the paper credits CGS2 for.
+    """
+    local = Q.T @ v
+    if comm.is_serial:
+        return local
+    return comm.allreduce(local.astype(np.float64), op="sum")

@@ -1,0 +1,47 @@
+"""Analytic performance model of the benchmark on GPU machines.
+
+The paper's own roofline analysis (Fig. 8) shows every hot kernel
+pinned at the HBM bandwidth limit, which licenses a first-order model:
+each kernel is characterized by bytes moved and flops, and its time is
+``max(bytes/BW, flops/peak) + launches * latency``.  Communication uses
+a Hockney (alpha-beta) model with a congestion-aware all-reduce.  The
+model is calibrated against the paper's anchor numbers (1-node per-GCD
+GFLOP/s, 78% weak-scaling efficiency at 9408 nodes) and then
+*generates* — rather than hard-codes — the weak scaling curve, the
+per-motif speedups, the time breakdown, the roofline points, and the
+overlap traces of Figs. 4-9.
+"""
+
+from repro.perf.machine import (
+    MachineSpec,
+    FRONTIER_GCD,
+    NVIDIA_K80,
+    MACHINES,
+)
+from repro.perf.kernels import KernelCost, KernelModel
+from repro.perf.network import allreduce_time, halo_exchange_time
+from repro.perf.scaling import ScalingModel, IterationProfile
+from repro.perf.roofline import RooflinePoint, roofline_ceiling, roofline_points
+from repro.perf.timeline import OverlapTimeline, gs_operation_timeline
+from repro.perf.energy import EnergyModel, EnergyProfile, EnergySpec
+
+__all__ = [
+    "MachineSpec",
+    "FRONTIER_GCD",
+    "NVIDIA_K80",
+    "MACHINES",
+    "KernelCost",
+    "KernelModel",
+    "allreduce_time",
+    "halo_exchange_time",
+    "ScalingModel",
+    "IterationProfile",
+    "RooflinePoint",
+    "roofline_ceiling",
+    "roofline_points",
+    "OverlapTimeline",
+    "gs_operation_timeline",
+    "EnergyModel",
+    "EnergyProfile",
+    "EnergySpec",
+]

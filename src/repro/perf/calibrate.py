@@ -1,0 +1,154 @@
+"""Calibration utilities.
+
+Two calibration targets exist:
+
+1. **Paper anchors** — check (and tune) the Frontier model against the
+   numbers the paper reports: ~294 GF/s per GCD of mixed-precision
+   rating at one node, 78% weak-scaling efficiency at 9408 nodes, a
+   ~1.6x overall penalized speedup, and the 0.968 validation penalty.
+2. **This host** — measure NumPy streaming bandwidth and per-call
+   dispatch overhead so the same byte/flop model can predict the *real*
+   laptop-scale runs, closing the loop between model and measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perf.machine import FRONTIER_GCD, MachineSpec
+from repro.perf.scaling import PAPER_PENALTY, ScalingModel
+
+
+@dataclass(frozen=True)
+class AnchorReport:
+    """Model outputs at the paper's anchor points."""
+
+    gflops_per_gcd_1node_mxp: float
+    gflops_per_gcd_1node_double: float
+    efficiency_9408: float
+    total_pflops_9408: float
+    speedup_1node: float
+    speedup_9408: float
+    penalty: float
+
+    #: Paper values for side-by-side reporting.
+    PAPER = {
+        "gflops_per_gcd_1node_mxp": 293.6,  # 17.23 PF / 75264 / 0.78
+        "efficiency_9408": 0.78,
+        "total_pflops_9408": 17.23,
+        "speedup_1node": 1.6,
+        "penalty": 2305.0 / 2382.0,
+    }
+
+
+def paper_anchor_report(model: ScalingModel | None = None) -> AnchorReport:
+    """Evaluate the Frontier model at the paper's anchor points."""
+    model = model or ScalingModel()
+    g1 = model.gflops_per_gcd("mxp", 1 * model.machine.gcds_per_node)
+    d1 = model.gflops_per_gcd("double", 1 * model.machine.gcds_per_node)
+    rows = model.weak_scaling_series([1, 9408])
+    return AnchorReport(
+        gflops_per_gcd_1node_mxp=g1,
+        gflops_per_gcd_1node_double=d1,
+        efficiency_9408=rows[1]["efficiency"],
+        total_pflops_9408=rows[1]["total_pflops"],
+        speedup_1node=model.speedup_overall(8),
+        speedup_9408=model.speedup_overall(9408 * model.machine.gcds_per_node),
+        penalty=model.penalty,
+    )
+
+
+def calibrate_frontier(
+    target_gflops_1node: float = 293.6,
+    target_efficiency_9408: float = 0.78,
+    iterations: int = 24,
+) -> MachineSpec:
+    """Tune the two free Frontier knobs to the paper anchors.
+
+    Bandwidth efficiency sets the 1-node per-GCD rating; the imbalance
+    coefficient sets the full-system efficiency (given the all-reduce
+    model).  Simple coordinate bisection; both responses are monotone.
+    """
+    spec = FRONTIER_GCD
+    lo_e, hi_e = 0.3, 1.0
+    for _ in range(iterations):
+        mid = 0.5 * (lo_e + hi_e)
+        model = ScalingModel(machine=spec.with_updates(mem_eff=mid))
+        g = model.gflops_per_gcd("mxp", spec.gcds_per_node)
+        if g < target_gflops_1node:
+            lo_e = mid
+        else:
+            hi_e = mid
+    spec = spec.with_updates(mem_eff=0.5 * (lo_e + hi_e))
+
+    lo_j, hi_j = 0.0, 0.1
+    for _ in range(iterations):
+        mid = 0.5 * (lo_j + hi_j)
+        model = ScalingModel(machine=spec.with_updates(imbalance_per_log2_nodes=mid))
+        eff = model.weak_scaling_series([1, 9408])[1]["efficiency"]
+        if eff > target_efficiency_9408:
+            lo_j = mid
+        else:
+            hi_j = mid
+    return spec.with_updates(imbalance_per_log2_nodes=0.5 * (lo_j + hi_j))
+
+
+# ----------------------------------------------------------------------
+# Host calibration (real NumPy kernels on this machine)
+# ----------------------------------------------------------------------
+def measure_stream_bandwidth(nbytes: int = 1 << 26, repeats: int = 5) -> float:
+    """Triad-style streaming bandwidth of this host, bytes/s."""
+    n = nbytes // 8
+    a = np.zeros(n)
+    b = np.random.default_rng(0).random(n)
+    c = np.random.default_rng(1).random(n)
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.multiply(b, 2.0, out=a)
+        a += c
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    # Triad moves 4 arrays' worth per pass (b read, c read, a write x2).
+    return 4 * n * 8 / best
+
+
+def measure_dispatch_latency(repeats: int = 2000) -> float:
+    """Per-call NumPy dispatch overhead (the host's 'launch latency')."""
+    a = np.zeros(8)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        np.add(a, 1.0, out=a)
+    return (time.perf_counter() - t0) / repeats
+
+
+def calibrate_host(name: str = "this-host-numpy") -> MachineSpec:
+    """A MachineSpec describing this host's NumPy execution engine.
+
+    Lets the same kernel model predict real laptop-scale motif times,
+    which tests compare against :class:`~repro.util.timers.MotifTimers`
+    measurements.
+    """
+    bw = measure_stream_bandwidth()
+    latency = measure_dispatch_latency()
+    return MachineSpec(
+        name=name,
+        mem_bw=bw,
+        mem_eff=1.0,  # bw is already the measured achievable figure
+        flops_fp64=5e10,  # generous scalar-ish peaks; kernels here are
+        flops_fp32=1e11,  # bandwidth-bound so these rarely bind
+        flops_fp16=1e11,
+        launch_latency=latency,
+        pcie_bw=bw,  # no device boundary on the host
+        nic_bw=bw,
+        net_latency=5e-6,
+        allreduce_hop_latency=2e-6,
+        allreduce_saturation_ranks=64.0,
+        allreduce_congestion_exp=1.0,
+        imbalance_per_log2_nodes=0.0,
+        csr_bw_efficiency=0.8,
+        gcds_per_node=1,
+    )

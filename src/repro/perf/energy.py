@@ -1,0 +1,134 @@
+"""Energy model for the benchmark (the paper's efficiency motivation).
+
+The introduction motivates mixed precision partly through energy:
+"energy savings from mixing the use of lower precision formats has
+been shown in the past even for other non-AI workloads" [3, 4].  This
+module attaches an energy cost to the byte/flop traffic the
+performance model already computes: DRAM/HBM access energy per byte,
+arithmetic energy per flop (precision-dependent), network energy per
+byte, and a static (leakage + idle) power integrated over runtime.
+
+Because the benchmark is bandwidth-bound, the mixed-precision energy
+saving tracks the byte reduction — slightly below the speedup, since
+static power burns for less time but arithmetic energy is small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fp.precision import Precision
+from repro.perf.scaling import IterationProfile, ScalingModel
+
+
+@dataclass(frozen=True)
+class EnergySpec:
+    """Energy coefficients of one GPU (order-of-magnitude literature
+    values for HBM2e-class devices; the *ratios* drive the analysis).
+
+    Attributes
+    ----------
+    pj_per_byte_hbm:
+        HBM access energy, picojoules per byte.
+    pj_per_flop_fp64 / fp32 / fp16:
+        Arithmetic energy per operation.
+    pj_per_byte_network:
+        NIC + switch traversal energy per byte.
+    static_watts:
+        Per-GCD static power (leakage, clocks, idle units).
+    """
+
+    pj_per_byte_hbm: float = 60.0
+    pj_per_flop_fp64: float = 20.0
+    pj_per_flop_fp32: float = 10.0
+    pj_per_flop_fp16: float = 5.0
+    pj_per_byte_network: float = 500.0
+    static_watts: float = 300.0
+
+    def pj_per_flop(self, prec: "Precision | str") -> float:
+        p = Precision.from_any(prec)
+        return {
+            Precision.DOUBLE: self.pj_per_flop_fp64,
+            Precision.SINGLE: self.pj_per_flop_fp32,
+            Precision.HALF: self.pj_per_flop_fp16,
+        }[p]
+
+
+#: Default HBM2e-class coefficients.
+DEFAULT_ENERGY = EnergySpec()
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Energy of one restart cycle on one GCD, by component (joules)."""
+
+    memory_j: float
+    compute_j: float
+    network_j: float
+    static_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.memory_j + self.compute_j + self.network_j + self.static_j
+
+    def breakdown(self) -> dict[str, float]:
+        return {
+            "memory": self.memory_j,
+            "compute": self.compute_j,
+            "network": self.network_j,
+            "static": self.static_j,
+        }
+
+
+class EnergyModel:
+    """Energy per GMRES(-IR) cycle from the scaling model's profiles."""
+
+    def __init__(
+        self,
+        scaling: ScalingModel | None = None,
+        energy: EnergySpec = DEFAULT_ENERGY,
+    ) -> None:
+        self.scaling = scaling or ScalingModel()
+        self.energy = energy
+
+    def _bytes_of_profile(self, profile: IterationProfile, prec: Precision) -> float:
+        """Bytes implied by the memory-bound motif times.
+
+        Since the model's kernels are memory-bound, seconds * effective
+        bandwidth recovers the traffic each motif moved.
+        """
+        bw = self.scaling.machine.effective_bw
+        # Exclude explicit communication time (not HBM traffic).
+        compute_seconds = profile.total_seconds - profile.comm_seconds
+        return max(compute_seconds, 0.0) * bw
+
+    def cycle_energy(self, mode: str, nranks: int) -> EnergyProfile:
+        """Joules per restart cycle per GCD."""
+        profile = self.scaling.cycle_profile(mode, nranks)
+        from repro.perf.scaling import MODE_PRECISION
+
+        prec = MODE_PRECISION[mode]
+        nbytes = self._bytes_of_profile(profile, prec)
+        flops = profile.total_flops
+        # Halo + all-reduce volume approximated from comm seconds and
+        # the NIC rate (latency-dominated parts carry little energy).
+        net_bytes = profile.comm_seconds * self.scaling.machine.nic_bw * 0.1
+        e = self.energy
+        return EnergyProfile(
+            memory_j=nbytes * e.pj_per_byte_hbm * 1e-12,
+            compute_j=flops * e.pj_per_flop(prec) * 1e-12,
+            network_j=net_bytes * e.pj_per_byte_network * 1e-12,
+            static_j=profile.total_seconds * e.static_watts,
+        )
+
+    def energy_per_gflop(self, mode: str, nranks: int) -> float:
+        """Joules per (model) GFLOP — the efficiency figure of merit."""
+        profile = self.scaling.cycle_profile(mode, nranks)
+        return self.cycle_energy(mode, nranks).total_j / (profile.total_flops / 1e9)
+
+    def mixed_precision_saving(self, nranks: int) -> float:
+        """Energy ratio double/mxp per cycle (>1 means mxp saves)."""
+        return (
+            self.cycle_energy("double", nranks).total_j
+            / self.cycle_energy("mxp", nranks).total_j
+        )

@@ -1,0 +1,161 @@
+"""Machine specifications for the performance model.
+
+``FRONTIER_GCD`` models one Graphics Compute Die of an AMD MI250x as
+the paper describes it (§4): 64 GB HBM at a vendor-claimed 1.6 TB/s,
+treated as an independent GPU, 8 per node, Cray Slingshot network.
+``NVIDIA_K80`` models one GK210 die of the Tesla K80 used for the
+paper's cross-vendor check (Fig. 6).
+
+Bandwidth-efficiency and congestion parameters are calibration knobs;
+their defaults are set (see ``repro.perf.calibrate``) so the model hits
+the paper's anchor numbers, and every figure-level quantity is then a
+model *output*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.fp.precision import Precision
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One GPU (or GCD) plus its share of the interconnect.
+
+    Attributes
+    ----------
+    mem_bw:
+        Peak device-memory bandwidth, bytes/s.
+    mem_eff:
+        Achievable fraction of peak for streaming kernels (STREAM-like).
+    flops_fp64 / flops_fp32 / flops_fp16:
+        Peak vector throughput per precision, FLOP/s.
+    launch_latency:
+        Kernel-launch overhead, seconds per launch.
+    pcie_bw:
+        Host-device copy bandwidth, bytes/s (used by halo staging and by
+        the reference implementation's host-side mixed-precision ops).
+    nic_bw:
+        This GPU's share of injection bandwidth into the network.
+    net_latency:
+        Point-to-point message latency (alpha).
+    allreduce_hop_latency:
+        Per-tree-level latency of an all-reduce.
+    allreduce_saturation_ranks / allreduce_congestion_exp:
+        Congestion model: beyond the saturation scale the effective
+        all-reduce latency grows as ``(p / saturation)^exp`` — the
+        full-machine synchronization cost the paper blames for the
+        orthogonalization's reduced speedup at 9408 nodes.
+    imbalance_per_log2_nodes:
+        Multiplicative compute-time inflation per doubling of the node
+        count (OS jitter / load imbalance); precision-proportional, so
+        it erodes efficiency without eroding the mxp speedup.
+    csr_bw_efficiency:
+        Relative effective bandwidth of CSR SpMV vs ELL (warp
+        under-utilization of the reference format, §3.2.2).
+    gcds_per_node:
+        GPUs (GCDs) per node.
+    """
+
+    name: str
+    mem_bw: float
+    mem_eff: float
+    flops_fp64: float
+    flops_fp32: float
+    flops_fp16: float
+    launch_latency: float
+    pcie_bw: float
+    nic_bw: float
+    net_latency: float
+    allreduce_hop_latency: float
+    allreduce_saturation_ranks: float
+    allreduce_congestion_exp: float
+    imbalance_per_log2_nodes: float
+    csr_bw_efficiency: float
+    gcds_per_node: int
+
+    @property
+    def effective_bw(self) -> float:
+        """Achievable streaming bandwidth, bytes/s."""
+        return self.mem_bw * self.mem_eff
+
+    def peak_flops(self, prec: "Precision | str") -> float:
+        """Peak vector FLOP/s for a precision."""
+        p = Precision.from_any(prec)
+        return {
+            Precision.DOUBLE: self.flops_fp64,
+            Precision.SINGLE: self.flops_fp32,
+            Precision.HALF: self.flops_fp16,
+        }[p]
+
+    def kernel_time(
+        self,
+        nbytes: float,
+        flops: float,
+        prec: "Precision | str" = Precision.DOUBLE,
+        launches: int = 1,
+        bw_efficiency: float = 1.0,
+    ) -> float:
+        """Roofline kernel time: max(memory, compute) + launch overhead."""
+        t_mem = nbytes / (self.effective_bw * bw_efficiency)
+        t_cmp = flops / self.peak_flops(prec)
+        return max(t_mem, t_cmp) + launches * self.launch_latency
+
+    def with_updates(self, **kwargs) -> "MachineSpec":
+        """Functional update (calibration helper)."""
+        return replace(self, **kwargs)
+
+
+#: One GCD of an AMD MI250x on Frontier (§4: 1.6 TB/s HBM, 8 GCDs/node,
+#: Slingshot).  ``mem_eff`` is calibrated so the modeled 1-node
+#: mixed-precision rating matches the paper's ~294 GFLOP/s per GCD
+#: (17.23 PF / 75264 GCDs / 78% efficiency); congestion/imbalance are
+#: calibrated to the 78% full-system efficiency.
+FRONTIER_GCD = MachineSpec(
+    name="frontier-mi250x-gcd",
+    mem_bw=1.6e12,
+    mem_eff=0.6767,
+    flops_fp64=23.9e12,
+    flops_fp32=23.9e12,
+    flops_fp16=95.7e12,
+    launch_latency=4.0e-6,
+    pcie_bw=24e9,
+    nic_bw=12.5e9,
+    net_latency=2.0e-6,
+    allreduce_hop_latency=3.5e-6,
+    allreduce_saturation_ranks=4096.0,
+    allreduce_congestion_exp=1.1,
+    imbalance_per_log2_nodes=0.00234,
+    csr_bw_efficiency=0.6,
+    gcds_per_node=8,
+)
+
+#: One GK210 die of an NVIDIA Tesla K80 (Fig. 6's commodity cluster):
+#: 240 GB/s GDDR5 per die, modest FP32:FP64 ratio, slower interconnect.
+NVIDIA_K80 = MachineSpec(
+    name="nvidia-k80-gk210",
+    mem_bw=240e9,
+    mem_eff=0.72,
+    flops_fp64=1.45e12,
+    flops_fp32=4.37e12,
+    flops_fp16=4.37e12,
+    launch_latency=8.0e-6,
+    pcie_bw=10e9,
+    nic_bw=6e9,
+    net_latency=5.0e-6,
+    allreduce_hop_latency=8.0e-6,
+    allreduce_saturation_ranks=256.0,
+    allreduce_congestion_exp=1.0,
+    imbalance_per_log2_nodes=0.01,
+    csr_bw_efficiency=0.6,
+    gcds_per_node=4,
+)
+
+#: Registry by name.
+MACHINES: dict[str, MachineSpec] = {
+    FRONTIER_GCD.name: FRONTIER_GCD,
+    NVIDIA_K80.name: NVIDIA_K80,
+    "frontier": FRONTIER_GCD,
+    "k80": NVIDIA_K80,
+}

@@ -1,0 +1,90 @@
+"""Communication cost models (Hockney alpha-beta with congestion).
+
+Two operations matter to the benchmark:
+
+- **Neighbor halo exchange** — up to 26 messages per rank per exchange;
+  surface bytes scale as the subdomain's area, a geometric order below
+  the volume compute (§2), so at the official local size these costs
+  hide behind interior kernels (§3.2.3, Fig. 9a) — except on coarse
+  levels where the surface:volume ratio worsens (Fig. 9b).
+- **All-reduce** — every dot product synchronizes the whole machine;
+  CGS2 batches them, but at 75k ranks the latency still erodes the
+  orthogonalization's share (§4.1, Fig. 7).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.perf.machine import MachineSpec
+
+
+def halo_message_counts(local_dims: tuple[int, int, int]) -> dict[str, int]:
+    """Message count and total surface points of a middle rank.
+
+    6 faces, 12 edges, 8 corners; points per category from the local
+    box dims.
+    """
+    nx, ny, nz = local_dims
+    face_pts = nx * ny + ny * nz + nx * nz
+    edge_pts = 4 * (nx + ny + nz)
+    return {
+        "messages": 26,
+        "points": 2 * face_pts + edge_pts + 8,
+    }
+
+
+def halo_exchange_time(
+    machine: MachineSpec,
+    local_dims: tuple[int, int, int],
+    value_bytes: int,
+    staged: bool = True,
+    n_neighbors: int = 26,
+) -> float:
+    """One full halo exchange for a middle rank.
+
+    ``staged=True`` adds the device-host-device copies visible in the
+    paper's traces (green/red bars in Fig. 9): pack on device, D2H,
+    network, H2D.
+    """
+    counts = halo_message_counts(local_dims)
+    nbytes = counts["points"] * value_bytes
+    t = n_neighbors * machine.net_latency + nbytes / machine.nic_bw
+    if staged:
+        t += 2 * nbytes / machine.pcie_bw  # D2H + H2D
+        t += machine.launch_latency  # pack kernel
+    return t
+
+
+def allreduce_time(machine: MachineSpec, nbytes: float, nranks: int) -> float:
+    """Congestion-aware tree all-reduce.
+
+    ``2 * ceil(log2 p) * hop`` base latency, inflated past the
+    saturation scale by ``(p / saturation)^exp`` (switch contention,
+    adaptive-routing variance at full-machine scale), plus the
+    bandwidth term of a Rabenseifner-style reduce-scatter/all-gather.
+    """
+    if nranks <= 1:
+        return 0.0
+    hops = 2.0 * math.ceil(math.log2(nranks))
+    latency = hops * machine.allreduce_hop_latency
+    over = nranks / machine.allreduce_saturation_ranks
+    if over > 1.0:
+        latency *= over**machine.allreduce_congestion_exp
+    bandwidth = 2.0 * nbytes * (nranks - 1) / nranks / machine.nic_bw
+    return latency + bandwidth
+
+
+def imbalance_factor(machine: MachineSpec, nodes: float) -> float:
+    """Multiplicative compute-time inflation at scale.
+
+    Synchronous iterative codes pay the slowest rank every iteration;
+    OS jitter and network variability make that gap grow roughly with
+    the log of the machine size.  Applied to kernel time (hence
+    precision-proportional: it lowers weak-scaling efficiency without
+    touching the mixed-precision speedup, matching the paper's Fig. 4
+    vs Fig. 5 behaviour).
+    """
+    if nodes <= 1:
+        return 1.0
+    return 1.0 + machine.imbalance_per_log2_nodes * math.log2(nodes)

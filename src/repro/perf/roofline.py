@@ -1,0 +1,89 @@
+"""Roofline model of the benchmark's hot kernels (Figure 8).
+
+The paper's Fig. 8 plots the ten most expensive kernels of an 8-GCD run
+on one MI250x GCD: double and single precision Gauss-Seidel sweeps,
+SpMV, the CGS2 GEMV kernels, dots, and (unlabeled) the fused
+SpMV-restriction — all sitting on the HBM bandwidth line.  Here the
+same points are produced from the byte/flop model: arithmetic intensity
+on the x-axis, model-attained GFLOP/s on the y-axis, against the
+memory and compute ceilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fp.precision import Precision
+from repro.perf.kernels import KernelCost, KernelModel
+from repro.perf.machine import FRONTIER_GCD, MachineSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel on the roofline plot."""
+
+    name: str
+    motif: str
+    precision: str
+    arithmetic_intensity: float  # flops / byte
+    gflops: float  # model-attained
+    time_seconds: float
+    memory_bound: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "mem" if self.memory_bound else "cmp"
+        return (
+            f"{self.name:<28} AI={self.arithmetic_intensity:6.3f} "
+            f"{self.gflops:9.1f} GF/s ({kind})"
+        )
+
+
+def roofline_ceiling(
+    machine: MachineSpec, ai: float, prec: "Precision | str" = Precision.DOUBLE
+) -> float:
+    """Attainable GFLOP/s at an arithmetic intensity (the roofline)."""
+    return min(machine.peak_flops(prec), ai * machine.effective_bw) / 1e9
+
+
+def _point(machine: MachineSpec, cost: KernelCost) -> RooflinePoint:
+    t = machine.kernel_time(
+        cost.nbytes, cost.flops, cost.precision, launches=cost.launches
+    )
+    t_mem = cost.nbytes / machine.effective_bw
+    t_cmp = cost.flops / machine.peak_flops(cost.precision)
+    return RooflinePoint(
+        name=cost.name,
+        motif=cost.motif,
+        precision=cost.precision.short_name,
+        arithmetic_intensity=cost.arithmetic_intensity,
+        gflops=cost.flops / t / 1e9,
+        time_seconds=t,
+        memory_bound=t_mem >= t_cmp,
+    )
+
+
+def roofline_points(
+    machine: MachineSpec = FRONTIER_GCD,
+    local_dims: tuple[int, int, int] = (320, 320, 320),
+    k_ortho: int = 15,
+    kernel_model: KernelModel | None = None,
+) -> list[RooflinePoint]:
+    """The benchmark's ten most expensive kernels (both precisions).
+
+    Matches the paper's selection: GS sweep, SpMV, the CGS2 GEMV
+    (orthogonalization), dot, and the fused SpMV-restriction, each in
+    double and single precision, ordered by model cost.
+    """
+    km = kernel_model or KernelModel()
+    nx, ny, nz = local_dims
+    n = nx * ny * nz
+    n_coarse = n // 8
+    points = []
+    for prec in (Precision.DOUBLE, Precision.SINGLE):
+        points.append(_point(machine, km.gs_sweep(n, prec)))
+        points.append(_point(machine, km.spmv(n, prec)))
+        points.append(_point(machine, km.ortho_cgs2_step(n, k_ortho, prec)))
+        points.append(_point(machine, km.dot(n, prec)))
+        points.append(_point(machine, km.fused_spmv_restrict(n_coarse, prec)))
+    points.sort(key=lambda p: p.time_seconds, reverse=True)
+    return points

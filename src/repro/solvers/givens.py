@@ -1,0 +1,102 @@
+"""Incremental Hessenberg QR via Givens rotations (Algorithm 3, §31-43).
+
+GMRES reduces the least-squares problem ``min ||beta e_1 - H y||`` by
+applying one new Givens rotation per Arnoldi step.  The benchmark
+performs this update redundantly on every process on the CPU in double
+precision; it is O(restart²) work on a tiny matrix, negligible next to
+the device kernels, but the rotation state also yields the *implicit*
+residual norm ``|t_{k+1}|`` that drives the convergence checks without
+a global reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def givens_coefficients(a: float, b: float) -> tuple[float, float, float]:
+    """Rotation (c, s) annihilating ``b`` against ``a``.
+
+    Returns ``(c, s, r)`` with ``c*a + s*b = r`` and ``-s*a + c*b = 0``,
+    using the hypot form for overflow safety.
+    """
+    if b == 0.0:
+        return (1.0, 0.0, a)
+    if a == 0.0:
+        return (0.0, 1.0, b)
+    # Scale by the larger magnitude before forming the hypotenuse so the
+    # rotation stays orthogonal even in the subnormal range, where
+    # dividing by an unscaled hypot loses all precision.
+    scale = max(abs(a), abs(b))
+    an, bn = a / scale, b / scale
+    h = float(np.hypot(an, bn))
+    return (an / h, bn / h, scale * h)
+
+
+class GivensQR:
+    """QR factorization of the GMRES Hessenberg matrix, one column at a time."""
+
+    def __init__(self, m: int) -> None:
+        """Prepare for a restart cycle of length up to ``m``."""
+        self.m = m
+        self.R = np.zeros((m + 1, m), dtype=np.float64)
+        self.c = np.zeros(m, dtype=np.float64)
+        self.s = np.zeros(m, dtype=np.float64)
+        self.t = np.zeros(m + 1, dtype=np.float64)
+        self.k = 0
+
+    def start(self, beta: float) -> None:
+        """Begin a cycle with initial residual norm ``beta`` (= t_0)."""
+        self.t[:] = 0.0
+        self.t[0] = beta
+        self.k = 0
+
+    def add_column(self, h: np.ndarray) -> float:
+        """Process Hessenberg column ``k``: entries ``H[0:k+2, k]``.
+
+        Applies the accumulated rotations, computes and stores the new
+        one, updates the transformed rhs ``t``, and returns the implicit
+        residual norm ``|t_{k+1}|``.
+        """
+        k = self.k
+        if k >= self.m:
+            raise RuntimeError("GivensQR cycle is full")
+        if len(h) != k + 2:
+            raise ValueError(f"expected column of length {k + 2}, got {len(h)}")
+        col = np.array(h, dtype=np.float64)
+        # Apply previous rotations to the new column.
+        for j in range(k):
+            a, b = col[j], col[j + 1]
+            col[j] = self.c[j] * a + self.s[j] * b
+            col[j + 1] = -self.s[j] * a + self.c[j] * b
+        # New rotation annihilating the subdiagonal entry.
+        cj, sj, r = givens_coefficients(col[k], col[k + 1])
+        self.c[k], self.s[k] = cj, sj
+        col[k] = r
+        col[k + 1] = 0.0
+        self.R[: k + 2, k] = col
+        # Update the rhs.
+        tk = self.t[k]
+        self.t[k] = cj * tk
+        self.t[k + 1] = -sj * tk
+        self.k = k + 1
+        return abs(float(self.t[k + 1]))
+
+    @property
+    def implicit_residual(self) -> float:
+        """Current least-squares residual norm ``|t_k|``."""
+        return abs(float(self.t[self.k]))
+
+    def solve(self, k: int | None = None) -> np.ndarray:
+        """Back-substitute ``R[0:k, 0:k] y = t[0:k]`` (Algorithm 3 line 45)."""
+        k = self.k if k is None else k
+        if k == 0:
+            return np.zeros(0, dtype=np.float64)
+        y = np.zeros(k, dtype=np.float64)
+        for i in range(k - 1, -1, -1):
+            acc = self.t[i] - self.R[i, i + 1 : k] @ y[i + 1 : k]
+            rii = self.R[i, i]
+            if rii == 0.0:
+                raise ZeroDivisionError("singular R in GMRES least-squares solve")
+            y[i] = acc / rii
+        return y

@@ -1,0 +1,277 @@
+"""Right-preconditioned mixed-precision GMRES-IR (paper Algorithm 3).
+
+One implementation serves both benchmark phases:
+
+- with :data:`~repro.fp.policy.MIXED_DS_POLICY` it is the "mxp" solver:
+  the multigrid preconditioner, SpMV, Krylov basis and CGS2 run in
+  single precision, while the outer residual (line 7) and solution
+  update (line 47) stay in double — the iterative-refinement structure
+  that recovers double-precision accuracy;
+- with :data:`~repro.fp.policy.DOUBLE_POLICY` every step is double and
+  the algorithm reduces to restarted GMRES (Algorithm 2 with restarts),
+  the benchmark's "double" reference phase.
+
+Convergence checking follows the benchmark: the implicit residual from
+the Givens-transformed rhs (``|t_{k+1}|``) is monitored every inner
+step; the true double-precision residual is recomputed at every outer
+(restart) boundary and has final say.  Iteration counts — the quantity
+the validation phase penalizes — count inner Arnoldi steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fp.policy import DOUBLE_POLICY, PrecisionPolicy
+from repro.fp.precision import Precision
+from repro.mg.multigrid import MGConfig, MultigridPreconditioner
+from repro.parallel.comm import Communicator
+from repro.parallel.distributed import dnorm2
+from repro.solvers.givens import GivensQR
+from repro.solvers.operator import DistributedOperator
+from repro.solvers.ortho import ORTHO_METHODS
+from repro.stencil.poisson27 import Problem
+from repro.util.timers import NullTimers
+
+
+@dataclass
+class SolverStats:
+    """Outcome of one GMRES / GMRES-IR solve."""
+
+    iterations: int = 0
+    restarts: int = 0
+    converged: bool = False
+    final_relres: float = np.inf
+    rho0: float = 0.0
+    implicit_history: list[float] = field(default_factory=list)
+    cycle_lengths: list[int] = field(default_factory=list)
+    breakdown: bool = False  # "happy breakdown" (exact solution in span)
+
+    def summary(self) -> str:
+        state = "converged" if self.converged else "NOT converged"
+        return (
+            f"{state} in {self.iterations} iterations "
+            f"({self.restarts} restarts), relres={self.final_relres:.3e}"
+        )
+
+
+class GMRESIRSolver:
+    """Reusable GMRES-IR solver bound to one problem and one policy.
+
+    Construction performs the benchmark's setup work: the double
+    operator, the low-precision matrix copy (when the policy needs
+    one), and the multigrid hierarchy in the preconditioner precision.
+    ``solve`` may then be called repeatedly (the timed benchmark phase
+    re-solves from a zero guess until its time budget is spent).
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        comm: Communicator,
+        policy: PrecisionPolicy = DOUBLE_POLICY,
+        mg_config: MGConfig | None = None,
+        restart: int = 30,
+        ortho: str = "cgs2",
+        timers=None,
+        precond: MultigridPreconditioner | None = None,
+        matrix_format: str = "ell",
+    ) -> None:
+        if ortho not in ORTHO_METHODS:
+            raise ValueError(f"unknown orthogonalization {ortho!r}")
+        if matrix_format not in ("ell", "csr"):
+            raise ValueError(f"unknown matrix format {matrix_format!r}")
+        self.problem = problem
+        self.comm = comm
+        self.policy = policy
+        self.restart = restart
+        self.ortho_name = ortho
+        self.matrix_format = matrix_format
+        self._orthogonalize = ORTHO_METHODS[ortho]
+        self.timers = timers if timers is not None else NullTimers()
+
+        # Krylov-loop matrices in the requested storage format (the
+        # reference implementation uses CSR, the optimized one ELL).
+        A64 = problem.A if matrix_format == "ell" else problem.A.to_csr()
+
+        # Double-precision operator for outer residuals.
+        self.op64 = DistributedOperator(A64, problem.halo, comm)
+
+        # Inner operator in the policy's matrix precision.  GMRES-IR
+        # stores this *second* copy of A (the memory overhead §5 notes);
+        # the uniform-double policy reuses the double operator.
+        if policy.matrix is Precision.DOUBLE:
+            self.op_inner = self.op64
+            self.A_low = A64
+        else:
+            self.A_low = A64.astype(policy.matrix)
+            self.op_inner = DistributedOperator(self.A_low, problem.halo, comm)
+
+        # Multigrid preconditioner in the policy's precision.  When the
+        # inner operator is an ELL matrix in the same precision, share
+        # it as the hierarchy's fine level (no second low copy).
+        self.mg_config = mg_config or MGConfig()
+        if precond is not None:
+            self.M = precond
+        else:
+            from repro.sparse.ell import ELLMatrix
+
+            shared = (
+                self.A_low
+                if isinstance(self.A_low, ELLMatrix)
+                and policy.preconditioner is policy.matrix
+                else None
+            )
+            self.M = MultigridPreconditioner.build(
+                problem,
+                comm,
+                self.mg_config,
+                precision=policy.preconditioner,
+                timers=self.timers,
+                fine_matrix=shared,
+            )
+
+        # Krylov basis workspace in the basis precision.
+        n = problem.nlocal
+        self.Q = np.zeros((n, restart + 1), dtype=policy.krylov_basis.dtype)
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        b: np.ndarray,
+        x0: np.ndarray | None = None,
+        tol: float = 1e-9,
+        maxiter: int = 300,
+        target_residual: float | None = None,
+    ) -> tuple[np.ndarray, SolverStats]:
+        """Solve ``A x = b``.
+
+        Parameters
+        ----------
+        tol:
+            Relative-residual convergence tolerance (vs ``||b||``).
+        maxiter:
+            Cap on total inner iterations.
+        target_residual:
+            Optional *absolute* residual-norm target overriding ``tol``
+            (the full-scale validation mode converges GMRES-IR to the
+            residual the double solver achieved).
+        """
+        comm, timers = self.comm, self.timers
+        n = self.problem.nlocal
+        m = self.restart
+        basis_dtype = self.policy.krylov_basis.dtype
+
+        x = np.zeros(n, dtype=np.float64) if x0 is None else x0.astype(np.float64)
+        stats = SolverStats()
+
+        with timers.section("dot"):
+            rho0 = dnorm2(comm, b)
+        stats.rho0 = rho0
+        if rho0 == 0.0:
+            stats.converged = True
+            stats.final_relres = 0.0
+            return x, stats
+        abs_tol = target_residual if target_residual is not None else tol * rho0
+
+        Q = self.Q
+        qr = GivensQR(m)
+
+        while stats.iterations < maxiter:
+            # --- outer (iterative-refinement) step: double precision ---
+            with timers.section("spmv"):
+                r64 = self.op64.residual(b, x)  # line 7, fp64 mandated
+            with timers.section("dot"):
+                rho = dnorm2(comm, r64)
+            stats.final_relres = rho / rho0
+            if rho <= abs_tol:
+                stats.converged = True
+                return x, stats
+
+            # Start a restart cycle (lines 11-13).
+            qr.start(rho)
+            Q[:, 0] = (r64 / rho).astype(basis_dtype)
+            stats.restarts += 1
+
+            k = 0
+            rho_implicit = rho
+            while k < m and stats.iterations < maxiter:
+                # --- inner Arnoldi step, low precision allowed ---
+                qk = Q[:, k]
+                z = self.M.apply(qk)  # line 18: multigrid preconditioner
+                with timers.section("spmv"):
+                    w = self.op_inner.matvec(
+                        np.asarray(z, dtype=self.op_inner.dtype)
+                    )  # line 19
+                w = np.asarray(w, dtype=basis_dtype)
+
+                with timers.section("ortho"):
+                    h = self._orthogonalize(comm, Q, k + 1, w)  # lines 20-27
+                    beta = dnorm2(comm, w)
+
+                stats.iterations += 1
+                # (Near-)breakdown: the new direction is numerically
+                # dependent on the basis at this precision.  End the
+                # cycle without the degenerate column; the IR outer loop
+                # restarts from a fresh double-precision residual.
+                pre_ortho_norm = float(np.sqrt(h @ h + beta * beta))
+                if beta <= 4.0 * np.finfo(basis_dtype).eps * max(
+                    pre_ortho_norm, 1e-300
+                ):
+                    stats.breakdown = True
+                    break
+
+                Q[:, k + 1] = (w / np.asarray(beta, dtype=basis_dtype)).astype(
+                    basis_dtype
+                )  # lines 28-30
+                with timers.section("qr_host"):
+                    rho_implicit = qr.add_column(np.append(h, beta))  # lines 31-43
+                k += 1
+                stats.implicit_history.append(rho_implicit / rho0)
+                if rho_implicit <= abs_tol:
+                    break  # lines 15-17: implicit convergence
+
+            stats.cycle_lengths.append(k)
+            if k > 0:
+                # --- solution update (lines 45-47) ---
+                with timers.section("qr_host"):
+                    y = qr.solve(k)  # t <- H^{-1} t
+                with timers.section("ortho"):
+                    u = Q[:, :k] @ y.astype(basis_dtype)  # r <- Q t
+                z = self.M.apply(u)  # M^{-1} r in precond precision
+                with timers.section("waxpby"):
+                    x += np.asarray(z, dtype=np.float64)  # fp64 update mandated
+            elif stats.breakdown:
+                # Breakdown with an empty cycle: low precision cannot
+                # extend the basis at all; further restarts would spin.
+                break
+
+        # Final true residual (covers the maxiter and breakdown exits).
+        with timers.section("spmv"):
+            r64 = self.op64.residual(b, x)
+        with timers.section("dot"):
+            rho = dnorm2(comm, r64)
+        stats.final_relres = rho / rho0
+        stats.converged = rho <= abs_tol
+        return x, stats
+
+
+def gmres_solve(
+    problem: Problem,
+    comm: Communicator,
+    b: np.ndarray | None = None,
+    policy: PrecisionPolicy = DOUBLE_POLICY,
+    mg_config: MGConfig | None = None,
+    restart: int = 30,
+    tol: float = 1e-9,
+    maxiter: int = 300,
+    ortho: str = "cgs2",
+) -> tuple[np.ndarray, SolverStats]:
+    """One-shot convenience wrapper around :class:`GMRESIRSolver`."""
+    solver = GMRESIRSolver(
+        problem, comm, policy=policy, mg_config=mg_config, restart=restart, ortho=ortho
+    )
+    rhs = problem.b if b is None else b
+    return solver.solve(rhs, tol=tol, maxiter=maxiter)

@@ -1,0 +1,47 @@
+"""Sparse matrix formats and kernels.
+
+Implements the two storage formats the paper contrasts — CSR (used by
+the reference HPG-MxP implementation) and ELLPACK/ELL (used by the
+optimized one, §3.2.2) — plus the parallelism-exposing machinery:
+greedy / Jones-Plassmann-Luby multicoloring (§3.2.1), symmetric
+reordering, and level-scheduled triangular solves (the reference
+implementation's Gauss-Seidel building block).
+"""
+
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.coloring import (
+    greedy_coloring,
+    jpl_coloring,
+    structured_coloring8,
+    validate_coloring,
+    color_sets,
+)
+from repro.sparse.reorder import (
+    permute_symmetric,
+    inverse_permutation,
+    coloring_permutation,
+    rcm_ordering,
+)
+from repro.sparse.triangular import (
+    lower_levels,
+    solve_lower_levelscheduled,
+    solve_upper_levelscheduled,
+)
+
+__all__ = [
+    "ELLMatrix",
+    "CSRMatrix",
+    "greedy_coloring",
+    "jpl_coloring",
+    "structured_coloring8",
+    "validate_coloring",
+    "color_sets",
+    "permute_symmetric",
+    "inverse_permutation",
+    "coloring_permutation",
+    "rcm_ordering",
+    "lower_levels",
+    "solve_lower_levelscheduled",
+    "solve_upper_levelscheduled",
+]

@@ -1,0 +1,171 @@
+"""Compressed Sparse Row format.
+
+CSR is what the reference HPG-MxP implementation uses (§3.1, issue 5).
+The SpMV here is vectorized with ``np.add.reduceat`` over row pointer
+boundaries; its irregular reduction is the CPU analog of the warp
+under-utilization the paper describes on GPUs, and the performance
+model charges CSR a lower effective bandwidth accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fp.precision import Precision
+
+
+@dataclass
+class CSRMatrix:
+    """A local sparse matrix in CSR layout.
+
+    Attributes
+    ----------
+    indptr:
+        ``(nrows+1,)`` row pointers.
+    indices:
+        ``(nnz,)`` int32 local column indices.
+    data:
+        ``(nnz,)`` values.
+    ncols:
+        Column-space size (``nlocal + n_ghost`` for distributed use).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+    ncols: int
+
+    def __post_init__(self) -> None:
+        if self.indptr.ndim != 1 or self.indices.shape != self.data.shape:
+            raise ValueError("malformed CSR arrays")
+        if self.indices.dtype != np.int32:
+            self.indices = self.indices.astype(np.int32)
+        if self.indptr.dtype != np.int64:
+            self.indptr = self.indptr.astype(np.int64)
+
+    @property
+    def nrows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def precision(self) -> Precision:
+        return Precision.from_any(self.data.dtype)
+
+    def row_nnz(self) -> np.ndarray:
+        """Stored entries per row."""
+        return np.diff(self.indptr)
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """y = A @ x, vectorized with a segmented reduction.
+
+        ``np.add.reduceat`` mis-handles empty segments (it returns the
+        *next* element instead of zero), so empty rows are fixed up
+        afterward; the benchmark matrix has none but generality is cheap.
+        """
+        if x.shape[0] != self.ncols:
+            raise ValueError(
+                f"x has {x.shape[0]} entries, matrix has {self.ncols} columns"
+            )
+        n = self.nrows
+        y = np.zeros(n, dtype=self.data.dtype)
+        if self.nnz:
+            products = self.data * x[self.indices]
+            starts = self.indptr[:-1]
+            nonempty = self.indptr[:-1] < self.indptr[1:]
+            # reduceat requires indices < len(products); clamp empties.
+            safe_starts = np.minimum(starts, len(products) - 1)
+            sums = np.add.reduceat(products, safe_starts)
+            y[nonempty] = sums[nonempty]
+        if out is not None:
+            out[:] = y
+            return out
+        return y
+
+    def spmv_rows(self, rows: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """(A @ x) restricted to a subset of rows (overlap split)."""
+        if len(rows) == 0:
+            return np.zeros(0, dtype=self.data.dtype)
+        lens = (self.indptr[rows + 1] - self.indptr[rows]).astype(np.int64)
+        total = int(lens.sum())
+        # Gather the concatenated nnz ranges of the selected rows.
+        flat = np.repeat(self.indptr[rows], lens) + (
+            np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+        )
+        products = self.data[flat] * x[self.indices[flat]]
+        out = np.zeros(len(rows), dtype=self.data.dtype)
+        starts = np.cumsum(lens) - lens
+        nonempty = lens > 0
+        if total:
+            safe_starts = np.minimum(starts, total - 1)
+            sums = np.add.reduceat(products, safe_starts)
+            out[nonempty] = sums[nonempty]
+        return out
+
+    def diagonal(self) -> np.ndarray:
+        """Extract the main diagonal."""
+        n = self.nrows
+        diag = np.zeros(n, dtype=self.data.dtype)
+        rows = np.repeat(np.arange(n), np.diff(self.indptr))
+        hit = self.indices == rows
+        diag_rows = rows[hit]
+        diag[diag_rows] = self.data[hit]
+        return diag
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def astype(self, prec: "Precision | str") -> "CSRMatrix":
+        """Value-precision cast (keeps structure arrays shared)."""
+        dtype = Precision.from_any(prec).dtype
+        data = self.data if dtype == self.data.dtype else self.data.astype(dtype)
+        return CSRMatrix(self.indptr, self.indices, data.copy() if data is self.data else data, self.ncols)
+
+    def to_ell(self):
+        """Convert to ELL."""
+        from repro.sparse.ell import ELLMatrix
+
+        return ELLMatrix.from_csr(self)
+
+    def to_scipy(self):
+        """Convert to scipy.sparse.csr_matrix (tests/diagnostics)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.data, self.indices, self.indptr), shape=(self.nrows, self.ncols)
+        )
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Build from any scipy sparse matrix."""
+        m = mat.tocsr()
+        return cls(
+            indptr=m.indptr.astype(np.int64),
+            indices=m.indices.astype(np.int32),
+            data=np.asarray(m.data),
+            ncols=m.shape[1],
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Dense copy (small problems / tests only)."""
+        return np.asarray(self.to_scipy().todense())
+
+    def memory_bytes(self, index_bytes: int = 4, ptr_bytes: int = 8) -> int:
+        """Storage footprint: values + column indices + row pointers."""
+        return (
+            self.data.size * self.data.itemsize
+            + self.indices.size * index_bytes
+            + self.indptr.size * ptr_bytes
+        )

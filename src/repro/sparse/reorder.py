@@ -1,0 +1,82 @@
+"""Symmetric permutations of local sparse matrices.
+
+The optimized implementation reorders the matrix and vectors by color so
+each Gauss-Seidel color pass reads a contiguous row block (§3.2.1).  On
+ghost columns the permutation is the identity — ghosts live past the
+local range and their layout is fixed by the halo plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ell import ELLMatrix
+
+
+def inverse_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse of a permutation given as an index array."""
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(len(perm), dtype=perm.dtype)
+    return inv
+
+
+def coloring_permutation(colors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Permutation sorting rows by color (stable within a color).
+
+    Returns ``(old_of_new, new_of_old)``: ``old_of_new[k]`` is the old
+    index of the row placed at new position ``k``.
+    """
+    old_of_new = np.argsort(colors, kind="stable").astype(np.int64)
+    return old_of_new, inverse_permutation(old_of_new)
+
+
+def permute_symmetric(A: ELLMatrix, new_of_old: np.ndarray) -> ELLMatrix:
+    """Apply a symmetric permutation ``P A P^T`` to the local block.
+
+    Rows are reordered and local column indices relabeled; ghost columns
+    (``col >= nrows``) keep their indices.  Padded slots keep value zero
+    so relabeling their column is harmless.
+    """
+    n = A.nrows
+    if len(new_of_old) != n:
+        raise ValueError("permutation length must equal nrows")
+    old_of_new = inverse_permutation(np.asarray(new_of_old, dtype=np.int64))
+    cols = A.cols.astype(np.int64)
+    local = cols < n
+    remapped = np.where(local, new_of_old[np.clip(cols, 0, n - 1)], cols)
+    return ELLMatrix(
+        cols=remapped[old_of_new].astype(np.int32),
+        vals=A.vals[old_of_new].copy(),
+        ncols=A.ncols,
+    )
+
+
+def permute_vector(x: np.ndarray, new_of_old: np.ndarray) -> np.ndarray:
+    """Reorder the owned part of a vector to match a row permutation."""
+    old_of_new = inverse_permutation(np.asarray(new_of_old, dtype=np.int64))
+    return x[old_of_new]
+
+
+def unpermute_vector(x: np.ndarray, new_of_old: np.ndarray) -> np.ndarray:
+    """Undo :func:`permute_vector`."""
+    return x[np.asarray(new_of_old, dtype=np.int64)]
+
+
+def rcm_ordering(A: ELLMatrix) -> np.ndarray:
+    """Reverse Cuthill-McKee ordering of the local graph.
+
+    The paper cites RCM as the classic alternative to multicoloring
+    (better convergence, less parallelism); it backs the ordering
+    ablation benchmark.  Returns ``old_of_new``.
+    """
+    import scipy.sparse.csgraph as csgraph
+
+    sp = A.to_csr().to_scipy()[:, : A.nrows]
+    perm = csgraph.reverse_cuthill_mckee(sp.tocsr(), symmetric_mode=True)
+    return np.asarray(perm, dtype=np.int64)
+
+
+def permute_csr(A: CSRMatrix, new_of_old: np.ndarray) -> CSRMatrix:
+    """Symmetric permutation for CSR (via ELL round-trip for brevity)."""
+    return permute_symmetric(A.to_ell(), new_of_old).to_csr()

@@ -1,0 +1,71 @@
+"""Matrix diagnostics used by tests and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.ell import ELLMatrix
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Summary statistics of a local sparse matrix."""
+
+    nrows: int
+    ncols: int
+    nnz: int
+    min_row_nnz: int
+    max_row_nnz: int
+    diag_min: float
+    diag_max: float
+    offdiag_abs_row_sum_max: float
+    weakly_diagonally_dominant: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.nrows}x{self.ncols}, nnz={self.nnz}, "
+            f"row nnz in [{self.min_row_nnz},{self.max_row_nnz}], "
+            f"diag in [{self.diag_min},{self.diag_max}], "
+            f"wdd={self.weakly_diagonally_dominant}"
+        )
+
+
+def matrix_stats(A: ELLMatrix) -> MatrixStats:
+    """Compute :class:`MatrixStats` (vectorized)."""
+    n = A.nrows
+    rows = np.arange(n)[:, None]
+    nz = A.vals != 0
+    diag_mask = nz & (A.cols == rows)
+    diag = (A.vals * diag_mask).sum(axis=1)
+    off = np.abs(np.where(diag_mask, 0.0, A.vals)).sum(axis=1)
+    row_nnz = nz.sum(axis=1)
+    empty = n == 0
+    return MatrixStats(
+        nrows=n,
+        ncols=A.ncols,
+        nnz=int(nz.sum()),
+        min_row_nnz=0 if empty else int(row_nnz.min()),
+        max_row_nnz=0 if empty else int(row_nnz.max()),
+        diag_min=float("nan") if empty else float(diag.min()),
+        diag_max=float("nan") if empty else float(diag.max()),
+        offdiag_abs_row_sum_max=0.0 if empty else float(off.max()),
+        weakly_diagonally_dominant=bool(np.all(off <= diag + 1e-12)),
+    )
+
+
+def is_structurally_symmetric(A: ELLMatrix) -> bool:
+    """Check local structural symmetry (ghost columns excluded)."""
+    sp = A.to_csr().to_scipy()[:, : A.nrows].tocsr()
+    diff = (sp != 0).astype(np.int8) - (sp.T != 0).astype(np.int8)
+    return diff.nnz == 0
+
+
+def is_numerically_symmetric(A: ELLMatrix, tol: float = 0.0) -> bool:
+    """Check local numerical symmetry (ghost columns excluded)."""
+    sp = A.to_csr().to_scipy()[:, : A.nrows].tocsr()
+    d = sp - sp.T
+    if d.nnz == 0:
+        return True
+    return float(np.abs(d.data).max()) <= tol

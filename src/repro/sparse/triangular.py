@@ -1,0 +1,150 @@
+"""Level-scheduled sparse triangular solves (reference GS path).
+
+The reference HPG-MxP implementation realizes forward Gauss-Seidel as a
+SpMV with the upper triangle followed by a level-scheduled SpTRSV with
+the lower triangle (§3.1 issues 1-2).  Level scheduling preserves the
+sequential (lexicographic) update order exactly, so the smoother is as
+strong as serial GS — but the wavefronts expose little parallelism.  On
+the 27-point stencil the dependency levels are ``ix + 2*iy + 4*iz``, so
+an ``n^3`` box has ~``7n`` levels of average size ``n^2/7``.
+
+These kernels back the ``impl="reference"`` code path and the ablation
+benchmarks; the optimized path uses multicolor relaxation instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.ell import ELLMatrix
+
+
+def split_triangular(
+    A: ELLMatrix,
+) -> tuple[ELLMatrix, ELLMatrix, np.ndarray]:
+    """Split a local matrix into strict-lower, rest, and diagonal.
+
+    Returns ``(L, U, diag)`` where ``L`` holds the strictly-lower
+    *local* couplings (col < row), and ``U`` holds everything else off
+    the diagonal — strictly-upper local couplings *and* all ghost
+    columns, which Gauss-Seidel treats as frozen input.
+    """
+    n = A.nrows
+    rows = np.arange(n)[:, None]
+    nz = A.vals != 0
+    lower_mask = nz & (A.cols < rows) & (A.cols < n)
+    diag_mask = nz & (A.cols == rows)
+    upper_mask = nz & ~lower_mask & ~diag_mask
+
+    L = ELLMatrix(
+        cols=np.where(lower_mask, A.cols, 0).astype(np.int32),
+        vals=np.where(lower_mask, A.vals, 0),
+        ncols=A.ncols,
+    )
+    U = ELLMatrix(
+        cols=np.where(upper_mask, A.cols, 0).astype(np.int32),
+        vals=np.where(upper_mask, A.vals, 0),
+        ncols=A.ncols,
+    )
+    diag = (A.vals * diag_mask).sum(axis=1).astype(A.vals.dtype)
+    return L, U, diag
+
+
+def lower_levels(L: ELLMatrix) -> np.ndarray:
+    """Dependency levels of the strict-lower adjacency (longest path).
+
+    ``level[i] = 1 + max(level[j])`` over lower neighbors ``j``, with
+    sources at level 0.  Computed as a vectorized fixpoint; the number
+    of sweeps equals the number of levels.
+    """
+    n = L.nrows
+    rows = np.arange(n)[:, None]
+    mask = (L.vals != 0) & (L.cols < rows)
+    levels = np.zeros(n, dtype=np.int64)
+    for _ in range(n + 1):
+        nb = np.where(mask, levels[L.cols], -1)
+        new = nb.max(axis=1, initial=-1) + 1
+        if np.array_equal(new, levels):
+            return levels
+        levels = new
+    raise RuntimeError("cycle detected in lower-triangular adjacency")
+
+
+def level_sets(levels: np.ndarray) -> list[np.ndarray]:
+    """Row-index arrays per level, ascending within each level."""
+    nlev = int(levels.max()) + 1 if len(levels) else 0
+    order = np.argsort(levels, kind="stable")
+    sorted_levels = levels[order]
+    bounds = np.searchsorted(sorted_levels, np.arange(nlev + 1))
+    return [np.sort(order[bounds[k] : bounds[k + 1]]) for k in range(nlev)]
+
+
+def solve_lower_levelscheduled(
+    L: ELLMatrix,
+    diag: np.ndarray,
+    rhs: np.ndarray,
+    sets: list[np.ndarray],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Solve ``(D + L) y = rhs`` level by level.
+
+    Bit-identical to the sequential forward substitution because every
+    row's lower neighbors live in strictly earlier levels.
+    """
+    n = L.nrows
+    y = out if out is not None else np.zeros(n, dtype=rhs.dtype)
+    y[:] = 0
+    yfull = np.zeros(L.ncols, dtype=rhs.dtype)
+    for rows in sets:
+        contrib = L.spmv_rows(rows, yfull)
+        y[rows] = (rhs[rows] - contrib) / diag[rows]
+        yfull[rows] = y[rows]
+    return y
+
+
+def upper_levels(U_local: ELLMatrix) -> np.ndarray:
+    """Dependency levels for the strictly-upper local adjacency."""
+    n = U_local.nrows
+    rows = np.arange(n)[:, None]
+    mask = (U_local.vals != 0) & (U_local.cols > rows) & (U_local.cols < n)
+    levels = np.zeros(n, dtype=np.int64)
+    for _ in range(n + 1):
+        nb = np.where(mask, levels[U_local.cols], -1)
+        new = nb.max(axis=1, initial=-1) + 1
+        if np.array_equal(new, levels):
+            return levels
+        levels = new
+    raise RuntimeError("cycle detected in upper-triangular adjacency")
+
+
+def solve_upper_levelscheduled(
+    U: ELLMatrix,
+    diag: np.ndarray,
+    rhs: np.ndarray,
+    sets: list[np.ndarray],
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Solve ``(D + U_local) y = rhs`` level by level (backward sweep).
+
+    ``U`` may contain ghost couplings; only local strictly-upper entries
+    participate in the substitution — ghost contributions must already
+    be folded into ``rhs`` by the caller.  ``sets`` must come from
+    :func:`upper_levels` in ascending level order (level 0 = rows with
+    no upper neighbors, which backward substitution visits first).
+    """
+    n = U.nrows
+    rows = np.arange(n)[:, None]
+    local_mask = (U.vals != 0) & (U.cols > rows) & (U.cols < n)
+    U_loc = ELLMatrix(
+        cols=np.where(local_mask, U.cols, 0).astype(np.int32),
+        vals=np.where(local_mask, U.vals, 0),
+        ncols=U.ncols,
+    )
+    y = out if out is not None else np.zeros(n, dtype=rhs.dtype)
+    y[:] = 0
+    yfull = np.zeros(U.ncols, dtype=rhs.dtype)
+    for rows_k in sets:
+        contrib = U_loc.spmv_rows(rows_k, yfull)
+        y[rows_k] = (rhs[rows_k] - contrib) / diag[rows_k]
+        yfull[rows_k] = y[rows_k]
+    return y

@@ -1,0 +1,6 @@
+"""Trace events and exporters (rocprof-style timelines, Figure 9)."""
+
+from repro.trace.events import TraceEvent, Timeline
+from repro.trace.exporter import to_chrome_json, to_ascii
+
+__all__ = ["TraceEvent", "Timeline", "to_chrome_json", "to_ascii"]

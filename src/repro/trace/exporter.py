@@ -1,0 +1,68 @@
+"""Trace exporters: Chrome tracing JSON and terminal ASCII art.
+
+``to_chrome_json`` emits the Trace Event Format consumed by
+chrome://tracing and Perfetto, so modeled timelines can be inspected
+with the same class of tools the paper used (rocprof traces).
+``to_ascii`` renders Fig. 9-style bars directly in a terminal for the
+benchmark output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.trace.events import TraceEvent, Timeline
+
+
+def to_chrome_json(timeline: "Timeline | list[TraceEvent]", time_unit: float = 1e6) -> str:
+    """Serialize to Chrome Trace Event Format (complete events, 'X').
+
+    ``time_unit`` converts seconds to the microseconds Chrome expects.
+    """
+    events = timeline.events if isinstance(timeline, Timeline) else timeline
+    records = [
+        {
+            "name": e.name,
+            "cat": e.stream,
+            "ph": "X",
+            "ts": e.start * time_unit,
+            "dur": e.duration * time_unit,
+            "pid": e.rank,
+            "tid": e.stream,
+        }
+        for e in events
+    ]
+    return json.dumps({"traceEvents": records, "displayTimeUnit": "ms"}, indent=1)
+
+
+def to_ascii(
+    timeline: "Timeline | list[TraceEvent]", width: int = 78, label_width: int = 8
+) -> str:
+    """Render streams as rows of '#' bars over a common time axis."""
+    tl = timeline if isinstance(timeline, Timeline) else Timeline(list(timeline))
+    if not tl.events:
+        return "(empty timeline)"
+    t0 = min(e.start for e in tl.events)
+    t1 = max(e.end for e in tl.events)
+    span = max(t1 - t0, 1e-30)
+    cols = width - label_width - 2
+
+    def col(t: float) -> int:
+        return min(int((t - t0) / span * cols), cols - 1)
+
+    lines = []
+    for stream in tl.streams():
+        row = [" "] * cols
+        for e in tl.by_stream(stream):
+            a, b = col(e.start), col(e.end)
+            for i in range(a, max(b, a + 1)):
+                row[i] = "#"
+        lines.append(f"{stream:<{label_width}} |{''.join(row)}|")
+    # Legend with event names in start order.
+    lines.append("")
+    for stream in tl.streams():
+        for e in tl.by_stream(stream):
+            lines.append(
+                f"  [{stream}] {e.name}: {e.start * 1e6:9.1f} .. {e.end * 1e6:9.1f} us"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Small cross-cutting utilities (timers, formatting)."""
+
+from repro.util.timers import MotifTimers, NullTimers
+
+__all__ = ["MotifTimers", "NullTimers"]

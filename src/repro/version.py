@@ -1,0 +1,10 @@
+"""Version information for the HPG-MxP reproduction package."""
+
+__version__ = "1.0.0"
+
+#: Paper this package reproduces.
+PAPER = (
+    "Kashi, Koukpaizan, Lu, Matheson, Oral, Wang: "
+    "Scaling the memory wall using mixed-precision - HPG-MxP on an exascale "
+    "machine (SC'25, arXiv:2507.11512)"
+)

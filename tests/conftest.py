@@ -1,0 +1,48 @@
+"""Shared fixtures: cached problems and communicators.
+
+Problem generation is deterministic, so module-scope caching keeps the
+suite fast without coupling tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.partition import Subdomain
+from repro.parallel.comm import SerialComm
+from repro.stencil.poisson27 import ProblemSpec, generate_problem
+
+
+@pytest.fixture(scope="session")
+def problem8():
+    """Serial 8^3 problem (512 rows) — smallest 4-level-unfriendly box."""
+    return generate_problem(Subdomain.serial(8, 8, 8))
+
+@pytest.fixture(scope="session")
+def problem16():
+    """Serial 16^3 problem (4096 rows) — supports a 4-level hierarchy."""
+    return generate_problem(Subdomain.serial(16, 16, 16))
+
+
+@pytest.fixture(scope="session")
+def problem_nonsym16():
+    return generate_problem(
+        Subdomain.serial(16, 16, 16), spec=ProblemSpec(kind="nonsymmetric")
+    )
+
+
+@pytest.fixture(scope="session")
+def problem_rect():
+    """Non-cubic box to catch x/y/z index transpositions."""
+    return generate_problem(Subdomain.serial(5, 7, 4))
+
+
+@pytest.fixture()
+def comm():
+    return SerialComm()
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)

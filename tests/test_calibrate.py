@@ -1,0 +1,59 @@
+"""Tests for calibration utilities."""
+
+import pytest
+
+from repro.perf.calibrate import (
+    AnchorReport,
+    calibrate_host,
+    measure_dispatch_latency,
+    measure_stream_bandwidth,
+    paper_anchor_report,
+)
+
+
+class TestPaperAnchors:
+    report = paper_anchor_report()
+
+    def test_one_node_rating(self):
+        assert self.report.gflops_per_gcd_1node_mxp == pytest.approx(
+            AnchorReport.PAPER["gflops_per_gcd_1node_mxp"], rel=0.03
+        )
+
+    def test_efficiency(self):
+        assert self.report.efficiency_9408 == pytest.approx(
+            AnchorReport.PAPER["efficiency_9408"], abs=0.02
+        )
+
+    def test_total_pflops(self):
+        assert self.report.total_pflops_9408 == pytest.approx(
+            AnchorReport.PAPER["total_pflops_9408"], rel=0.05
+        )
+
+    def test_speedup(self):
+        assert self.report.speedup_1node == pytest.approx(
+            AnchorReport.PAPER["speedup_1node"], abs=0.08
+        )
+
+    def test_double_below_mxp(self):
+        assert (
+            self.report.gflops_per_gcd_1node_double
+            < self.report.gflops_per_gcd_1node_mxp
+        )
+
+
+class TestHostCalibration:
+    def test_bandwidth_positive_and_sane(self):
+        bw = measure_stream_bandwidth(nbytes=1 << 22, repeats=2)
+        assert 1e8 < bw < 1e13  # between 100 MB/s and 10 TB/s
+
+    def test_dispatch_latency_sane(self):
+        lat = measure_dispatch_latency(repeats=200)
+        assert 1e-8 < lat < 1e-3
+
+    def test_calibrate_host_spec(self):
+        spec = calibrate_host()
+        assert spec.gcds_per_node == 1
+        assert spec.effective_bw > 0
+        # The host spec must be usable by the kernel-time model.
+        t = spec.kernel_time(1e6, 1e3, "fp64")
+        assert t > 0

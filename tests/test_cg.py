@@ -1,0 +1,71 @@
+"""Tests for the preconditioned CG solver (HPCG's Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BoxGrid, ProcessGrid, Subdomain
+from repro.mg import MGConfig
+from repro.parallel import run_spmd
+from repro.solvers import PCGSolver, pcg_solve
+from repro.stencil import generate_problem
+
+
+class TestPCG:
+    def test_converges(self, problem16, comm):
+        x, stats = pcg_solve(problem16, comm, tol=1e-9, maxiter=500)
+        assert stats.converged
+        assert np.abs(x - 1.0).max() < 1e-6
+
+    def test_residual_history_monotonic_envelope(self, problem16, comm):
+        _, stats = pcg_solve(problem16, comm, tol=1e-9, maxiter=500)
+        h = np.array(stats.residual_history)
+        assert h[-1] < 1e-9
+        # CG residuals may oscillate but the envelope decreases.
+        assert np.min(h) == h[-1]
+
+    def test_iteration_cap(self, problem16, comm):
+        _, stats = pcg_solve(problem16, comm, tol=1e-30, maxiter=9)
+        assert stats.iterations == 9
+        assert not stats.converged
+
+    def test_zero_rhs(self, problem16, comm):
+        solver = PCGSolver(problem16, comm)
+        x, stats = solver.solve(np.zeros(problem16.nlocal))
+        assert stats.converged
+        np.testing.assert_array_equal(x, 0.0)
+
+    def test_uses_symmetric_smoother_by_default(self, problem16, comm):
+        solver = PCGSolver(problem16, comm)
+        assert solver.mg_config.sweep == "symmetric"
+
+    def test_comparable_to_gmres_iterations(self, problem16, comm):
+        """On the SPD problem CG and GMRES should converge similarly."""
+        from repro.solvers import gmres_solve
+
+        _, cg_stats = pcg_solve(problem16, comm, tol=1e-9, maxiter=500)
+        _, gm_stats = gmres_solve(problem16, comm, tol=1e-9, maxiter=500)
+        assert cg_stats.iterations <= 2 * gm_stats.iterations
+        assert gm_stats.iterations <= 2 * cg_stats.iterations
+
+    def test_distributed_pcg(self):
+        def fn(comm):
+            pg = ProcessGrid.from_size(comm.size)
+            sub = Subdomain(BoxGrid(8, 8, 8), pg, comm.rank)
+            prob = generate_problem(sub)
+            x, stats = pcg_solve(
+                prob, comm, tol=1e-9, maxiter=500,
+                mg_config=MGConfig(nlevels=2, sweep="symmetric"),
+            )
+            return stats.converged, float(np.abs(x - 1.0).max()), stats.iterations
+
+        results = run_spmd(8, fn)
+        assert all(r[0] for r in results)
+        assert all(r[1] < 1e-5 for r in results)
+        assert len({r[2] for r in results}) == 1
+
+    def test_nonzero_initial_guess(self, problem16, comm):
+        solver = PCGSolver(problem16, comm)
+        x0 = np.full(problem16.nlocal, 2.0)
+        x, stats = solver.solve(problem16.b, x0=x0, tol=1e-9, maxiter=500)
+        assert stats.converged
+        assert np.abs(x - 1.0).max() < 1e-6

@@ -1,0 +1,177 @@
+"""Tests: software collectives and the reordered multicolor smoother."""
+
+import numpy as np
+import pytest
+
+from repro.mg.reordered_gs import ReorderedMulticolorGS
+from repro.mg.smoothers import MulticolorGS
+from repro.parallel import run_spmd
+from repro.parallel.collectives import (
+    ALLREDUCE_ALGORITHMS,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    message_counts,
+)
+from repro.sparse.coloring import color_sets, structured_coloring8
+
+
+class TestSoftwareAllreduce:
+    @pytest.mark.parametrize("algorithm", sorted(ALLREDUCE_ALGORITHMS))
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_matches_rendezvous(self, algorithm, p):
+        fn = ALLREDUCE_ALGORITHMS[algorithm]
+
+        def worker(comm):
+            rng = np.random.default_rng(comm.rank)
+            local = rng.standard_normal(40)
+            soft = fn(comm, local)
+            hard = comm.allreduce(local)
+            return float(np.abs(soft - hard).max())
+
+        errs = run_spmd(p, worker)
+        assert max(errs) < 1e-12
+
+    @pytest.mark.parametrize("algorithm", sorted(ALLREDUCE_ALGORITHMS))
+    def test_single_rank_identity(self, algorithm):
+        fn = ALLREDUCE_ALGORITHMS[algorithm]
+
+        def worker(comm):
+            x = np.arange(5.0)
+            return np.array_equal(fn(comm, x), x)
+
+        assert run_spmd(1, worker) == [True]
+
+    def test_ring_handles_uneven_chunks(self):
+        """n not divisible by p (linspace chunking)."""
+
+        def worker(comm):
+            local = np.full(10, float(comm.rank + 1))  # 10 % 4 != 0
+            out = allreduce_ring(comm, local)
+            return np.allclose(out, 1 + 2 + 3 + 4)
+
+        assert all(run_spmd(4, worker))
+
+    def test_recursive_doubling_rejects_nonpower(self):
+        def worker(comm):
+            allreduce_recursive_doubling(comm, np.ones(4))
+
+        with pytest.raises(RuntimeError, match="power-of-two"):
+            run_spmd(3, worker)
+
+    def test_all_ranks_identical_result(self):
+        def worker(comm):
+            rng = np.random.default_rng(comm.rank + 100)
+            return allreduce_recursive_doubling(comm, rng.standard_normal(16))
+
+        results = run_spmd(8, worker)
+        for r in results[1:]:
+            assert np.array_equal(r, results[0])
+
+
+class TestCollectiveCostModel:
+    def test_recursive_doubling_latency_optimal(self):
+        rd = message_counts("recursive_doubling", 64)
+        ring = message_counts("ring", 64)
+        assert rd["messages"] < ring["messages"]
+
+    def test_ring_bandwidth_optimal(self):
+        rd = message_counts("recursive_doubling", 64)
+        ring = message_counts("ring", 64)
+        assert ring["volume"] < rd["volume"]
+
+    def test_rabenseifner_best_of_both(self):
+        """log messages AND (p-1)/p-scaled volume — why the network
+        model's large-message formula uses it."""
+        rab = message_counts("rabenseifner", 64)
+        rd = message_counts("recursive_doubling", 64)
+        ring = message_counts("ring", 64)
+        assert rab["messages"] <= 2 * rd["messages"]
+        assert rab["volume"] == pytest.approx(ring["volume"])
+
+    def test_serial_free(self):
+        for alg in ALLREDUCE_ALGORITHMS:
+            c = message_counts(alg, 1)
+            assert c["messages"] == 0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            message_counts("butterfly", 8)
+
+
+class TestReorderedMulticolorGS:
+    def make_pair(self, problem):
+        A = problem.A
+        sets = color_sets(structured_coloring8(problem.sub))
+        plain = MulticolorGS(A, A.diagonal(), sets)
+        reordered = ReorderedMulticolorGS(A, problem.sub)
+        return plain, reordered
+
+    def test_forward_agrees(self, problem8, rng):
+        plain, reordered = self.make_pair(problem8)
+        r = rng.standard_normal(problem8.nlocal)
+        x1 = rng.standard_normal(problem8.nlocal)
+        x2 = x1.copy()
+        plain.forward(r, x1)
+        reordered.forward(r, x2)
+        np.testing.assert_allclose(x1, x2, rtol=1e-13, atol=1e-14)
+
+    def test_backward_agrees(self, problem8, rng):
+        plain, reordered = self.make_pair(problem8)
+        r = rng.standard_normal(problem8.nlocal)
+        x1 = rng.standard_normal(problem8.nlocal)
+        x2 = x1.copy()
+        plain.backward(r, x1)
+        reordered.backward(r, x2)
+        np.testing.assert_allclose(x1, x2, rtol=1e-13, atol=1e-14)
+
+    def test_blocks_are_contiguous_partition(self, problem16):
+        _, reordered = self.make_pair(problem16)
+        cursor = 0
+        for start, end in reordered.blocks:
+            assert start == cursor
+            assert end > start
+            cursor = end
+        assert cursor == problem16.nlocal
+
+    def test_num_passes(self, problem16):
+        _, reordered = self.make_pair(problem16)
+        assert reordered.num_passes == 8
+
+    def test_multiple_sweeps_converge(self, problem8):
+        _, reordered = self.make_pair(problem8)
+        A, b = problem8.A, problem8.b
+        x = np.zeros(problem8.nlocal)
+        for _ in range(6):
+            reordered.forward(b, x)
+        assert np.linalg.norm(b - A.spmv(x)) < 0.12 * np.linalg.norm(b)
+
+
+class TestSurfaceToVolumeScaling:
+    def test_comm_scales_as_two_thirds_power(self):
+        """§2: local compute is O(nu), communication O(nu^(2/3)).
+
+        Measured with real comm.stats over growing local boxes on a
+        fixed 8-rank grid: bytes per exchange must scale like n^2 while
+        rows scale like n^3.
+        """
+        from repro.geometry import BoxGrid, ProcessGrid, Subdomain
+        from repro.parallel import HaloExchange
+        from repro.stencil import generate_problem
+
+        def measure(n):
+            def worker(comm):
+                pg = ProcessGrid.from_size(comm.size)
+                sub = Subdomain(BoxGrid(n, n, n), pg, comm.rank)
+                prob = generate_problem(sub)
+                halo = HaloExchange(prob.halo, comm)
+                xfull = halo.full_vector(np.ones(sub.nlocal))
+                halo.exchange(xfull)
+                return comm.stats.send_bytes
+
+            return max(run_spmd(8, worker))
+
+        b4, b8 = measure(4), measure(8)
+        ratio = b8 / b4
+        # Surface scaling: doubling n should ~quadruple bytes (x4),
+        # far below the x8 volume scaling.
+        assert 3.0 < ratio < 5.5

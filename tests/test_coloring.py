@@ -1,0 +1,146 @@
+"""Unit tests for multicoloring and reordering."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Subdomain
+from repro.sparse import (
+    color_sets,
+    coloring_permutation,
+    greedy_coloring,
+    inverse_permutation,
+    jpl_coloring,
+    permute_symmetric,
+    rcm_ordering,
+    structured_coloring8,
+    validate_coloring,
+)
+from repro.sparse.reorder import permute_vector, unpermute_vector
+from repro.stencil import generate_problem
+
+
+class TestStructuredColoring:
+    def test_exactly_8_colors(self, problem16):
+        colors = structured_coloring8(problem16.sub)
+        assert colors.max() == 7
+        assert colors.min() == 0
+
+    def test_valid_on_27pt_stencil(self, problem16):
+        colors = structured_coloring8(problem16.sub)
+        assert validate_coloring(problem16.A, colors)
+
+    def test_valid_on_rectangular_box(self, problem_rect):
+        colors = structured_coloring8(problem_rect.sub)
+        assert validate_coloring(problem_rect.A, colors)
+
+    def test_balanced_on_even_box(self, problem16):
+        colors = structured_coloring8(problem16.sub)
+        counts = np.bincount(colors)
+        assert np.all(counts == problem16.nlocal // 8)
+
+    def test_paper_2d_analog_uses_4_colors(self):
+        """Figure 2: the 9-point stencil in 2D needs 4 independent sets.
+
+        A 'flat' 3D box (nz=1) reduces the 27-point stencil to 9-point.
+        """
+        prob = generate_problem(Subdomain.serial(6, 6, 1))
+        colors = structured_coloring8(prob.sub)
+        assert len(np.unique(colors)) == 4
+        assert validate_coloring(prob.A, colors)
+
+
+class TestJPLColoring:
+    def test_valid(self, problem16):
+        colors = jpl_coloring(problem16.A)
+        assert validate_coloring(problem16.A, colors)
+
+    def test_all_colored(self, problem16):
+        colors = jpl_coloring(problem16.A)
+        assert colors.min() >= 0
+
+    def test_at_most_degree_plus_one_colors(self, problem16):
+        colors = jpl_coloring(problem16.A)
+        assert colors.max() + 1 <= 27  # degree 26 graph
+
+    def test_deterministic_for_seed(self, problem16):
+        c1 = jpl_coloring(problem16.A, seed=42)
+        c2 = jpl_coloring(problem16.A, seed=42)
+        assert np.array_equal(c1, c2)
+
+    def test_different_seeds_differ(self, problem16):
+        c1 = jpl_coloring(problem16.A, seed=1)
+        c2 = jpl_coloring(problem16.A, seed=2)
+        assert not np.array_equal(c1, c2)
+
+
+class TestGreedyColoring:
+    def test_valid_and_8_colors_lexicographic(self, problem8):
+        colors = greedy_coloring(problem8.A)
+        assert validate_coloring(problem8.A, colors)
+        # First-fit in lexicographic order reproduces the structured 8.
+        assert colors.max() + 1 == 8
+
+    def test_matches_structured_on_stencil(self, problem8):
+        greedy = greedy_coloring(problem8.A)
+        structured = structured_coloring8(problem8.sub)
+        assert np.array_equal(greedy, structured)
+
+    def test_custom_order_still_valid(self, problem8, rng):
+        order = rng.permutation(problem8.nlocal)
+        colors = greedy_coloring(problem8.A, order=order)
+        assert validate_coloring(problem8.A, colors)
+
+
+class TestColorSets:
+    def test_partition(self, problem16):
+        colors = structured_coloring8(problem16.sub)
+        sets = color_sets(colors)
+        assert len(sets) == 8
+        combined = np.sort(np.concatenate(sets))
+        assert np.array_equal(combined, np.arange(problem16.nlocal))
+
+    def test_sets_sorted(self, problem16):
+        for s in color_sets(structured_coloring8(problem16.sub)):
+            assert np.all(np.diff(s) > 0)
+
+    def test_empty(self):
+        assert color_sets(np.array([], dtype=np.int32)) == []
+
+
+class TestPermutation:
+    def test_inverse(self, rng):
+        p = rng.permutation(50)
+        inv = inverse_permutation(p)
+        assert np.array_equal(p[inv], np.arange(50))
+
+    def test_coloring_permutation_groups_colors(self, problem8):
+        colors = structured_coloring8(problem8.sub)
+        old_of_new, new_of_old = coloring_permutation(colors)
+        reordered = colors[old_of_new]
+        assert np.all(np.diff(reordered) >= 0)  # non-decreasing colors
+        assert np.array_equal(inverse_permutation(old_of_new), new_of_old)
+
+    def test_permute_symmetric_preserves_operator(self, problem8, rng):
+        """P A P^T x' where x' = P x must equal P (A x)."""
+        A = problem8.A
+        n = A.nrows
+        colors = structured_coloring8(problem8.sub)
+        _, new_of_old = coloring_permutation(colors)
+        B = permute_symmetric(A, new_of_old)
+        x = rng.standard_normal(n)
+        y_ref = A.spmv(x)
+        y_perm = B.spmv(permute_vector(x, new_of_old))
+        np.testing.assert_allclose(unpermute_vector(y_perm, new_of_old), y_ref, rtol=1e-13)
+
+    def test_permute_vector_roundtrip(self, rng):
+        x = rng.standard_normal(20)
+        p = rng.permutation(20)
+        assert np.allclose(unpermute_vector(permute_vector(x, p), p), x)
+
+    def test_permute_wrong_length(self, problem8):
+        with pytest.raises(ValueError):
+            permute_symmetric(problem8.A, np.arange(3))
+
+    def test_rcm_is_permutation(self, problem8):
+        perm = rcm_ordering(problem8.A)
+        assert np.array_equal(np.sort(perm), np.arange(problem8.nlocal))

@@ -1,0 +1,161 @@
+"""Stress and odd-shape tests of the distributed stack."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BoxGrid, ProcessGrid, Subdomain
+from repro.mg import MGConfig
+from repro.parallel import HaloExchange, run_spmd
+from repro.solvers import DistributedOperator, gmres_solve
+from repro.stencil import generate_problem
+
+
+def spmv_check(comm, proc, local_dims, serial_dims):
+    """Distributed SpMV vs serial, returns per-rank bool."""
+    sub = Subdomain(BoxGrid(*local_dims), proc, comm.rank)
+    prob = generate_problem(sub)
+    op = DistributedOperator(prob.A, prob.halo, comm)
+    gx, gy, gz = sub.global_coords()
+    x = (gx * 1.0 + 100.0 * gy + 10000.0 * gz).astype(np.float64)
+    y = op.matvec(x)
+
+    serial = generate_problem(Subdomain.serial(*serial_dims))
+    sgx, sgy, sgz = serial.sub.global_coords()
+    xs = (sgx * 1.0 + 100.0 * sgy + 10000.0 * sgz).astype(np.float64)
+    ys = serial.A.spmv(xs)
+    gids = sub.global_grid.linear_index(gx, gy, gz)
+    return bool(np.allclose(y, ys[gids], rtol=1e-13))
+
+
+class TestOddRankCounts:
+    def test_3_ranks_strip(self):
+        proc = ProcessGrid.from_size(3)
+
+        def fn(comm):
+            return spmv_check(comm, proc, (4, 4, 4),
+                              (4 * proc.px, 4 * proc.py, 4 * proc.pz))
+
+        assert all(run_spmd(3, fn))
+
+    def test_6_ranks(self):
+        proc = ProcessGrid.from_size(6)
+
+        def fn(comm):
+            return spmv_check(comm, proc, (4, 4, 4),
+                              (4 * proc.px, 4 * proc.py, 4 * proc.pz))
+
+        assert all(run_spmd(6, fn))
+
+    def test_12_ranks(self):
+        proc = ProcessGrid.from_size(12)
+
+        def fn(comm):
+            return spmv_check(comm, proc, (3, 3, 3),
+                              (3 * proc.px, 3 * proc.py, 3 * proc.pz))
+
+        assert all(run_spmd(12, fn))
+
+    def test_27_ranks_middle_has_26_neighbors(self):
+        def fn(comm):
+            pg = ProcessGrid.from_size(comm.size)
+            sub = Subdomain(BoxGrid(3, 3, 3), pg, comm.rank)
+            prob = generate_problem(sub)
+            halo = HaloExchange(prob.halo, comm)
+            xfull = halo.full_vector(np.ones(sub.nlocal))
+            halo.exchange(xfull)
+            return halo.num_neighbors
+
+        counts = run_spmd(27, fn)
+        # 3x3x3 grid: the center rank talks to all 26 neighbors.
+        assert max(counts) == 26
+        assert counts.count(7) == 8  # corners
+
+
+class TestAnisotropicBoxes:
+    def test_rectangular_local_box(self):
+        proc = ProcessGrid(2, 1, 1)
+
+        def fn(comm):
+            return spmv_check(comm, proc, (4, 6, 2), (8, 6, 2))
+
+        assert all(run_spmd(2, fn))
+
+    def test_anisotropic_solve(self):
+        prob = generate_problem(Subdomain.serial(16, 8, 24))
+        from repro.parallel import SerialComm
+
+        x, stats = gmres_solve(
+            prob, SerialComm(), tol=1e-9, maxiter=500,
+            mg_config=MGConfig(nlevels=2),
+        )
+        assert stats.converged
+        assert np.abs(x - 1.0).max() < 1e-6
+
+
+class TestConcurrentSolves:
+    def test_interleaved_collectives_and_p2p(self):
+        """Two different tag spaces and reductions interleave safely."""
+
+        def fn(comm):
+            rng = np.random.default_rng(comm.rank)
+            total = 0.0
+            for round_ in range(5):
+                # Ring p2p with round-specific tags.
+                right = (comm.rank + 1) % comm.size
+                left = (comm.rank - 1) % comm.size
+                comm.send(np.array([float(comm.rank + round_)]), right, tag=round_)
+                got = comm.recv(left, tag=round_)
+                total += comm.allreduce(float(got[0]))
+            return total
+
+        results = run_spmd(4, fn)
+        assert len(set(results)) == 1
+
+    def test_repeated_spmd_runs_isolated(self):
+        """Back-to-back SPMD executions don't leak state."""
+        for trial in range(3):
+            res = run_spmd(4, lambda comm: comm.allreduce(1.0))
+            assert res == [4.0] * 4
+
+    def test_large_rank_count_collectives(self):
+        res = run_spmd(16, lambda comm: comm.allreduce(float(comm.rank)))
+        assert res == [120.0] * 16
+
+
+class TestMGLevelVariants:
+    @pytest.mark.parametrize("nlevels", [1, 2, 3, 4])
+    def test_solver_converges_any_depth(self, nlevels, problem16, comm):
+        _, stats = gmres_solve(
+            problem16, comm, tol=1e-9, maxiter=1500,
+            mg_config=MGConfig(nlevels=nlevels),
+        )
+        assert stats.converged, nlevels
+
+    def test_deeper_hierarchy_fewer_iterations(self, problem16, comm):
+        """More levels = stronger preconditioner on this problem."""
+        iters = {}
+        for nlevels in (1, 4):
+            _, stats = gmres_solve(
+                problem16, comm, tol=1e-9, maxiter=1500,
+                mg_config=MGConfig(nlevels=nlevels),
+            )
+            iters[nlevels] = stats.iterations
+        assert iters[4] < iters[1]
+
+    def test_extra_smoothing_helps_or_equal(self, problem16, comm):
+        _, s1 = gmres_solve(
+            problem16, comm, tol=1e-9, maxiter=1500,
+            mg_config=MGConfig(npre=1, npost=1),
+        )
+        _, s2 = gmres_solve(
+            problem16, comm, tol=1e-9, maxiter=1500,
+            mg_config=MGConfig(npre=2, npost=2),
+        )
+        assert s2.iterations <= s1.iterations
+
+    def test_coarse_sweeps_config(self, problem16, comm):
+        _, stats = gmres_solve(
+            problem16, comm, tol=1e-9, maxiter=1500,
+            mg_config=MGConfig(coarse_sweeps=3),
+        )
+        assert stats.converged

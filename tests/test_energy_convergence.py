@@ -1,0 +1,110 @@
+"""Tests for the energy model and the iteration-scaling fit."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    fit_iteration_scaling,
+    measure_iteration_scaling,
+)
+from repro.perf.energy import DEFAULT_ENERGY, EnergyModel, EnergySpec
+from repro.perf.scaling import ScalingModel
+
+
+class TestEnergyModel:
+    model = EnergyModel()
+
+    def test_components_positive(self):
+        prof = self.model.cycle_energy("mxp", 8)
+        for k, v in prof.breakdown().items():
+            assert v >= 0, k
+        assert prof.total_j > 0
+
+    def test_mixed_precision_saves_energy(self):
+        """The intro's motivation: lower precision saves energy."""
+        saving = self.model.mixed_precision_saving(8)
+        assert saving > 1.2
+
+    def test_saving_tracks_speedup(self):
+        """Bandwidth-bound: energy saving ~ byte ratio ~ speedup."""
+        saving = self.model.mixed_precision_saving(8)
+        speedup = ScalingModel().motif_speedups(8)["total"] / ScalingModel().penalty
+        assert abs(saving - speedup) < 0.35
+
+    def test_energy_per_gflop_lower_for_mxp(self):
+        e_m = self.model.energy_per_gflop("mxp", 8)
+        e_d = self.model.energy_per_gflop("double", 8)
+        assert e_m < e_d
+
+    def test_static_power_dominates_at_these_rates(self):
+        """With ~1 TB/s at 60 pJ/B, static power is a large share —
+        the well-known reason speedups translate to energy savings."""
+        prof = self.model.cycle_energy("double", 8)
+        assert prof.static_j > prof.compute_j
+
+    def test_custom_spec(self):
+        spec = EnergySpec(static_watts=0.0)
+        model = EnergyModel(energy=spec)
+        prof = model.cycle_energy("mxp", 8)
+        assert prof.static_j == 0.0
+
+    def test_pj_per_flop_lookup(self):
+        assert DEFAULT_ENERGY.pj_per_flop("fp64") > DEFAULT_ENERGY.pj_per_flop("fp32")
+        assert DEFAULT_ENERGY.pj_per_flop("fp32") > DEFAULT_ENERGY.pj_per_flop("fp16")
+
+
+class TestIterationScalingFit:
+    def test_perfect_power_law_recovered(self):
+        sizes = [1000, 8000, 64000, 512000]
+        iters = [round(2.0 * s**0.333) for s in sizes]
+        fit = fit_iteration_scaling(sizes, iters)
+        assert fit.alpha == pytest.approx(0.333, abs=0.02)
+        assert fit.c == pytest.approx(2.0, rel=0.1)
+        assert fit.r_squared > 0.999
+
+    def test_predict(self):
+        fit = fit_iteration_scaling([1000, 8000], [10, 20])
+        assert fit.predict(8000) == pytest.approx(20, rel=0.01)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_iteration_scaling([100], [5])
+
+    def test_describe(self):
+        fit = fit_iteration_scaling([1000, 8000], [10, 20])
+        assert "N^" in fit.describe()
+
+    def test_real_measurement_exponent_near_third(self):
+        """Real solves: iterations grow ~ N^(1/3) (fixed-depth MG)."""
+        fit = measure_iteration_scaling(box_sizes=[16, 24, 32])
+        assert 0.2 < fit.alpha < 0.45
+        assert fit.r_squared > 0.95
+        # The paper's validation run lies far above our extrapolation's
+        # floor but the growth direction must be right.
+        assert fit.predict_paper_validation() > fit.iterations[-1]
+
+    def test_mixed_measurement_runs(self):
+        fit = measure_iteration_scaling(box_sizes=[16, 24], mixed=True)
+        assert fit.iterations[0] > 0
+
+
+class TestHalfPrecisionProjection:
+    def test_fp16_speedup_exceeds_fp32(self):
+        """§5: strategic fp16 should give 'an even higher speedup'."""
+        model = ScalingModel()
+        s32 = model.motif_speedups(8)["total"]
+        s16 = model.half_precision_projection(8)["total"]
+        assert s16 > s32
+
+    def test_fp16_below_4x(self):
+        """Index traffic bounds fp16 gains well below the 4x ideal."""
+        model = ScalingModel()
+        s16 = model.half_precision_projection(8)
+        assert s16["total"] < 3.0
+        assert s16["ortho"] > s16["spmv"]
+
+    def test_mxp_half_mode_profile(self):
+        model = ScalingModel()
+        prof = model.cycle_profile("mxp-half", 8)
+        prof32 = model.cycle_profile("mxp", 8)
+        assert prof.total_seconds < prof32.total_seconds

@@ -1,0 +1,84 @@
+"""Tests for the programmatic figure-data API."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis import (
+    all_figures,
+    fig4_weak_scaling,
+    fig5_motif_speedups,
+    fig6_k80_speedups,
+    fig7_time_breakdown,
+    fig8_roofline,
+    fig9_overlap,
+)
+
+
+class TestFigureSeries:
+    def test_csv_roundtrip(self):
+        s = fig4_weak_scaling([1, 8])
+        parsed = list(csv.reader(io.StringIO(s.to_csv())))
+        assert parsed[0] == s.columns
+        assert len(parsed) == len(s.rows) + 1
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "fig4.csv"
+        fig4_weak_scaling([1]).save(str(path))
+        assert "nodes" in path.read_text()
+
+    def test_column_extraction(self):
+        s = fig4_weak_scaling([1, 8, 64])
+        assert s.column("nodes") == [1, 8, 64]
+        with pytest.raises(ValueError):
+            s.column("nope")
+
+
+class TestFigureContents:
+    def test_fig4_anchor(self):
+        s = fig4_weak_scaling([1, 9408])
+        assert s.column("present_total_pflops")[-1] == pytest.approx(17.23, rel=0.05)
+        # present beats xsdk everywhere.
+        for p, x in zip(
+            s.column("present_mxp_gflops_per_gcd"),
+            s.column("xsdk_mxp_gflops_per_gcd"),
+        ):
+            assert p > x
+
+    def test_fig5_total_near_1_6(self):
+        s = fig5_motif_speedups([1])
+        assert s.rows[0][-1] == pytest.approx(1.6, abs=0.07)
+
+    def test_fig6_rows(self):
+        s = fig6_k80_speedups()
+        assert len(s.rows) == 3
+        assert all(1.2 < r[-1] < 1.9 for r in s.rows)
+
+    def test_fig7_fractions_sum_below_one(self):
+        s = fig7_time_breakdown([1])
+        for row in s.rows:
+            assert 0.9 < sum(row[2:]) <= 1.0  # four main motifs dominate
+
+    def test_fig8_ten_kernels_memory_bound(self):
+        s = fig8_roofline()
+        assert len(s.rows) == 10
+        assert all(row[-1] for row in s.rows)
+
+    def test_fig9_monotone_exposure(self):
+        s = fig9_overlap()
+        exposed = s.column("exposed_comm_us")
+        assert exposed == sorted(exposed)
+        assert s.rows[0][-1] and not s.rows[-1][-1]
+
+    def test_all_figures_keys(self):
+        figs = all_figures()
+        assert set(figs) == {
+            "fig4_weak_scaling",
+            "fig5_motif_speedups",
+            "fig6_k80_speedups",
+            "fig7_time_breakdown",
+            "fig8_roofline",
+            "fig9_overlap",
+        }
+        assert all(s.rows for s in figs.values())

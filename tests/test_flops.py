@@ -1,0 +1,138 @@
+"""Unit tests for the flop-count model."""
+
+import pytest
+
+from repro.core.flops import (
+    LevelDims,
+    flops_dot,
+    flops_fused_restrict,
+    flops_gmres_cycle_overhead,
+    flops_gmres_iteration,
+    flops_gmres_solve,
+    flops_gs_sweep,
+    flops_mg_vcycle,
+    flops_ortho_step,
+    flops_pcg_iteration,
+    flops_prolong,
+    flops_spmv,
+    flops_unfused_restrict,
+    flops_waxpby,
+    hierarchy_dims,
+    stencil27_nnz,
+    total_flops,
+)
+from repro.mg.multigrid import MGConfig
+
+
+class TestStencilNNZ:
+    def test_1x1x1(self):
+        assert stencil27_nnz(1, 1, 1) == 1
+
+    def test_2x2x2(self):
+        # Every point couples to all 8 points: 8 * 8.
+        assert stencil27_nnz(2, 2, 2) == 64
+
+    def test_matches_generated(self, problem16, problem_rect):
+        assert stencil27_nnz(16, 16, 16) == problem16.A.nnz
+        assert stencil27_nnz(5, 7, 4) == problem_rect.A.nnz
+
+    def test_large_limit(self):
+        """nnz/n -> 27 as the box grows."""
+        n = 100
+        assert stencil27_nnz(n, n, n) / n**3 == pytest.approx(27.0, rel=0.1)
+
+
+class TestHierarchyDims:
+    def test_halving(self):
+        dims = hierarchy_dims(32, 32, 32, 4)
+        assert [d.n for d in dims] == [32768, 4096, 512, 64]
+
+    def test_row_width(self):
+        assert all(d.row_width == 27 for d in hierarchy_dims(16, 16, 16, 3))
+
+
+class TestElementaryCounts:
+    def test_spmv(self):
+        assert flops_spmv(100) == 200
+
+    def test_gs(self):
+        assert flops_gs_sweep(100, 10) == 220
+
+    def test_dot_waxpby(self):
+        assert flops_dot(10) == 20
+        assert flops_waxpby(10) == 30
+
+    def test_ortho_cgs2_double_of_cgs(self):
+        n, k = 1000, 5
+        cgs2 = flops_ortho_step(n, k, "cgs2")
+        cgs = flops_ortho_step(n, k, "cgs")
+        assert cgs2 - 3 * n == 2 * (cgs - 3 * n)
+
+    def test_fused_much_smaller_than_unfused(self):
+        """The §3.2.4 optimization: restrict work drops ~8x."""
+        nnz, n = 27 * 32**3, 32**3
+        fused = flops_fused_restrict(27, n // 8)
+        unfused = flops_unfused_restrict(nnz, n)
+        assert fused < unfused / 6
+
+    def test_prolong(self):
+        assert flops_prolong(64) == 64
+
+
+class TestComposite:
+    def setup_method(self):
+        self.dims = hierarchy_dims(16, 16, 16, 4)
+        self.cfg = MGConfig()
+
+    def test_mg_vcycle_keys(self):
+        mg = flops_mg_vcycle(self.dims, self.cfg)
+        assert set(mg) == {"gs", "restrict", "prolong"}
+        assert all(v > 0 for v in mg.values())
+
+    def test_symmetric_sweep_doubles_gs(self):
+        fwd = flops_mg_vcycle(self.dims, MGConfig())["gs"]
+        sym = flops_mg_vcycle(self.dims, MGConfig(sweep="symmetric"))["gs"]
+        assert sym == 2 * fwd
+
+    def test_gs_dominated_by_fine_level(self):
+        mg = flops_mg_vcycle(self.dims, self.cfg)
+        fine_sweeps = 2 * flops_gs_sweep(self.dims[0].nnz, self.dims[0].n)
+        assert mg["gs"] < 1.25 * fine_sweeps
+
+    def test_iteration_ortho_grows_with_k(self):
+        f1 = flops_gmres_iteration(self.dims, self.cfg, 1)
+        f9 = flops_gmres_iteration(self.dims, self.cfg, 9)
+        assert f9["ortho"] > f1["ortho"]
+        assert f9["gs"] == f1["gs"]
+        assert f9["spmv"] == f1["spmv"]
+
+    def test_solve_total_consistency(self):
+        """Total of a 2-cycle solve = sum of its parts."""
+        cycles = [3, 2]
+        totals = flops_gmres_solve(self.dims, self.cfg, cycles)
+        manual = {m: 0 for m in totals}
+        for klen in cycles:
+            for k in range(1, klen + 1):
+                for m, f in flops_gmres_iteration(self.dims, self.cfg, k).items():
+                    manual[m] += f
+            for m, f in flops_gmres_cycle_overhead(self.dims, self.cfg, klen).items():
+                manual[m] += f
+        assert totals == manual
+
+    def test_empty_solve(self):
+        assert total_flops(flops_gmres_solve(self.dims, self.cfg, [])) == 0
+
+    def test_pcg_iteration(self):
+        pcg = flops_pcg_iteration(self.dims, MGConfig(sweep="symmetric"))
+        assert pcg["dot"] == 3 * flops_dot(self.dims[0].n)
+        assert pcg["waxpby"] == 3 * flops_waxpby(self.dims[0].n)
+        assert pcg["spmv"] == flops_spmv(self.dims[0].nnz)
+
+    def test_hpcg_flops_magnitude(self):
+        """HPCG model: ~(2+8+2)*nnz + O(n) per iteration; sanity check
+        the per-iteration total against a hand estimate."""
+        dims = hierarchy_dims(32, 32, 32, 4)
+        per_iter = total_flops(flops_pcg_iteration(dims, MGConfig(sweep="symmetric")))
+        nnz = dims[0].nnz
+        # SpMV 2nnz + symGS 4nnz * (2 sweeps + coarse, over levels ~1.14)
+        assert 6 * nnz < per_iter < 13 * nnz

@@ -1,0 +1,157 @@
+"""Unit tests for grids, processor grids, and subdomains."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BoxGrid, ProcessGrid, Subdomain, factor3d
+
+
+class TestBoxGrid:
+    def test_npoints(self):
+        assert BoxGrid(3, 4, 5).npoints == 60
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BoxGrid(0, 4, 5)
+
+    def test_linear_index_roundtrip(self):
+        g = BoxGrid(5, 7, 3)
+        i = np.arange(g.npoints)
+        ix, iy, iz = g.coords(i)
+        assert np.array_equal(g.linear_index(ix, iy, iz), i)
+
+    def test_x_fastest_convention(self):
+        g = BoxGrid(4, 3, 2)
+        # point (1, 0, 0) must be index 1; (0, 1, 0) index 4; (0,0,1) 12.
+        assert g.linear_index(1, 0, 0) == 1
+        assert g.linear_index(0, 1, 0) == 4
+        assert g.linear_index(0, 0, 1) == 12
+
+    def test_all_coords_order(self):
+        g = BoxGrid(2, 2, 2)
+        ix, iy, iz = g.all_coords()
+        assert list(ix) == [0, 1, 0, 1, 0, 1, 0, 1]
+        assert list(iz) == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_contains(self):
+        g = BoxGrid(4, 4, 4)
+        assert g.contains(0, 0, 0)
+        assert g.contains(3, 3, 3)
+        assert not g.contains(-1, 0, 0)
+        assert not g.contains(0, 4, 0)
+
+    def test_contains_vectorized(self):
+        g = BoxGrid(2, 2, 2)
+        ix = np.array([-1, 0, 1, 2])
+        res = g.contains(ix, np.zeros(4, int), np.zeros(4, int))
+        assert list(res) == [False, True, True, False]
+
+    def test_coarsen(self):
+        assert BoxGrid(16, 8, 32).coarsen().shape == (8, 4, 16)
+
+    def test_coarsen_rejects_odd(self):
+        with pytest.raises(ValueError):
+            BoxGrid(9, 8, 8).coarsen()
+
+    def test_boundary_mask_counts(self):
+        g = BoxGrid(4, 4, 4)
+        # 4^3 - 2^3 interior = 56 boundary points.
+        assert g.boundary_mask().sum() == 56
+
+
+class TestFactor3D:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8, 12, 16, 27, 64, 100, 128])
+    def test_product(self, p):
+        px, py, pz = factor3d(p)
+        assert px * py * pz == p
+
+    def test_cube_counts_stay_cubic(self):
+        assert sorted(factor3d(8)) == [2, 2, 2]
+        assert sorted(factor3d(27)) == [3, 3, 3]
+        assert sorted(factor3d(64)) == [4, 4, 4]
+
+    def test_spread_is_minimal_for_12(self):
+        dims = sorted(factor3d(12))
+        assert dims[2] - dims[0] <= 2  # 2x2x3 is optimal
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factor3d(0)
+
+
+class TestProcessGrid:
+    def test_rank_coords_roundtrip(self):
+        pg = ProcessGrid(2, 3, 4)
+        for rank in range(pg.size):
+            cx, cy, cz = pg.rank_coords(rank)
+            assert pg.coords_rank(cx, cy, cz) == rank
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(2, 2, 2).rank_coords(8)
+
+    def test_neighbor_interior(self):
+        pg = ProcessGrid(3, 3, 3)
+        center = pg.coords_rank(1, 1, 1)
+        assert pg.neighbor(center, (1, 0, 0)) == pg.coords_rank(2, 1, 1)
+        assert pg.neighbor(center, (-1, -1, -1)) == pg.coords_rank(0, 0, 0)
+
+    def test_neighbor_at_edge_is_none(self):
+        pg = ProcessGrid(2, 2, 2)
+        assert pg.neighbor(0, (-1, 0, 0)) is None
+
+    def test_middle_rank_has_26_neighbors(self):
+        pg = ProcessGrid(3, 3, 3)
+        center = pg.coords_rank(1, 1, 1)
+        assert len(pg.neighbors(center)) == 26
+
+    def test_corner_rank_has_7_neighbors(self):
+        pg = ProcessGrid(2, 2, 2)
+        assert len(pg.neighbors(0)) == 7
+
+    def test_from_size(self):
+        assert ProcessGrid.from_size(8).size == 8
+
+
+class TestSubdomain:
+    def test_global_grid(self):
+        sub = Subdomain(BoxGrid(4, 4, 4), ProcessGrid(2, 3, 1), 0)
+        assert sub.global_grid.shape == (8, 12, 4)
+
+    def test_origin(self):
+        pg = ProcessGrid(2, 2, 2)
+        sub = Subdomain(BoxGrid(4, 4, 4), pg, pg.coords_rank(1, 0, 1))
+        assert sub.origin == (4, 0, 4)
+
+    def test_global_coords_cover_global_grid(self):
+        pg = ProcessGrid(2, 2, 1)
+        seen = set()
+        for rank in range(pg.size):
+            sub = Subdomain(BoxGrid(2, 2, 2), pg, rank)
+            gx, gy, gz = sub.global_coords()
+            gg = sub.global_grid
+            seen.update(gg.linear_index(gx, gy, gz).tolist())
+        assert seen == set(range(4 * 4 * 2))
+
+    def test_owner_of_self(self):
+        pg = ProcessGrid(2, 2, 2)
+        for rank in range(8):
+            sub = Subdomain(BoxGrid(3, 3, 3), pg, rank)
+            gx, gy, gz = sub.global_coords()
+            owners = sub.owner_of(gx, gy, gz)
+            assert np.all(owners == rank)
+
+    def test_owner_of_outside_domain(self):
+        sub = Subdomain.serial(4)
+        assert sub.owner_of(-1, 0, 0) == -1
+        assert sub.owner_of(4, 0, 0) == -1
+
+    def test_coarsen(self):
+        sub = Subdomain.serial(16)
+        assert sub.coarsen().local.shape == (8, 8, 8)
+        assert sub.coarsen().rank == sub.rank
+
+    def test_serial_helper(self):
+        sub = Subdomain.serial(4, 5, 6)
+        assert sub.nlocal == 120
+        assert sub.proc.size == 1

@@ -1,0 +1,137 @@
+"""Unit tests for halo patterns (ghost layout and overlap split)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    DIRECTIONS,
+    BoxGrid,
+    ProcessGrid,
+    Subdomain,
+    build_halo_pattern,
+    direction_index,
+    opposite_direction,
+)
+from repro.geometry.halo import CENTER_SLOT, STENCIL_OFFSETS
+
+
+class TestDirections:
+    def test_26_directions(self):
+        assert len(DIRECTIONS) == 26
+        assert (0, 0, 0) not in DIRECTIONS
+
+    def test_27_stencil_offsets(self):
+        assert len(STENCIL_OFFSETS) == 27
+        assert STENCIL_OFFSETS[CENTER_SLOT] == (0, 0, 0)
+
+    def test_opposite(self):
+        assert opposite_direction((1, -1, 0)) == (-1, 1, 0)
+
+    def test_direction_index_roundtrip(self):
+        for i, d in enumerate(DIRECTIONS):
+            assert direction_index(d) == i
+
+
+def middle_subdomain(local=4):
+    pg = ProcessGrid(3, 3, 3)
+    return Subdomain(BoxGrid(local, local, local), pg, pg.coords_rank(1, 1, 1))
+
+
+class TestHaloPattern:
+    def test_serial_has_no_ghosts(self):
+        pat = build_halo_pattern(Subdomain.serial(4))
+        assert pat.n_ghost == 0
+        assert pat.directions == []
+        assert len(pat.boundary_rows) == 0
+        assert len(pat.interior_rows) == 64
+
+    def test_middle_rank_26_neighbors(self):
+        pat = build_halo_pattern(middle_subdomain())
+        assert len(pat.neighbor_ranks) == 26
+
+    def test_ghost_count_middle(self):
+        n = 4
+        pat = build_halo_pattern(middle_subdomain(n))
+        expected = 6 * n * n + 12 * n + 8  # faces + edges + corners
+        assert pat.n_ghost == expected
+
+    def test_send_counts_match_block_dims(self):
+        n = 4
+        pat = build_halo_pattern(middle_subdomain(n))
+        for d in pat.directions:
+            nz_axes = sum(1 for c in d if c != 0)
+            expected = n ** (3 - nz_axes)
+            assert len(pat.send_indices[d]) == expected
+            assert pat.ghost_counts[d] == expected
+
+    def test_ghost_offsets_are_contiguous(self):
+        pat = build_halo_pattern(middle_subdomain(4))
+        cursor = 0
+        for d in pat.directions:
+            assert pat.ghost_offsets[d] == cursor
+            cursor += pat.ghost_counts[d]
+        assert cursor == pat.n_ghost
+
+    def test_send_indices_sorted(self):
+        pat = build_halo_pattern(middle_subdomain(4))
+        for d in pat.directions:
+            idx = pat.send_indices[d]
+            assert np.all(np.diff(idx) > 0)
+
+    def test_boundary_plus_interior_partition(self):
+        pat = build_halo_pattern(middle_subdomain(4))
+        all_rows = np.sort(np.concatenate([pat.boundary_rows, pat.interior_rows]))
+        assert np.array_equal(all_rows, np.arange(64))
+
+    def test_middle_rank_interior_is_strict_interior(self):
+        n = 4
+        pat = build_halo_pattern(middle_subdomain(n))
+        assert len(pat.interior_rows) == (n - 2) ** 3
+
+    def test_corner_rank_overlap_split(self):
+        pg = ProcessGrid(2, 2, 2)
+        sub = Subdomain(BoxGrid(4, 4, 4), pg, 0)  # corner of proc grid
+        pat = build_halo_pattern(sub)
+        # Only the three high faces have neighbors.
+        assert len(pat.neighbor_ranks) == 7
+        assert len(pat.boundary_rows) == 64 - 27  # 3^3 rows untouched
+
+    def test_ghost_columns_inside_box(self):
+        pat = build_halo_pattern(middle_subdomain(4))
+        lx = np.array([1, 2])
+        cols = pat.ghost_columns(lx, lx, lx)
+        expected = pat.sub.local.linear_index(lx, lx, lx)
+        assert np.array_equal(cols, expected)
+
+    def test_ghost_columns_outside_box_in_range(self):
+        pat = build_halo_pattern(middle_subdomain(4))
+        cols = pat.ghost_columns(np.array([-1]), np.array([0]), np.array([0]))
+        assert cols[0] >= pat.nlocal
+        assert cols[0] < pat.ncols
+
+    def test_ghost_columns_unique_across_layer(self):
+        """Every ghost coordinate maps to a distinct ghost slot."""
+        n = 4
+        pat = build_halo_pattern(middle_subdomain(n))
+        coords = []
+        for x in range(-1, n + 1):
+            for y in range(-1, n + 1):
+                for z in range(-1, n + 1):
+                    if not (0 <= x < n and 0 <= y < n and 0 <= z < n):
+                        coords.append((x, y, z))
+        arr = np.array(coords)
+        cols = pat.ghost_columns(arr[:, 0], arr[:, 1], arr[:, 2])
+        assert len(np.unique(cols)) == len(coords)
+        assert cols.min() == pat.nlocal
+        assert cols.max() == pat.ncols - 1
+
+    def test_ghost_columns_raises_on_missing_neighbor(self):
+        pat = build_halo_pattern(Subdomain.serial(4))
+        with pytest.raises(ValueError):
+            pat.ghost_columns(np.array([-1]), np.array([0]), np.array([0]))
+
+    def test_face_rank_fewer_neighbors(self):
+        pg = ProcessGrid(3, 1, 1)
+        sub = Subdomain(BoxGrid(4, 4, 4), pg, 1)  # middle of a 1D strip
+        pat = build_halo_pattern(sub)
+        assert len(pat.neighbor_ranks) == 2  # +x and -x only

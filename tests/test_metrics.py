@@ -1,0 +1,74 @@
+"""Unit tests for benchmark metrics and penalty."""
+
+import pytest
+
+from repro.core.metrics import PhaseMetrics, motif_speedups, penalty_factor
+
+
+class TestPenalty:
+    def test_penalizes_when_ir_slower(self):
+        assert penalty_factor(2305, 2382) == pytest.approx(0.9677, rel=1e-3)
+
+    def test_no_bonus_when_ir_faster(self):
+        """Ratio > 1 is clamped: no advantage for faster convergence."""
+        assert penalty_factor(100, 80) == 1.0
+
+    def test_equal(self):
+        assert penalty_factor(50, 50) == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            penalty_factor(10, 0)
+
+
+def make_phase(label, penalty=1.0, scale=1.0):
+    return PhaseMetrics(
+        label=label,
+        flops_by_motif={"gs": 1000, "spmv": 500, "ortho": 400},
+        seconds_by_motif={"gs": 1.0 * scale, "spmv": 0.4 * scale, "ortho": 0.2 * scale},
+        total_seconds=1.6 * scale,
+        iterations=10,
+        penalty=penalty,
+    )
+
+
+class TestPhaseMetrics:
+    def test_total_flops(self):
+        assert make_phase("x").total_flops == 1900
+
+    def test_gflops_raw(self):
+        p = make_phase("x")
+        assert p.gflops_raw == pytest.approx(1900 / 1.6 / 1e9)
+
+    def test_penalty_applied(self):
+        p = make_phase("x", penalty=0.9)
+        assert p.gflops == pytest.approx(p.gflops_raw * 0.9)
+
+    def test_zero_time(self):
+        p = PhaseMetrics(label="x")
+        assert p.gflops == 0.0
+
+    def test_motif_gflops(self):
+        p = make_phase("x")
+        assert p.motif_gflops("gs") == pytest.approx(1000 / 1.0 / 1e9)
+        assert p.motif_gflops("missing") == 0.0
+
+    def test_time_fractions_sum_to_one(self):
+        fr = make_phase("x").time_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+
+class TestMotifSpeedups:
+    def test_speedup_is_time_ratio_with_penalty(self):
+        mxp = make_phase("mxp", penalty=0.95, scale=0.6)
+        dbl = make_phase("double", penalty=1.0, scale=1.0)
+        s = motif_speedups(mxp, dbl)
+        # Same flops both phases: speedup = (t_d / t_m) * penalty.
+        assert s["gs"] == pytest.approx(1.0 / 0.6 * 0.95)
+        assert s["total"] == pytest.approx((1.6 / 0.96) * 0.95)
+
+    def test_restricted_motifs(self):
+        mxp = make_phase("mxp", scale=0.5)
+        dbl = make_phase("double")
+        s = motif_speedups(mxp, dbl, motifs=("gs",))
+        assert set(s) == {"gs", "total"}

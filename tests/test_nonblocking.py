@@ -1,0 +1,66 @@
+"""Tests for nonblocking point-to-point requests."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SerialComm, run_spmd
+from repro.parallel.comm import CompletedRequest
+
+
+class TestRequests:
+    def test_isend_completes_immediately(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.arange(3.0), 1, tag=5)
+                return req.test()
+            comm.recv(0, tag=5)
+            return True
+
+        assert all(run_spmd(2, fn))
+
+    def test_irecv_wait_returns_data(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.array([7.0, 8.0]), 1, tag=3)
+                return None
+            req = comm.irecv(0, tag=3)
+            assert not req.test()  # not yet waited
+            data = req.wait()
+            assert req.test()
+            return list(data)
+
+        assert run_spmd(2, fn)[1] == [7.0, 8.0]
+
+    def test_irecv_wait_idempotent(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.array([1.0]), 1, tag=1)
+                return None
+            req = comm.irecv(0, tag=1)
+            a = req.wait()
+            b = req.wait()  # second wait returns the same array
+            return a is b
+
+        assert run_spmd(2, fn)[1]
+
+    def test_overlapped_exchange_pattern(self):
+        """Post all irecvs, then isends, then wait — the textbook
+        nonblocking halo pattern."""
+
+        def fn(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            rreq = comm.irecv(left, tag=9)
+            comm.isend(np.array([float(comm.rank)]), right, tag=9)
+            return rreq.wait()[0]
+
+        assert run_spmd(4, fn) == [3.0, 0.0, 1.0, 2.0]
+
+    def test_completed_request(self):
+        req = CompletedRequest("payload")
+        assert req.test()
+        assert req.wait() == "payload"
+
+    def test_serial_isend_raises(self):
+        with pytest.raises(RuntimeError):
+            SerialComm().isend(np.ones(1), 0, tag=0)

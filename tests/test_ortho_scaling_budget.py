@@ -1,0 +1,91 @@
+"""Tests: ortho-method latency model and the time-budgeted phase."""
+
+import pytest
+
+from repro.core import BenchmarkConfig, run_benchmark
+from repro.perf.scaling import ScalingModel
+
+
+class TestOrthoMethodModel:
+    """§2: CGS2 'batches the inner product into a transposed GEMV
+    operation and thus reduces the effective latency'."""
+
+    def test_mgs_catastrophic_at_scale(self):
+        cgs2 = ScalingModel(ortho_method="cgs2")
+        mgs = ScalingModel(ortho_method="mgs")
+        nranks = 9408 * 8
+        t_cgs2 = cgs2.cycle_profile("mxp", nranks).seconds_by_motif["ortho"]
+        t_mgs = mgs.cycle_profile("mxp", nranks).seconds_by_motif["ortho"]
+        assert t_mgs > 3 * t_cgs2
+
+    def test_mgs_fine_at_one_node(self):
+        """At small scale MGS's latency penalty is minor (and it does
+        half the flops of CGS2), which is why single-GPU studies like
+        Loe et al. could use different orthogonalizations."""
+        cgs2 = ScalingModel(ortho_method="cgs2")
+        mgs = ScalingModel(ortho_method="mgs")
+        t_cgs2 = cgs2.cycle_profile("mxp", 8).seconds_by_motif["ortho"]
+        t_mgs = mgs.cycle_profile("mxp", 8).seconds_by_motif["ortho"]
+        assert t_mgs < t_cgs2
+
+    def test_cgs_cheapest_kernel_time(self):
+        cgs = ScalingModel(ortho_method="cgs")
+        cgs2 = ScalingModel(ortho_method="cgs2")
+        assert (
+            cgs.cycle_profile("mxp", 8).seconds_by_motif["ortho"]
+            < cgs2.cycle_profile("mxp", 8).seconds_by_motif["ortho"]
+        )
+
+    def test_crossover_exists(self):
+        """Somewhere between 1 node and full system, CGS2 overtakes MGS."""
+        cgs2 = ScalingModel(ortho_method="cgs2")
+        mgs = ScalingModel(ortho_method="mgs")
+
+        def ortho(m, nranks):
+            return m.cycle_profile("mxp", nranks).seconds_by_motif["ortho"]
+
+        small = ortho(mgs, 8) < ortho(cgs2, 8)
+        large = ortho(mgs, 9408 * 8) > ortho(cgs2, 9408 * 8)
+        assert small and large
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            ScalingModel(ortho_method="householder")
+
+
+class TestTimeBudget:
+    def test_budget_repeats_solves(self):
+        cfg = BenchmarkConfig(
+            local_nx=16,
+            nranks=1,
+            max_iters_per_solve=5,
+            validation_max_iters=40,
+            time_budget_seconds=0.5,
+        )
+        result = run_benchmark(cfg)
+        # A 5-iteration solve at 16^3 takes ~10 ms: the 0.5 s budget
+        # must fit several solves.
+        assert result.mxp.iterations > 5
+        assert result.mxp.total_seconds >= 0.5
+
+    def test_budget_none_uses_num_solves(self):
+        cfg = BenchmarkConfig(
+            local_nx=16,
+            nranks=1,
+            max_iters_per_solve=5,
+            num_solves=2,
+            validation_max_iters=40,
+        )
+        result = run_benchmark(cfg)
+        assert result.mxp.iterations == 10
+
+    def test_budget_distributed_ranks_agree(self):
+        cfg = BenchmarkConfig(
+            local_nx=16,
+            nranks=2,
+            max_iters_per_solve=5,
+            validation_max_iters=40,
+            time_budget_seconds=0.3,
+        )
+        result = run_benchmark(cfg)
+        assert result.mxp.iterations > 0

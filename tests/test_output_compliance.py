@@ -1,0 +1,106 @@
+"""Tests for the results document writer and the compliance checker."""
+
+import pytest
+
+from repro.core import (
+    BenchmarkConfig,
+    check_official_compliance,
+    official_config,
+    parse_results_document,
+    run_benchmark,
+    save_results_document,
+    write_results_document,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_benchmark(
+        BenchmarkConfig(
+            local_nx=16, nranks=1, max_iters_per_solve=8, validation_max_iters=60
+        )
+    )
+
+
+class TestResultsDocument:
+    def test_sections_present(self, result):
+        doc = write_results_document(result)
+        for section in (
+            "HPG-MxP-Benchmark:",
+            "Machine Summary:",
+            "Global Problem Dimensions:",
+            "Validation Testing:",
+            "Benchmark Phase mxp:",
+            "Benchmark Phase double:",
+            "Final Summary:",
+        ):
+            assert section in doc, section
+
+    def test_roundtrip_parse(self, result):
+        doc = write_results_document(result)
+        data = parse_results_document(doc)
+        top = data["HPG-MxP-Benchmark"]
+        assert top["Machine Summary"]["Distributed Processes"] == 1
+        assert top["Global Problem Dimensions"]["Global nx"] == 16
+        assert top["Validation Testing"]["Reference iterations (n_d)"] == (
+            result.validation.n_d
+        )
+        assert top["Final Summary"]["Penalized speedup"] == pytest.approx(
+            result.speedup, rel=1e-4
+        )
+
+    def test_save_to_file(self, result, tmp_path):
+        path = tmp_path / "results.yaml"
+        save_results_document(result, str(path))
+        assert "Final Summary" in path.read_text()
+
+    def test_motif_sections_populated(self, result):
+        data = parse_results_document(write_results_document(result))
+        motifs = data["HPG-MxP-Benchmark"]["Benchmark Phase mxp"][
+            "Seconds by motif"
+        ]
+        assert motifs["gs"] > 0
+        assert motifs["ortho"] > 0
+
+
+class TestCompliance:
+    def test_scaled_config_flags_deviations(self):
+        cfg = BenchmarkConfig(local_nx=16, nranks=1, max_iters_per_solve=10)
+        report = check_official_compliance(cfg)
+        assert not report.compliant
+        joined = " ".join(report.deviations)
+        assert "local mesh" in joined
+        assert "320" in joined
+        assert "max iterations" in joined
+
+    def test_official_config_is_compliant(self):
+        cfg = official_config(nranks=8)
+        report = check_official_compliance(cfg)
+        assert report.compliant, report.deviations
+
+    def test_official_config_large_scale_budget(self):
+        cfg = official_config(nranks=1024 * 8)
+        assert cfg.time_budget_seconds == 900.0
+        assert check_official_compliance(cfg).compliant
+
+    def test_small_scale_budget(self):
+        cfg = official_config(nranks=8)
+        assert cfg.time_budget_seconds == 1800.0
+
+    def test_nonsymmetric_flagged(self):
+        cfg = official_config().with_updates(matrix_kind="nonsymmetric")
+        report = check_official_compliance(cfg)
+        assert any("nonsymmetric" in d for d in report.deviations)
+
+    def test_ortho_flagged(self):
+        cfg = official_config().with_updates(ortho="mgs")
+        report = check_official_compliance(cfg)
+        assert any("mgs" in d for d in report.deviations)
+
+    def test_report_str(self):
+        ok = check_official_compliance(official_config())
+        assert "official" in str(ok)
+        bad = check_official_compliance(
+            BenchmarkConfig(local_nx=16, nranks=1)
+        )
+        assert "deviations" in str(bad)

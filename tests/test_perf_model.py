@@ -1,0 +1,266 @@
+"""Tests for the performance model: machine, kernels, network, scaling.
+
+These encode the paper's quantitative claims as assertions — the model
+must *generate* the anchor numbers, not just run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fp.precision import Precision
+from repro.perf import (
+    FRONTIER_GCD,
+    MACHINES,
+    NVIDIA_K80,
+    KernelModel,
+    MachineSpec,
+    ScalingModel,
+    allreduce_time,
+    halo_exchange_time,
+)
+from repro.perf.network import halo_message_counts, imbalance_factor
+from repro.perf.scaling import PAPER_PENALTY, paper_node_counts
+
+
+class TestMachineSpec:
+    def test_effective_bw(self):
+        assert FRONTIER_GCD.effective_bw == pytest.approx(
+            FRONTIER_GCD.mem_bw * FRONTIER_GCD.mem_eff
+        )
+
+    def test_peak_flops_lookup(self):
+        assert FRONTIER_GCD.peak_flops("fp64") == FRONTIER_GCD.flops_fp64
+        assert NVIDIA_K80.peak_flops("fp32") > NVIDIA_K80.peak_flops("fp64")
+
+    def test_kernel_time_memory_bound(self):
+        # 1 GB at ~1 TB/s ~ 1 ms, far above the flop time.
+        t = FRONTIER_GCD.kernel_time(1e9, 1e6, "fp64", launches=0)
+        assert t == pytest.approx(1e9 / FRONTIER_GCD.effective_bw)
+
+    def test_kernel_time_compute_bound(self):
+        t = FRONTIER_GCD.kernel_time(8.0, 1e12, "fp64", launches=0)
+        assert t == pytest.approx(1e12 / FRONTIER_GCD.flops_fp64)
+
+    def test_launch_latency_added(self):
+        t0 = FRONTIER_GCD.kernel_time(1e6, 1e3, "fp64", launches=0)
+        t8 = FRONTIER_GCD.kernel_time(1e6, 1e3, "fp64", launches=8)
+        assert t8 - t0 == pytest.approx(8 * FRONTIER_GCD.launch_latency)
+
+    def test_registry(self):
+        assert MACHINES["frontier"] is FRONTIER_GCD
+        assert MACHINES["k80"] is NVIDIA_K80
+
+    def test_with_updates(self):
+        s = FRONTIER_GCD.with_updates(mem_eff=0.5)
+        assert s.mem_eff == 0.5
+        assert FRONTIER_GCD.mem_eff != 0.5
+
+
+class TestKernelModel:
+    km = KernelModel()
+
+    def test_spmv_fp32_byte_ratio_below_2(self):
+        """Index arrays dilute the fp32 advantage (§4.1)."""
+        n = 10000
+        b64 = self.km.spmv(n, Precision.DOUBLE).nbytes
+        b32 = self.km.spmv(n, Precision.SINGLE).nbytes
+        assert 1.3 < b64 / b32 < 1.7
+
+    def test_ortho_fp32_byte_ratio_is_2(self):
+        """Pure FP streaming: the ideal 2x (the paper's 'perfect
+        speedup of the orthogonalization phase')."""
+        n, k = 10000, 10
+        b64 = self.km.ortho_cgs2_step(n, k, Precision.DOUBLE).nbytes
+        b32 = self.km.ortho_cgs2_step(n, k, Precision.SINGLE).nbytes
+        assert b64 / b32 == pytest.approx(2.0)
+
+    def test_csr_has_row_pointer_overhead(self):
+        n = 10000
+        ell = self.km.spmv(n, Precision.DOUBLE, "ell").nbytes
+        csr = self.km.spmv(n, Precision.DOUBLE, "csr").nbytes
+        assert csr - ell == pytest.approx((n + 1) * 8)
+
+    def test_gs_one_matrix_pass_levelsched_two(self):
+        n = 10000
+        mc = self.km.gs_sweep(n, Precision.DOUBLE)
+        ls = self.km.gs_levelscheduled(n, Precision.DOUBLE, 100)
+        assert ls.nbytes > mc.nbytes * 1.5  # two matrix passes (§3.1)
+
+    def test_gs_launches_per_color(self):
+        assert self.km.gs_sweep(1000, Precision.DOUBLE, num_colors=8).launches == 8
+
+    def test_levelsched_launches_per_wavefront(self):
+        assert self.km.gs_levelscheduled(1000, Precision.DOUBLE, 500).launches == 501
+
+    def test_fused_restrict_cheaper_than_unfused(self):
+        n = 32**3
+        fused = self.km.fused_spmv_restrict(n // 8, Precision.DOUBLE)
+        unfused = self.km.unfused_residual_restrict(n, n // 8, Precision.DOUBLE)
+        assert fused.nbytes < unfused.nbytes / 4
+
+    def test_flops_match_core_model(self):
+        """The byte model's flop counts agree with the official model."""
+        from repro.core.flops import flops_ortho_step, flops_spmv, stencil27_nnz
+
+        n = 64**3
+        spmv = self.km.spmv(n, Precision.DOUBLE)
+        # The byte model charges the padded 27/row; the exact count is
+        # boundary-trimmed (a ~3% effect at 64^3, <1% at the official
+        # 320^3). Within 5%.
+        assert spmv.flops == pytest.approx(
+            flops_spmv(stencil27_nnz(64, 64, 64)), rel=0.05
+        )
+        ortho = self.km.ortho_cgs2_step(n, 7, Precision.SINGLE)
+        assert ortho.flops == flops_ortho_step(n, 7, "cgs2")
+
+    def test_arithmetic_intensity(self):
+        c = self.km.dot(1000, Precision.DOUBLE)
+        assert c.arithmetic_intensity == pytest.approx(2 / 16, rel=1e-6)
+
+
+class TestNetwork:
+    def test_halo_counts(self):
+        c = halo_message_counts((4, 4, 4))
+        assert c["messages"] == 26
+        assert c["points"] == 6 * 16 + 12 * 4 + 8
+
+    def test_halo_time_scales_with_surface(self):
+        t1 = halo_exchange_time(FRONTIER_GCD, (32, 32, 32), 8)
+        t2 = halo_exchange_time(FRONTIER_GCD, (64, 64, 64), 8)
+        assert t2 > t1
+
+    def test_halo_fp32_cheaper(self):
+        t64 = halo_exchange_time(FRONTIER_GCD, (64, 64, 64), 8)
+        t32 = halo_exchange_time(FRONTIER_GCD, (64, 64, 64), 4)
+        assert t32 < t64
+
+    def test_staging_costs_extra(self):
+        t_staged = halo_exchange_time(FRONTIER_GCD, (64,) * 3, 8, staged=True)
+        t_direct = halo_exchange_time(FRONTIER_GCD, (64,) * 3, 8, staged=False)
+        assert t_staged > t_direct
+
+    def test_allreduce_serial_free(self):
+        assert allreduce_time(FRONTIER_GCD, 8, 1) == 0.0
+
+    def test_allreduce_grows_with_ranks(self):
+        t8 = allreduce_time(FRONTIER_GCD, 8, 8)
+        t75k = allreduce_time(FRONTIER_GCD, 8, 75264)
+        assert t75k > 10 * t8
+
+    def test_congestion_beyond_saturation(self):
+        base = allreduce_time(FRONTIER_GCD, 8, 4096)
+        big = allreduce_time(FRONTIER_GCD, 8, 8192)
+        # More than the pure log2 growth factor.
+        assert big / base > np.log2(8192) / np.log2(4096) * 1.2
+
+    def test_imbalance_factor(self):
+        assert imbalance_factor(FRONTIER_GCD, 1) == 1.0
+        assert imbalance_factor(FRONTIER_GCD, 9408) > 1.0
+
+
+class TestScalingModelAnchors:
+    """The paper's headline numbers, generated by the model."""
+
+    model = ScalingModel()
+
+    def test_1node_per_gcd_rating(self):
+        g = self.model.gflops_per_gcd("mxp", 8)
+        assert g == pytest.approx(293.6, rel=0.03)
+
+    def test_full_system_17_pflops(self):
+        rows = self.model.weak_scaling_series([1, 9408])
+        assert rows[1]["total_pflops"] == pytest.approx(17.23, rel=0.05)
+
+    def test_weak_scaling_efficiency_78pct(self):
+        rows = self.model.weak_scaling_series([1, 9408])
+        assert rows[1]["efficiency"] == pytest.approx(0.78, abs=0.02)
+
+    def test_efficiency_monotonically_decreases(self):
+        rows = self.model.weak_scaling_series(paper_node_counts())
+        effs = [r["efficiency"] for r in rows]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+    def test_speedup_1node_near_1_6(self):
+        assert self.model.speedup_overall(8) == pytest.approx(1.6, abs=0.07)
+
+    def test_ortho_speedup_near_2_at_small_scale(self):
+        s = self.model.motif_speedups(8)
+        assert s["ortho"] == pytest.approx(1.94, abs=0.08)
+
+    def test_gs_spmv_speedups_below_ortho(self):
+        """Index traffic drags sparse motifs below the dense one."""
+        s = self.model.motif_speedups(8)
+        assert s["gs"] < s["ortho"]
+        assert s["spmv"] < s["ortho"]
+        assert 1.3 < s["gs"] < 1.65
+        assert 1.3 < s["spmv"] < 1.65
+
+    def test_ortho_speedup_drops_at_scale(self):
+        """All-reduce latency erodes the ortho speedup (§4.1)."""
+        s1 = self.model.motif_speedups(8)
+        s9408 = self.model.motif_speedups(9408 * 8)
+        assert s9408["ortho"] < s1["ortho"] - 0.2
+
+    def test_ortho_share_grows_at_scale(self):
+        """Fig. 7: orthogonalization takes a larger share at scale."""
+        b1 = self.model.time_breakdown("mxp", 8)
+        b9408 = self.model.time_breakdown("mxp", 9408 * 8)
+        assert b9408["ortho"] > b1["ortho"]
+
+    def test_gs_is_largest_motif(self):
+        """Fig. 7: the smoother dominates at small scale."""
+        b = self.model.time_breakdown("mxp", 8)
+        assert b["gs"] == max(b.values())
+
+    def test_mxp_spends_smaller_ortho_share_than_double(self):
+        """Fig. 7: 'the mixed-precision variant spends less time in
+        orthogonalization'."""
+        m = self.model.time_breakdown("mxp", 8)
+        d = self.model.time_breakdown("double", 8)
+        assert m["ortho"] < d["ortho"]
+
+    def test_penalty_default_is_papers(self):
+        assert PAPER_PENALTY == pytest.approx(2305 / 2382)
+
+
+class TestReferenceImplementation:
+    opt = ScalingModel()
+    ref = ScalingModel(impl="reference")
+
+    def test_reference_much_slower(self):
+        """Fig. 4: 'present' far above 'xsdk'."""
+        g_opt = self.opt.gflops_per_gcd("mxp", 8)
+        g_ref = self.ref.gflops_per_gcd("mxp", 8)
+        assert g_opt > 4 * g_ref
+
+    def test_reference_speedup_lower(self):
+        """Fig. 5: reference mxp speedup well below the optimized one."""
+        assert self.ref.speedup_overall(8) < self.opt.speedup_overall(8) - 0.2
+
+    def test_reference_flat_scaling(self):
+        """'Since the reference implementation achieves much lower
+        performance in general, it does not see this effect.'"""
+        rows = self.ref.weak_scaling_series([1, 1024])
+        assert rows[1]["efficiency"] > 0.8
+
+    def test_rejects_unknown_impl(self):
+        with pytest.raises(ValueError):
+            ScalingModel(impl="magic")
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            self.opt.cycle_profile("fp8", 8)
+
+
+class TestK80Model:
+    """Fig. 6: similar speedups on the NVIDIA K80 cluster."""
+
+    model = ScalingModel(machine=NVIDIA_K80, local_dims=(128, 128, 128))
+
+    def test_overall_speedup_similar(self):
+        s = self.model.speedup_overall(4)
+        assert 1.3 < s < 1.8
+
+    def test_ortho_best_motif(self):
+        s = self.model.motif_speedups(4)
+        assert s["ortho"] == max(s[m] for m in ("gs", "ortho", "spmv", "restrict"))

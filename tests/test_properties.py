@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on core data structures/invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import BoxGrid, ProcessGrid, Subdomain, factor3d
+from repro.geometry.halo import build_halo_pattern
+from repro.solvers.givens import GivensQR, givens_coefficients
+from repro.sparse import (
+    CSRMatrix,
+    color_sets,
+    jpl_coloring,
+    validate_coloring,
+)
+from repro.sparse.reorder import inverse_permutation, permute_symmetric
+from repro.stencil import generate_problem
+from repro.core.flops import stencil27_nnz
+
+dims = st.integers(min_value=1, max_value=6)
+
+
+@st.composite
+def random_csr(draw, max_n=24):
+    """A random square CSR matrix with nonzero diagonal."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    density = draw(st.floats(min_value=0.02, max_value=0.4))
+    rng = np.random.default_rng(seed)
+    import scipy.sparse as sp
+
+    m = sp.random(n, n, density=density, random_state=rng, format="lil")
+    m.setdiag(rng.random(n) + 1.0)
+    m = m.tocsr()
+    m.data = m.data + 0.1  # avoid stored zeros
+    return CSRMatrix.from_scipy(m)
+
+
+class TestFormatProperties:
+    @given(random_csr())
+    @settings(max_examples=40, deadline=None)
+    def test_ell_csr_roundtrip(self, A):
+        B = A.to_ell().to_csr()
+        assert (A.to_scipy() != B.to_scipy()).nnz == 0
+
+    @given(random_csr(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_spmv_formats_agree(self, A, seed):
+        x = np.random.default_rng(seed).standard_normal(A.ncols)
+        np.testing.assert_allclose(
+            A.spmv(x), A.to_ell().spmv(x), rtol=1e-11, atol=1e-12
+        )
+
+    @given(random_csr(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_spmv_linearity(self, A, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.standard_normal((2, A.ncols))
+        a, b = rng.standard_normal(2)
+        np.testing.assert_allclose(
+            A.spmv(a * x + b * y),
+            a * A.spmv(x) + b * A.spmv(y),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+
+    @given(random_csr())
+    @settings(max_examples=30, deadline=None)
+    def test_diagonal_matches_scipy(self, A):
+        np.testing.assert_allclose(A.diagonal(), A.to_scipy().diagonal())
+
+
+class TestColoringProperties:
+    @given(random_csr(max_n=30), st.integers(0, 10000))
+    @settings(max_examples=30, deadline=None)
+    def test_jpl_valid_on_random_graphs(self, A, seed):
+        # Symmetrize the pattern so coloring is meaningful.
+        sp_m = A.to_scipy()
+        sym = (sp_m + sp_m.T).tocsr()
+        sym.data[:] = 1.0
+        A_sym = CSRMatrix.from_scipy(sym).to_ell()
+        colors = jpl_coloring(A_sym, seed=seed)
+        assert validate_coloring(A_sym, colors)
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_color_sets_partition(self, colors_list):
+        colors = np.array(colors_list, dtype=np.int32)
+        sets = color_sets(colors)
+        combined = np.sort(np.concatenate(sets)) if sets else np.array([])
+        assert np.array_equal(combined, np.arange(len(colors)))
+        for c, s in enumerate(sets):
+            assert np.all(colors[s] == c)
+
+
+class TestPermutationProperties:
+    @given(st.integers(1, 200), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_inverse_permutation(self, n, seed):
+        p = np.random.default_rng(seed).permutation(n)
+        inv = inverse_permutation(p)
+        assert np.array_equal(p[inv], np.arange(n))
+        assert np.array_equal(inv[p], np.arange(n))
+
+    @given(random_csr(max_n=20), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_symmetric_permutation_similarity(self, A, seed):
+        """P A P^T has the same spectrum-defining dense matrix."""
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(A.nrows)
+        B = permute_symmetric(A.to_ell(), perm)
+        dense_A = A.to_scipy().toarray()
+        dense_B = B.to_dense()
+        # B[new_i, new_j] == A[old_i, old_j]
+        np.testing.assert_allclose(dense_B[np.ix_(perm, perm)], dense_A, atol=1e-14)
+
+
+class TestGeometryProperties:
+    @given(st.integers(1, 256))
+    @settings(max_examples=60, deadline=None)
+    def test_factor3d_product(self, p):
+        px, py, pz = factor3d(p)
+        assert px * py * pz == p
+
+    @given(dims, dims, dims)
+    @settings(max_examples=40, deadline=None)
+    def test_linear_index_bijective(self, nx, ny, nz):
+        g = BoxGrid(nx, ny, nz)
+        i = np.arange(g.npoints)
+        assert np.array_equal(g.linear_index(*g.coords(i)), i)
+
+    @given(st.integers(2, 5), st.integers(2, 5), st.integers(2, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_stencil_nnz_formula(self, nx, ny, nz):
+        prob = generate_problem(Subdomain.serial(nx, ny, nz))
+        assert prob.A.nnz == stencil27_nnz(nx, ny, nz)
+
+    @given(st.integers(1, 3), st.integers(1, 3), st.integers(1, 3), dims)
+    @settings(max_examples=25, deadline=None)
+    def test_ghost_counts_symmetric_across_pairs(self, px, py, pz, n):
+        """What rank a sends to rank b equals what b expects from a."""
+        from repro.geometry.halo import opposite_direction
+
+        pg = ProcessGrid(px, py, pz)
+        n = max(n, 2)
+        patterns = [
+            build_halo_pattern(Subdomain(BoxGrid(n, n, n), pg, r))
+            for r in range(pg.size)
+        ]
+        for r, pat in enumerate(patterns):
+            for d, nb in pat.neighbor_ranks.items():
+                nb_pat = patterns[nb]
+                send = nb_pat.send_indices[opposite_direction(d)]
+                assert len(send) == pat.ghost_counts[d]
+
+
+class TestGivensProperties:
+    @given(
+        st.floats(-1e6, 1e6, allow_nan=False),
+        st.floats(-1e6, 1e6, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_rotation_is_orthogonal(self, a, b):
+        c, s, r = givens_coefficients(a, b)
+        assert c * c + s * s == pytest.approx(1.0, rel=1e-12)
+        assert -s * a + c * b == pytest.approx(0.0, abs=1e-6 * (abs(a) + abs(b) + 1))
+
+    @given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_implicit_residual_decreases(self, m, seed):
+        """The least-squares residual is non-increasing in k."""
+        rng = np.random.default_rng(seed)
+        qr = GivensQR(m)
+        qr.start(1.0)
+        prev = 1.0
+        for j in range(m):
+            col = rng.standard_normal(j + 2)
+            rho = qr.add_column(col)
+            assert rho <= prev + 1e-12
+            prev = rho
+
+
+class TestSolverProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_gmres_solves_random_rhs(self, seed):
+        """GMRES must solve the 8^3 system for arbitrary rhs."""
+        from repro.mg import MGConfig
+        from repro.parallel import SerialComm
+        from repro.solvers import GMRESIRSolver
+
+        prob = generate_problem(Subdomain.serial(8, 8, 8))
+        solver = GMRESIRSolver(
+            prob, SerialComm(), mg_config=MGConfig(nlevels=2)
+        )
+        b = np.random.default_rng(seed).standard_normal(prob.nlocal)
+        x, stats = solver.solve(b, tol=1e-8, maxiter=300)
+        assert stats.converged
+        r = b - prob.A.spmv(x)
+        assert np.linalg.norm(r) <= 1e-8 * np.linalg.norm(b) * 1.01

@@ -1,0 +1,216 @@
+"""Unit tests for the thread-based SPMD runtime."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SerialComm, ddot, dnorm2, run_spmd
+from repro.parallel.distributed import dmatvec_block
+
+
+class TestSerialComm:
+    def test_rank_size(self):
+        c = SerialComm()
+        assert c.rank == 0
+        assert c.size == 1
+        assert c.is_serial
+
+    def test_allreduce_scalar_identity(self):
+        assert SerialComm().allreduce(3.5) == 3.5
+
+    def test_allreduce_array_copies(self):
+        c = SerialComm()
+        x = np.ones(3)
+        y = c.allreduce(x)
+        assert y is not x
+        np.testing.assert_array_equal(y, x)
+
+    def test_allgather(self):
+        assert SerialComm().allgather("v") == ["v"]
+
+    def test_bcast(self):
+        assert SerialComm().bcast({"a": 1}) == {"a": 1}
+
+    def test_send_raises(self):
+        with pytest.raises(RuntimeError):
+            SerialComm().send(np.ones(1), 0, 0)
+
+    def test_stats_counted(self):
+        c = SerialComm()
+        c.allreduce(1.0)
+        c.barrier()
+        assert c.stats.allreduces == 1
+        assert c.stats.barriers == 1
+
+
+class TestRunSPMD:
+    def test_returns_per_rank_results(self):
+        results = run_spmd(4, lambda comm: comm.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_passes_args(self):
+        results = run_spmd(2, lambda comm, a, b=0: a + b + comm.rank, 5, b=2)
+        assert results == [7, 8]
+
+    def test_exception_propagates_with_rank(self):
+        def fail(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="rank 2"):
+            run_spmd(4, fail)
+
+    def test_single_rank(self):
+        assert run_spmd(1, lambda comm: comm.size) == [1]
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            run_spmd(0, lambda comm: None)
+
+
+class TestCollectives:
+    def test_allreduce_sum_scalar(self):
+        results = run_spmd(5, lambda comm: comm.allreduce(float(comm.rank)))
+        assert all(r == 10.0 for r in results)
+
+    def test_allreduce_max_min(self):
+        assert run_spmd(4, lambda c: c.allreduce(c.rank, op="max")) == [3] * 4
+        assert run_spmd(4, lambda c: c.allreduce(c.rank + 1, op="min")) == [1] * 4
+
+    def test_allreduce_bad_op(self):
+        with pytest.raises(RuntimeError, match="unsupported"):
+            run_spmd(2, lambda c: c.allreduce(1.0, op="prod"))
+
+    def test_allreduce_array(self):
+        def fn(comm):
+            return comm.allreduce(np.full(3, float(comm.rank)))
+
+        for r in run_spmd(3, fn):
+            np.testing.assert_array_equal(r, [3.0, 3.0, 3.0])
+
+    def test_allreduce_deterministic_order(self):
+        """All ranks get the bitwise-identical result."""
+
+        def fn(comm):
+            rng = np.random.default_rng(comm.rank)
+            return comm.allreduce(rng.standard_normal(100))
+
+        results = run_spmd(6, fn)
+        for r in results[1:]:
+            assert np.array_equal(r, results[0])
+
+    def test_allgather_order(self):
+        results = run_spmd(4, lambda c: c.allgather(c.rank * 2))
+        assert all(r == [0, 2, 4, 6] for r in results)
+
+    def test_bcast_from_nonzero_root(self):
+        def fn(comm):
+            val = f"from-{comm.rank}" if comm.rank == 2 else None
+            return comm.bcast(val, root=2)
+
+        assert run_spmd(4, fn) == ["from-2"] * 4
+
+    def test_repeated_collectives_no_crosstalk(self):
+        def fn(comm):
+            a = comm.allreduce(1.0)
+            b = comm.allreduce(float(comm.rank))
+            c = comm.allreduce(2.0)
+            return (a, b, c)
+
+        for a, b, c in run_spmd(3, fn):
+            assert (a, b, c) == (3.0, 3.0, 6.0)
+
+
+class TestPointToPoint:
+    def test_ring_exchange(self):
+        def fn(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            comm.send(np.array([float(comm.rank)]), right, tag=7)
+            got = comm.recv(left, tag=7)
+            return got[0]
+
+        assert run_spmd(4, fn) == [3.0, 0.0, 1.0, 2.0]
+
+    def test_tags_distinguish_messages(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.array([1.0]), 1, tag=10)
+                comm.send(np.array([2.0]), 1, tag=20)
+                return None
+            b = comm.recv(0, tag=20)  # receive out of send order
+            a = comm.recv(0, tag=10)
+            return (a[0], b[0])
+
+        assert run_spmd(2, fn)[1] == (1.0, 2.0)
+
+    def test_send_copies_buffer(self):
+        def fn(comm):
+            if comm.rank == 0:
+                buf = np.array([1.0])
+                comm.send(buf, 1, tag=0)
+                buf[0] = 99.0  # mutate after send
+                comm.barrier()
+                return None
+            comm.barrier()
+            return comm.recv(0, tag=0)[0]
+
+        assert run_spmd(2, fn)[1] == 1.0
+
+    def test_send_to_self_rejected(self):
+        def fn(comm):
+            comm.send(np.ones(1), comm.rank, tag=0)
+
+        with pytest.raises(RuntimeError):
+            run_spmd(2, fn)
+
+    def test_recv_timeout_reports_deadlock(self):
+        def fn(comm):
+            if comm.rank == 1:
+                comm.recv(0, tag=99)  # never sent
+
+        with pytest.raises(RuntimeError, match="timed out|failed"):
+            run_spmd(2, fn, timeout=0.3)
+
+    def test_stats_track_bytes(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(10), 1, tag=0)
+            else:
+                comm.recv(0, tag=0)
+            return (comm.stats.send_bytes, comm.stats.recv_bytes)
+
+        res = run_spmd(2, fn)
+        assert res[0] == (80, 0)
+        assert res[1] == (0, 80)
+
+
+class TestDistributedReductions:
+    def test_ddot_matches_serial(self):
+        full = np.arange(40, dtype=np.float64)
+
+        def fn(comm):
+            chunk = full[comm.rank * 10 : (comm.rank + 1) * 10]
+            return ddot(comm, chunk, chunk)
+
+        expected = float(full @ full)
+        assert run_spmd(4, fn) == [expected] * 4
+
+    def test_dnorm2(self):
+        def fn(comm):
+            return dnorm2(comm, np.ones(25))
+
+        np.testing.assert_allclose(run_spmd(4, fn), 10.0)
+
+    def test_dmatvec_block(self):
+        rng = np.random.default_rng(3)
+        Q = rng.standard_normal((40, 3))
+        v = rng.standard_normal(40)
+
+        def fn(comm):
+            sl = slice(comm.rank * 10, (comm.rank + 1) * 10)
+            return dmatvec_block(comm, Q[sl], v[sl])
+
+        expected = Q.T @ v
+        for r in run_spmd(4, fn):
+            np.testing.assert_allclose(r, expected, rtol=1e-12)

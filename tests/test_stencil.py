@@ -1,0 +1,155 @@
+"""Unit tests for the 27-point problem generator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import BoxGrid, ProcessGrid, Subdomain
+from repro.sparse.stats import (
+    is_numerically_symmetric,
+    is_structurally_symmetric,
+    matrix_stats,
+)
+from repro.stencil import ProblemSpec, generate_problem, stencil_apply_dense
+from repro.core.flops import stencil27_nnz
+
+
+class TestSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            ProblemSpec(kind="weird")
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            ProblemSpec(nonsym_delta=1.5)
+
+
+class TestSymmetricMatrix:
+    def test_diag_26_offdiag_minus1(self, problem16):
+        s = matrix_stats(problem16.A)
+        assert s.diag_min == s.diag_max == 26.0
+        vals = problem16.A.vals
+        off = vals[(vals != 0) & (vals != 26.0)]
+        assert np.all(off == -1.0)
+
+    def test_interior_rows_27_nnz(self, problem16):
+        s = matrix_stats(problem16.A)
+        assert s.max_row_nnz == 27
+        assert s.min_row_nnz == 8  # corner: 2x2x2 neighborhood
+
+    def test_weakly_diagonally_dominant(self, problem16):
+        assert matrix_stats(problem16.A).weakly_diagonally_dominant
+
+    def test_interior_row_sums_zero(self, problem16):
+        """Interior rows: 26 - 26*1 = 0 (the Poisson-like null row sum)."""
+        b = problem16.b
+        interior = ~problem16.sub.local.boundary_mask()
+        np.testing.assert_allclose(b[interior], 0.0, atol=1e-14)
+
+    def test_boundary_rhs_positive(self, problem16):
+        b = problem16.b
+        boundary = problem16.sub.local.boundary_mask()
+        assert np.all(b[boundary] > 0)
+
+    def test_symmetry(self, problem16):
+        assert is_structurally_symmetric(problem16.A)
+        assert is_numerically_symmetric(problem16.A)
+
+    def test_exact_solution_is_ones(self, problem16):
+        np.testing.assert_allclose(
+            problem16.A.spmv(np.ones(problem16.nlocal)), problem16.b
+        )
+
+    def test_nnz_formula(self, problem16):
+        assert problem16.A.nnz == stencil27_nnz(16, 16, 16)
+
+    def test_nnz_formula_rect(self, problem_rect):
+        assert problem_rect.A.nnz == stencil27_nnz(5, 7, 4)
+
+    def test_spmv_matches_matrix_free(self, problem_rect, rng):
+        x = rng.standard_normal(problem_rect.nlocal)
+        y1 = problem_rect.A.spmv(x)
+        y2 = stencil_apply_dense(problem_rect.sub.global_grid, x)
+        np.testing.assert_allclose(y1, y2, rtol=1e-13)
+
+    def test_spd(self, problem8):
+        """The symmetric matrix is positive definite (CG's requirement)."""
+        dense = problem8.A.to_dense()[:, : problem8.nlocal]
+        eigs = np.linalg.eigvalsh(dense)
+        assert eigs.min() > 0
+
+
+class TestNonsymmetricMatrix:
+    def test_not_symmetric(self, problem_nonsym16):
+        assert is_structurally_symmetric(problem_nonsym16.A)  # same pattern
+        assert not is_numerically_symmetric(problem_nonsym16.A, tol=1e-12)
+
+    def test_still_weakly_dominant(self, problem_nonsym16):
+        assert matrix_stats(problem_nonsym16.A).weakly_diagonally_dominant
+
+    def test_lower_upper_values(self, problem_nonsym16):
+        vals = problem_nonsym16.A.vals
+        off = vals[(vals != 0) & (vals != 26.0)]
+        assert set(np.round(np.unique(off), 10)) == {-1.3, -0.7}
+
+    def test_matches_matrix_free(self, rng):
+        spec = ProblemSpec(kind="nonsymmetric", nonsym_delta=0.25)
+        prob = generate_problem(Subdomain.serial(6, 5, 4), spec=spec)
+        x = rng.standard_normal(prob.nlocal)
+        np.testing.assert_allclose(
+            prob.A.spmv(x),
+            stencil_apply_dense(prob.sub.global_grid, x, spec=spec),
+            rtol=1e-13,
+        )
+
+
+class TestDistributedGeneration:
+    def test_local_blocks_tile_serial_matrix(self, rng):
+        """Distributed row blocks must equal the serial matrix's rows."""
+        pg = ProcessGrid(2, 2, 2)
+        serial = generate_problem(Subdomain.serial(8, 8, 8))
+        x_serial = rng.standard_normal(512)
+        y_serial = serial.A.spmv(x_serial)
+        x3d = x_serial  # index by global linear id
+
+        for rank in range(8):
+            sub = Subdomain(BoxGrid(4, 4, 4), pg, rank)
+            prob = generate_problem(sub)
+            # Build the full local vector (owned + ghost) from x_serial.
+            n = prob.nlocal
+            xfull = np.zeros(prob.A.ncols)
+            gx, gy, gz = sub.global_coords()
+            gids = sub.global_grid.linear_index(gx, gy, gz)
+            xfull[:n] = x3d[gids]
+            # Fill ghosts by enumerating each direction block.
+            for d in prob.halo.directions:
+                nb = prob.halo.neighbor_ranks[d]
+                nb_sub = Subdomain(BoxGrid(4, 4, 4), pg, nb)
+                send_idx = prob.halo.send_indices[
+                    d
+                ]  # what *we* send; neighbor sends its opposite list
+                from repro.geometry.halo import opposite_direction
+
+                nb_halo_idx = generate_problem(nb_sub).halo.send_indices[
+                    opposite_direction(d)
+                ]
+                ngx, ngy, ngz = nb_sub.global_coords()
+                nb_gids = nb_sub.global_grid.linear_index(ngx, ngy, ngz)
+                off = prob.halo.ghost_offsets[d]
+                cnt = prob.halo.ghost_counts[d]
+                xfull[n + off : n + off + cnt] = x3d[nb_gids[nb_halo_idx]]
+            y_local = prob.A.spmv(xfull)
+            np.testing.assert_allclose(y_local, y_serial[gids], rtol=1e-13)
+
+    def test_rhs_globally_consistent(self):
+        pg = ProcessGrid(2, 1, 1)
+        serial = generate_problem(Subdomain.serial(8, 4, 4))
+        for rank in range(2):
+            sub = Subdomain(BoxGrid(4, 4, 4), pg, rank)
+            prob = generate_problem(sub)
+            gx, gy, gz = sub.global_coords()
+            gids = sub.global_grid.linear_index(gx, gy, gz)
+            np.testing.assert_allclose(prob.b, serial.b[gids])
+
+    def test_dtype_option(self):
+        prob = generate_problem(Subdomain.serial(4), dtype="fp32")
+        assert prob.A.vals.dtype == np.float32

@@ -1,0 +1,80 @@
+"""Tests for the switched-precision strategy and §2's difficulty claim."""
+
+import numpy as np
+import pytest
+
+from repro.fp import DOUBLE_POLICY, MIXED_DS_POLICY
+from repro.parallel import SerialComm
+from repro.solvers import SwitchedGMRESSolver, gmres_solve
+from repro.stencil import ProblemSpec, generate_problem
+from repro.geometry import Subdomain
+
+
+class TestSwitchedGMRES:
+    def test_converges_to_full_accuracy(self, problem16, comm):
+        solver = SwitchedGMRESSolver(problem16, comm)
+        x, stats = solver.solve(problem16.b, tol=1e-9, maxiter=1000)
+        assert stats.converged
+        assert stats.final_relres < 1e-9
+        assert np.abs(x - 1.0).max() < 1e-6
+
+    def test_two_stages_both_contribute(self, problem16, comm):
+        solver = SwitchedGMRESSolver(problem16, comm)
+        _, stats = solver.solve(problem16.b, tol=1e-9, maxiter=1000)
+        assert stats.low_stage.iterations > 0
+        assert stats.high_stage.iterations > 0
+        assert stats.iterations == (
+            stats.low_stage.iterations + stats.high_stage.iterations
+        )
+
+    def test_switch_happens_near_fp32_floor(self, problem16, comm):
+        solver = SwitchedGMRESSolver(problem16, comm)
+        _, stats = solver.solve(problem16.b, tol=1e-9, maxiter=1000)
+        # The handover point sits around 100 * eps_fp32 ~ 1e-5.
+        assert stats.switch_relres < 1e-3
+
+    def test_custom_switch_tol(self, problem16, comm):
+        solver = SwitchedGMRESSolver(problem16, comm, switch_tol=1e-2)
+        _, stats = solver.solve(problem16.b, tol=1e-9, maxiter=1000)
+        assert stats.switch_relres <= 1e-2 * 1.5
+        assert stats.converged
+
+    def test_comparable_to_gmres_ir(self, problem16, comm):
+        """Both strategies reach 1e-9; total iterations are similar —
+        the design-space comparison behind the benchmark's choice."""
+        solver = SwitchedGMRESSolver(problem16, comm)
+        _, sw = solver.solve(problem16.b, tol=1e-9, maxiter=1000)
+        _, ir = gmres_solve(
+            problem16, comm, policy=MIXED_DS_POLICY, tol=1e-9, maxiter=1000
+        )
+        assert sw.converged and ir.converged
+        assert sw.iterations < 3 * ir.iterations
+        assert ir.iterations < 3 * sw.iterations
+
+    def test_fp16_low_stage(self, problem8, comm):
+        policy = DOUBLE_POLICY.with_low("fp16")
+        solver = SwitchedGMRESSolver(problem8, comm, low_policy=policy)
+        x, stats = solver.solve(problem8.b, tol=1e-9, maxiter=1000)
+        assert stats.converged
+        assert np.abs(x - 1.0).max() < 1e-6
+
+
+class TestSymmetricVsNonsymmetric:
+    def test_difficulty_comparable_for_gmres(self, comm):
+        """Yamazaki et al. prefer the symmetric matrix, observing it
+        takes at least as many GMRES iterations as *their* nonsymmetric
+        variant.  The paper does not specify that variant's entries, so
+        our skewed construction need not reproduce the exact ordering —
+        but both problems must converge and sit in the same difficulty
+        band (at large skew ours is indeed easier than symmetric)."""
+        sub = Subdomain.serial(24, 24, 24)
+        sym = generate_problem(sub)
+        _, s_sym = gmres_solve(sym, comm, tol=1e-9, maxiter=2000)
+        for delta, expect_easier in ((0.3, False), (0.5, True)):
+            spec = ProblemSpec(kind="nonsymmetric", nonsym_delta=delta)
+            nonsym = generate_problem(sub, spec=spec)
+            _, s_non = gmres_solve(nonsym, comm, tol=1e-9, maxiter=2000)
+            assert s_non.converged
+            assert 0.6 < s_non.iterations / s_sym.iterations < 1.5
+            if expect_easier:
+                assert s_non.iterations <= s_sym.iterations

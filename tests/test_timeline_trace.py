@@ -1,0 +1,165 @@
+"""Tests for overlap timelines, trace events, and exporters."""
+
+import json
+
+import pytest
+
+from repro.perf import FRONTIER_GCD, gs_operation_timeline
+from repro.perf.timeline import spmv_operation_timeline
+from repro.trace import Timeline, TraceEvent, to_ascii, to_chrome_json
+
+
+class TestTraceEvent:
+    def test_duration(self):
+        e = TraceEvent(0, "gpu", "k", 1.0, 3.0)
+        assert e.duration == 2.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            TraceEvent(0, "gpu", "k", 3.0, 1.0)
+
+    def test_overlaps(self):
+        a = TraceEvent(0, "gpu", "a", 0.0, 2.0)
+        b = TraceEvent(0, "halo", "b", 1.0, 3.0)
+        c = TraceEvent(0, "halo", "c", 2.0, 3.0)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestTimeline:
+    def make(self):
+        tl = Timeline()
+        tl.add(TraceEvent(0, "gpu", "a", 0.0, 2.0))
+        tl.add(TraceEvent(0, "gpu", "b", 1.0, 4.0))
+        tl.add(TraceEvent(0, "halo", "c", 5.0, 6.0))
+        return tl
+
+    def test_makespan(self):
+        assert self.make().makespan == 6.0
+
+    def test_streams_order(self):
+        assert self.make().streams() == ["gpu", "halo"]
+
+    def test_busy_time_merges_overlap(self):
+        assert self.make().busy_time("gpu") == 4.0
+        assert self.make().busy_time("halo") == 1.0
+
+    def test_empty(self):
+        assert Timeline().makespan == 0.0
+
+
+class TestExporters:
+    def test_chrome_json_valid(self):
+        tl = Timeline([TraceEvent(0, "gpu", "k", 0.0, 1e-3)])
+        data = json.loads(to_chrome_json(tl))
+        assert data["traceEvents"][0]["ph"] == "X"
+        assert data["traceEvents"][0]["dur"] == pytest.approx(1000.0)
+
+    def test_ascii_contains_streams(self):
+        tl = Timeline(
+            [
+                TraceEvent(0, "gpu", "kernel", 0.0, 1.0),
+                TraceEvent(0, "copy", "d2h", 0.5, 0.7),
+            ]
+        )
+        art = to_ascii(tl)
+        assert "gpu" in art and "copy" in art and "#" in art
+
+    def test_ascii_empty(self):
+        assert to_ascii(Timeline()) == "(empty timeline)"
+
+
+class TestOverlapModel:
+    """Figure 9's central claims as assertions."""
+
+    def test_fine_grid_gs_fully_overlapped(self):
+        tl = gs_operation_timeline(local_dims=(320, 320, 320))
+        assert tl.fully_overlapped
+
+    def test_coarsest_grid_gs_not_overlapped(self):
+        """'on the coarsest level, only the first independent set is
+        not sufficient to completely overlap the communication.'"""
+        tl = gs_operation_timeline(local_dims=(40, 40, 40))
+        assert not tl.fully_overlapped
+        assert tl.exposed_comm > 0
+
+    def test_fine_grid_spmv_fully_overlapped(self):
+        tl = spmv_operation_timeline(local_dims=(320, 320, 320))
+        assert tl.fully_overlapped
+
+    def test_gs_timeline_structure(self):
+        tl = gs_operation_timeline(local_dims=(64, 64, 64))
+        names = [e.name for e in tl.events]
+        assert "pack_boundary" in names
+        assert "MPI neighbor exchange" in names
+        assert "GS interior color 0" in names
+        assert "GS boundary rows" in names
+        assert any("D2H" in n for n in names)
+
+    def test_interior_kernel_waits_for_pack(self):
+        """The event of §3.2.3: interior color 0 starts after packing."""
+        tl = gs_operation_timeline(local_dims=(64, 64, 64))
+        pack = next(e for e in tl.events if e.name == "pack_boundary")
+        color0 = next(e for e in tl.events if e.name == "GS interior color 0")
+        assert color0.start >= pack.end
+
+    def test_boundary_rows_wait_for_halo(self):
+        tl = gs_operation_timeline(local_dims=(40, 40, 40))
+        h2d = next(e for e in tl.events if "H2D" in e.name)
+        boundary = next(e for e in tl.events if e.name == "GS boundary rows")
+        assert boundary.start >= h2d.end
+
+    def test_makespan_positive_and_consistent(self):
+        tl = gs_operation_timeline(local_dims=(64, 64, 64))
+        assert tl.makespan >= max(e.end for e in tl.events) - 1e-15
+
+    def test_fp64_slower_than_fp32(self):
+        t64 = gs_operation_timeline(local_dims=(128,) * 3, precision="fp64")
+        t32 = gs_operation_timeline(local_dims=(128,) * 3, precision="fp32")
+        assert t64.makespan > t32.makespan
+
+    def test_stream_filter(self):
+        tl = gs_operation_timeline(local_dims=(64, 64, 64))
+        assert all(e.stream == "gpu" for e in tl.stream_events("gpu"))
+        assert len(tl.stream_events("gpu")) >= 9  # 8 colors + boundary
+
+
+class TestRoofline:
+    def test_all_hot_kernels_memory_bound(self):
+        """Fig. 8: every kernel sits at the HBM line."""
+        from repro.perf import roofline_points
+
+        for p in roofline_points():
+            assert p.memory_bound, p.name
+
+    def test_ten_points_sorted_by_cost(self):
+        from repro.perf import roofline_points
+
+        pts = roofline_points()
+        assert len(pts) == 10
+        times = [p.time_seconds for p in pts]
+        assert times == sorted(times, reverse=True)
+
+    def test_fp32_points_higher_ai(self):
+        from repro.perf import roofline_points
+
+        pts = {p.name: p for p in roofline_points()}
+        assert (
+            pts["spmv_ell_fp32"].arithmetic_intensity
+            > pts["spmv_ell_fp64"].arithmetic_intensity
+        )
+
+    def test_attained_below_ceiling(self):
+        from repro.perf import roofline_ceiling, roofline_points
+
+        for p in roofline_points():
+            ceiling = roofline_ceiling(FRONTIER_GCD, p.arithmetic_intensity, p.precision)
+            assert p.gflops <= ceiling * 1.0001
+
+    def test_ceiling_shape(self):
+        from repro.perf import roofline_ceiling
+
+        low = roofline_ceiling(FRONTIER_GCD, 0.01)
+        high = roofline_ceiling(FRONTIER_GCD, 1000.0)
+        assert low < high
+        assert high == pytest.approx(FRONTIER_GCD.flops_fp64 / 1e9)

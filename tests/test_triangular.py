@@ -1,0 +1,123 @@
+"""Unit tests for level-scheduled triangular solves."""
+
+import numpy as np
+
+from repro.sparse.triangular import (
+    level_sets,
+    lower_levels,
+    solve_lower_levelscheduled,
+    solve_upper_levelscheduled,
+    split_triangular,
+    upper_levels,
+)
+
+
+class TestSplitTriangular:
+    def test_parts_sum_to_matrix(self, problem8, rng):
+        A = problem8.A
+        L, U, diag = split_triangular(A)
+        x = rng.standard_normal(A.ncols)
+        full = A.spmv(x)
+        parts = L.spmv(x) + U.spmv(x) + diag * x[: A.nrows]
+        np.testing.assert_allclose(parts, full, rtol=1e-13)
+
+    def test_lower_is_strictly_lower(self, problem8):
+        L, _, _ = split_triangular(problem8.A)
+        n = L.nrows
+        rows = np.arange(n)[:, None]
+        mask = L.vals != 0
+        assert np.all(L.cols[mask] < np.broadcast_to(rows, L.cols.shape)[mask])
+
+    def test_diag_extracted(self, problem8):
+        _, _, diag = split_triangular(problem8.A)
+        np.testing.assert_allclose(diag, 26.0)
+
+
+class TestLevels:
+    def test_lower_levels_formula_27pt(self, problem8):
+        """For the 27-point stencil the levels are ix + 2*iy + 4*iz."""
+        L, _, _ = split_triangular(problem8.A)
+        levels = lower_levels(L)
+        ix, iy, iz = problem8.sub.local.all_coords()
+        np.testing.assert_array_equal(levels, ix + 2 * iy + 4 * iz)
+
+    def test_level_count(self, problem8):
+        L, _, _ = split_triangular(problem8.A)
+        n = problem8.sub.local.nx
+        assert lower_levels(L).max() == (n - 1) + 2 * (n - 1) + 4 * (n - 1)
+
+    def test_levels_respect_dependencies(self, problem8):
+        L, _, _ = split_triangular(problem8.A)
+        levels = lower_levels(L)
+        n = L.nrows
+        rows = np.arange(n)[:, None]
+        mask = (L.vals != 0) & (L.cols < rows)
+        # Every lower neighbor must be in a strictly earlier level.
+        nb_levels = np.where(mask, levels[L.cols], -1)
+        assert np.all(nb_levels.max(axis=1) < levels)
+
+    def test_upper_levels_symmetric_shape(self, problem8):
+        _, U, _ = split_triangular(problem8.A)
+        levels = upper_levels(U)
+        ix, iy, iz = problem8.sub.local.all_coords()
+        n = problem8.sub.local.nx
+        expected = ((n - 1) - ix) + 2 * ((n - 1) - iy) + 4 * ((n - 1) - iz)
+        np.testing.assert_array_equal(levels, expected)
+
+    def test_level_sets_partition(self, problem8):
+        L, _, _ = split_triangular(problem8.A)
+        sets = level_sets(lower_levels(L))
+        combined = np.sort(np.concatenate(sets))
+        assert np.array_equal(combined, np.arange(problem8.nlocal))
+
+
+def sequential_lower_solve(L_dense, diag, rhs):
+    n = len(rhs)
+    y = np.zeros(n)
+    for i in range(n):
+        y[i] = (rhs[i] - L_dense[i, :i] @ y[:i]) / diag[i]
+    return y
+
+
+class TestSolves:
+    def test_lower_matches_sequential(self, problem8, rng):
+        A = problem8.A
+        L, _, diag = split_triangular(A)
+        rhs = rng.standard_normal(A.nrows)
+        sets = level_sets(lower_levels(L))
+        y = solve_lower_levelscheduled(L, diag, rhs, sets)
+        y_ref = sequential_lower_solve(L.to_dense()[:, : A.nrows], diag, rhs)
+        np.testing.assert_allclose(y, y_ref, rtol=1e-12, atol=1e-12)
+
+    def test_lower_solve_is_exact_inverse(self, problem8, rng):
+        A = problem8.A
+        L, _, diag = split_triangular(A)
+        sets = level_sets(lower_levels(L))
+        y = rng.standard_normal(A.nrows)
+        # rhs = (D + L) y  =>  solve must return y.
+        yfull = np.zeros(A.ncols)
+        yfull[: A.nrows] = y
+        rhs = L.spmv(yfull) + diag * y
+        out = solve_lower_levelscheduled(L, diag, rhs, sets)
+        np.testing.assert_allclose(out, y, rtol=1e-12)
+
+    def test_upper_solve_is_exact_inverse(self, problem8, rng):
+        A = problem8.A
+        _, U, diag = split_triangular(A)
+        # Ascending level order: level 0 rows have no upper neighbors.
+        sets = level_sets(upper_levels(U))
+        y = rng.standard_normal(A.nrows)
+        yfull = np.zeros(A.ncols)
+        yfull[: A.nrows] = y
+        rhs = U.spmv(yfull) + diag * y
+        out = solve_upper_levelscheduled(U, diag, rhs, sets)
+        np.testing.assert_allclose(out, y, rtol=1e-12)
+
+    def test_out_parameter(self, problem8, rng):
+        A = problem8.A
+        L, _, diag = split_triangular(A)
+        sets = level_sets(lower_levels(L))
+        rhs = rng.standard_normal(A.nrows)
+        out = np.zeros(A.nrows)
+        ret = solve_lower_levelscheduled(L, diag, rhs, sets, out=out)
+        assert ret is out
