@@ -25,18 +25,9 @@ from repro.mg.restriction import (
     fused_residual_restrict,
     unfused_residual_restrict,
 )
+from repro.perf.scaling import ABLATION_CONFIGS as ABLATIONS
 from repro.perf.scaling import ScalingModel
 from repro.stencil import generate_problem
-
-ABLATIONS = [
-    ("optimized (all on)", {}),
-    ("CSR storage", {"matrix_format": "csr"}),
-    ("level-scheduled GS", {"smoother": "levelsched"}),
-    ("unfused restriction", {"fused_restrict": False}),
-    ("no overlap", {"overlap": False}),
-    ("host mixed ops", {"host_mixed_ops": True}),
-    ("reference (all off)", {"impl": "reference"}),
-]
 
 
 def test_ablation_model(benchmark):

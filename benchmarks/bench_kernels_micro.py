@@ -39,10 +39,16 @@ def mats(prob):
         "ell32": prob.A.astype("fp32"),
         "csr64": prob.A.to_csr(),
         "csr32": prob.A.to_csr().astype("fp32"),
+        "sellcs64": prob.A.to_sellcs(),
+        "sellcs32": prob.A.to_sellcs().astype("fp32"),
     }
 
 
 class TestSpMV:
+    """Format comparison: the same SpMV through every registered layout,
+    both via the allocating method API and the zero-alloc workspace
+    path the solvers use."""
+
     def test_spmv_ell_fp64(self, benchmark, mats, vectors):
         benchmark(lambda: mats["ell64"].spmv(vectors["x64"]))
 
@@ -54,6 +60,22 @@ class TestSpMV:
 
     def test_spmv_csr_fp32(self, benchmark, mats, vectors):
         benchmark(lambda: mats["csr32"].spmv(vectors["x32"]))
+
+    def test_spmv_sellcs_fp64(self, benchmark, mats, vectors):
+        benchmark(lambda: mats["sellcs64"].spmv(vectors["x64"]))
+
+    def test_spmv_sellcs_fp32(self, benchmark, mats, vectors):
+        benchmark(lambda: mats["sellcs32"].spmv(vectors["x32"]))
+
+    @pytest.mark.parametrize("fmt", ["ell", "csr", "sellcs"])
+    def test_spmv_workspace_fp64(self, benchmark, mats, vectors, fmt):
+        from repro.backends import Workspace, spmv
+
+        A = mats[f"{fmt}64"]
+        ws = Workspace()
+        out = np.empty(A.nrows)
+        spmv(A, vectors["x64"], out=out, ws=ws)  # warmup the arena
+        benchmark(lambda: spmv(A, vectors["x64"], out=out, ws=ws))
 
 
 class TestGaussSeidel:
@@ -74,6 +96,17 @@ class TestGaussSeidel:
         r = prob.b.astype(np.float32)
         x = np.zeros(prob.nlocal, dtype=np.float32)
         benchmark(lambda: smoothers["fp32"].forward(r, x))
+
+    def test_gs_sweep_fp64_workspace(self, benchmark, prob, mats):
+        from repro.backends import Workspace
+
+        sets = color_sets(structured_coloring8(prob.sub))
+        ws = Workspace()
+        gs = MulticolorGS(mats["ell64"], mats["ell64"].diagonal(), sets, ws=ws)
+        r = prob.b
+        x = np.zeros(prob.nlocal)
+        gs.forward(r, x)  # warmup the arena
+        benchmark(lambda: gs.forward(r, x))
 
 
 class TestOrtho:

@@ -1,0 +1,103 @@
+"""Typed dispatch facade over the kernel registry.
+
+These are the functions the solver and multigrid layers call: each one
+derives the ``(format, precision)`` key from its matrix/vector
+arguments, resolves the kernel through the (cached) registry lookup,
+and forwards the ``out=`` / ``ws=`` contracts unchanged.  Swapping the
+active backend (:func:`repro.backends.set_backend`) retargets every
+call site at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.registry import registry
+from repro.fp.precision import Precision
+
+#: dtype -> Precision memo (Precision.from_any scans; this is hot-path).
+_PREC: dict = {}
+
+
+def _prec(dtype) -> Precision:
+    p = _PREC.get(dtype)
+    if p is None:
+        p = Precision.from_any(dtype)
+        _PREC[dtype] = p
+    return p
+
+
+def matrix_format(A) -> str:
+    """Storage-format name of a matrix (its class's ``format_name``)."""
+    fmt = getattr(type(A), "format_name", None)
+    if fmt is None:
+        raise TypeError(
+            f"{type(A).__name__} does not declare a storage format; "
+            f"registered formats: {registry.formats()}"
+        )
+    return fmt
+
+
+# ----------------------------------------------------------------------
+# Sparse motifs
+# ----------------------------------------------------------------------
+def spmv(A, x: np.ndarray, out: np.ndarray | None = None, ws=None):
+    """``y = A @ x`` through the registered kernel for A's format."""
+    fn = registry.lookup("spmv", matrix_format(A), _prec(A.dtype))
+    return fn(A, x, out=out, ws=ws)
+
+
+def spmv_rows(A, rows: np.ndarray, x: np.ndarray, out=None, ws=None):
+    """``(A @ x)`` restricted to a row subset."""
+    fn = registry.lookup("spmv_rows", matrix_format(A), _prec(A.dtype))
+    return fn(A, rows, x, out=out, ws=ws)
+
+
+def symgs_sweep(
+    A,
+    r: np.ndarray,
+    xfull: np.ndarray,
+    sets,
+    diag_sets,
+    direction: str = "forward",
+    ws=None,
+) -> None:
+    """One multicolor Gauss-Seidel sweep (all color passes)."""
+    fn = registry.lookup("symgs_sweep", matrix_format(A), _prec(A.dtype))
+    return fn(A, r, xfull, sets, diag_sets, direction=direction, ws=ws)
+
+
+def fused_restrict(A, r, xfull, f_c, out=None, ws=None):
+    """Fused residual + injection restriction (eq. 6)."""
+    fn = registry.lookup("fused_restrict", matrix_format(A), _prec(A.dtype))
+    return fn(A, r, xfull, f_c, out=out, ws=ws)
+
+
+def prolong(xfull: np.ndarray, z_c: np.ndarray, f_c: np.ndarray, ws=None):
+    """Transpose-injection prolongation ``x[f_c] += z_c``."""
+    fn = registry.lookup("prolong", None, _prec(xfull.dtype))
+    return fn(xfull, z_c, f_c, ws=ws)
+
+
+# ----------------------------------------------------------------------
+# Dense motifs
+# ----------------------------------------------------------------------
+def dot(a: np.ndarray, b: np.ndarray) -> float:
+    """Local dot product."""
+    return registry.lookup("dot", None, _prec(a.dtype))(a, b)
+
+
+def waxpby(alpha, x, beta, y, out=None, ws=None):
+    """``w = alpha x + beta y`` (aliasing with ``out`` allowed)."""
+    fn = registry.lookup("waxpby", None, _prec(y.dtype))
+    return fn(alpha, x, beta, y, out=out, ws=ws)
+
+
+def gemv(Q: np.ndarray, k: int, coef: np.ndarray, out=None):
+    """``Q[:, :k] @ coef`` (basis combination)."""
+    return registry.lookup("gemv", None, _prec(Q.dtype))(Q, k, coef, out=out)
+
+
+def gemvT(Q: np.ndarray, k: int, w: np.ndarray, out=None):
+    """``Q[:, :k]^T w`` (CGS2 projection coefficients)."""
+    return registry.lookup("gemvT", None, _prec(Q.dtype))(Q, k, w, out=out)

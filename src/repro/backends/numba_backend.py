@@ -1,0 +1,102 @@
+"""Optional Numba backend: threaded JIT kernels, auto-detected at import.
+
+When Numba is importable, this module registers ``prange``-parallel
+row-wise kernels for the two streaming-heavy sparse ops and lets the
+registry's fallback chain cover everything else with the NumPy
+reference kernels.  When Numba is absent (the common CI container),
+importing this module is a silent no-op — the registry simply never
+sees a ``"numba"`` backend, and ``REPRO_BACKEND=numba`` raises a clear
+error instead of an ImportError at call time.
+
+The kernels are deliberately row-parallel rather than vectorized:
+NumPy's ELL SpMV streams the padded block through a (rows × width)
+temporary, while the JIT version keeps one row's accumulator in
+registers — the same restructuring a GPU/OpenMP port would do, which
+is exactly the seam the registry exists to demonstrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.registry import register, registry
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the offline container path
+    numba = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    registry.register_backend(
+        "numba",
+        priority=10,
+        description="numba prange-parallel JIT kernels",
+    )
+
+    def _make_csr_spmv(zero):
+        """JIT CSR SpMV accumulating in the matrix precision.
+
+        The accumulator is seeded from a typed closure constant so
+        fp32 rows sum in fp32 — matching the NumPy backend's
+        reduction dtype.  Auto-selecting this backend must not change
+        mixed-precision numerics relative to a numba-less install.
+        """
+
+        @numba.njit(parallel=True, fastmath=False, cache=True)
+        def kernel(indptr, indices, data, x, y):
+            for i in numba.prange(len(indptr) - 1):
+                acc = zero
+                for j in range(indptr[i], indptr[i + 1]):
+                    acc += data[j] * x[indices[j]]
+                y[i] = acc
+
+        return kernel
+
+    def _make_ell_spmv(zero):
+        @numba.njit(parallel=True, fastmath=False, cache=True)
+        def kernel(cols, vals, x, y):
+            nrows, width = cols.shape
+            for i in numba.prange(nrows):
+                acc = zero
+                for j in range(width):
+                    acc += vals[i, j] * x[cols[i, j]]
+                y[i] = acc
+
+        return kernel
+
+    # Precision-specific registrations: each kernel accumulates in its
+    # own format, exercising the registry's precision axis.
+    _KERNELS = {
+        "fp32": (_make_csr_spmv(np.float32(0.0)), _make_ell_spmv(np.float32(0.0))),
+        "fp64": (_make_csr_spmv(np.float64(0.0)), _make_ell_spmv(np.float64(0.0))),
+    }
+
+    def _register_numba(prec: str) -> None:
+        csr_kernel, ell_kernel = _KERNELS[prec]
+
+        @register("spmv", fmt="csr", precision=prec, backend="numba")
+        def spmv_csr_numba(A, x, out=None, ws=None):
+            if x.shape[0] != A.ncols:
+                raise ValueError(
+                    f"x has {x.shape[0]} entries, matrix has {A.ncols} columns"
+                )
+            y = out if out is not None else np.empty(A.nrows, dtype=A.data.dtype)
+            csr_kernel(A.indptr, A.indices, A.data, x, y)
+            return y
+
+        @register("spmv", fmt="ell", precision=prec, backend="numba")
+        def spmv_ell_numba(A, x, out=None, ws=None):
+            if x.shape[0] != A.ncols:
+                raise ValueError(
+                    f"x has {x.shape[0]} entries, matrix has {A.ncols} columns"
+                )
+            y = out if out is not None else np.empty(A.nrows, dtype=A.vals.dtype)
+            ell_kernel(A.cols, A.vals, x, y)
+            return y
+
+    for _prec in ("fp32", "fp64"):
+        _register_numba(_prec)

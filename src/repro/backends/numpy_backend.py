@@ -1,0 +1,399 @@
+"""Reference backend: vectorized NumPy kernels for every hot operation.
+
+These are the canonical implementations the registry falls back to for
+any ``(op, format, precision)`` no other backend claims.  Every kernel
+honors two contracts the solver hot path depends on:
+
+- ``out=`` — results land in a caller-provided buffer end-to-end (no
+  hidden allocate-then-copy, including CSR's empty-row fixup path);
+- ``ws=`` — an optional :class:`~repro.backends.workspace.Workspace`
+  supplies pooled scratch.  Full-matrix kernels and the ELL row-subset
+  kernel are allocation-free after their first (warmup) call; the
+  CSR/SELL-C-σ row-subset kernels pool all floating-point traffic but
+  still build O(rows) integer index scratch per call (the price of
+  their indirected layouts).
+
+Without ``ws`` the kernels fall back to plain allocating NumPy, which
+keeps them usable from tests and one-shot diagnostics.
+
+The kernels are duck-typed on the matrix attributes (``indptr`` /
+``cols`` / ``blocks`` ...), not the classes, so this module has no
+import edge back into :mod:`repro.sparse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends.registry import register, registry
+
+registry.register_backend(
+    "numpy", priority=0, description="vectorized NumPy (always available)"
+)
+
+
+def _check_cols(A, x) -> None:
+    if x.shape[0] != A.ncols:
+        raise ValueError(
+            f"x has {x.shape[0]} entries, matrix has {A.ncols} columns"
+        )
+
+
+# ----------------------------------------------------------------------
+# CSR
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _CSRPlan:
+    """Precomputed segmented-reduction structure of one CSR matrix.
+
+    ``reduceat`` boundaries are taken at *nonempty* rows only: an
+    empty row's (clamped) boundary would both emit a bogus value and
+    truncate the preceding row's segment, so empty rows are excluded
+    from the reduction and zeroed by scatter instead.
+    """
+
+    nonempty_starts: np.ndarray  # strictly increasing, all < nnz
+    nonempty_rows: np.ndarray | None  # None when every row has an entry
+
+
+def _csr_plan(A) -> _CSRPlan:
+    plan = getattr(A, "_spmv_plan", None)
+    if plan is None:
+        nonempty = A.indptr[:-1] < A.indptr[1:]
+        if bool(nonempty.all()):
+            plan = _CSRPlan(A.indptr[:-1], None)
+        else:
+            rows = np.nonzero(nonempty)[0]
+            plan = _CSRPlan(A.indptr[:-1][rows], rows)
+        A._spmv_plan = plan
+    return plan
+
+
+@register("spmv", fmt="csr")
+def spmv_csr(A, x, out=None, ws=None):
+    """y = A @ x via ``np.add.reduceat`` over row-pointer boundaries."""
+    _check_cols(A, x)
+    n = A.nrows
+    y = out if out is not None else np.empty(n, dtype=A.data.dtype)
+    if A.nnz == 0:
+        y[:] = 0
+        return y
+    plan = _csr_plan(A)
+    if ws is not None and A.data.dtype == x.dtype == y.dtype:
+        g = ws.get("csr.spmv.gather", (A.nnz,), x.dtype)
+        np.take(x, A.indices, out=g, mode="clip")
+        np.multiply(A.data, g, out=g)
+        if plan.nonempty_rows is None:
+            np.add.reduceat(g, plan.nonempty_starts, out=y)
+        else:
+            s = ws.get("csr.spmv.sums", plan.nonempty_starts.shape, y.dtype)
+            np.add.reduceat(g, plan.nonempty_starts, out=s)
+            y[:] = 0
+            y[plan.nonempty_rows] = s
+        return y
+    products = A.data * x[A.indices]
+    sums = np.add.reduceat(products, plan.nonempty_starts)
+    if plan.nonempty_rows is None:
+        y[:] = sums
+    else:
+        y[:] = 0
+        y[plan.nonempty_rows] = sums
+    return y
+
+
+@register("spmv_rows", fmt="csr")
+def spmv_rows_csr(A, rows, x, out=None, ws=None):
+    """(A @ x) restricted to a subset of rows (overlap split).
+
+    The concatenated-range index construction allocates integer
+    scratch; with ``ws`` all floating-point gathers/products are
+    pooled.
+    """
+    m = len(rows)
+    y = out if out is not None else np.zeros(m, dtype=A.data.dtype)
+    if m == 0:
+        return y
+    lens = (A.indptr[rows + 1] - A.indptr[rows]).astype(np.int64)
+    total = int(lens.sum())
+    y[:] = 0
+    if total:
+        # Gather the concatenated nnz ranges of the selected rows.
+        flat = np.repeat(A.indptr[rows], lens) + (
+            np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+        )
+        if ws is not None and A.data.dtype == x.dtype:
+            db = ws.get("csr.rows.data", (total,), A.data.dtype)
+            np.take(A.data, flat, out=db, mode="clip")
+            ib = ws.get("csr.rows.idx", (total,), A.indices.dtype)
+            np.take(A.indices, flat, out=ib, mode="clip")
+            products = ws.get("csr.rows.prod", (total,), x.dtype)
+            np.take(x, ib, out=products, mode="clip")
+            np.multiply(db, products, out=products)
+        else:
+            products = A.data[flat] * x[A.indices[flat]]
+        starts = np.cumsum(lens) - lens
+        nonempty = lens > 0
+        # Boundaries at nonempty segments only (see _CSRPlan).
+        sums = np.add.reduceat(products, starts[nonempty])
+        y[nonempty] = sums
+    return y
+
+
+# ----------------------------------------------------------------------
+# ELL
+# ----------------------------------------------------------------------
+@register("spmv", fmt="ell")
+def spmv_ell(A, x, out=None, ws=None):
+    """y = A @ x: one gather of ``x`` through the padded column block,
+    elementwise multiply, and a row reduction."""
+    _check_cols(A, x)
+    if ws is not None and A.vals.dtype == x.dtype:
+        g = ws.get("ell.spmv.gather", A.cols.shape, x.dtype)
+        np.take(x, A.cols, out=g, mode="clip")
+        np.multiply(A.vals, g, out=g)
+        y = out if out is not None else np.empty(A.nrows, dtype=A.vals.dtype)
+        g.sum(axis=1, dtype=A.vals.dtype, out=y)
+        return y
+    acc = A.vals * x[A.cols]
+    y = acc.sum(axis=1, dtype=A.vals.dtype)
+    if out is not None:
+        out[:] = y
+        return out
+    return y
+
+
+@register("spmv_rows", fmt="ell")
+def spmv_rows_ell(A, rows, x, out=None, ws=None):
+    """(A @ x) on a row subset — the building block for the fused
+    SpMV-restriction (§3.2.4), the interior/boundary overlap split
+    (§3.2.3) and the multicolor GS color passes (§3.2.1)."""
+    m = len(rows)
+    w = A.width
+    if ws is not None and A.vals.dtype == x.dtype and m:
+        vb = ws.get("ell.rows.vals", (m, w), A.vals.dtype)
+        cb = ws.get("ell.rows.cols", (m, w), A.cols.dtype)
+        np.take(A.vals, rows, axis=0, out=vb, mode="clip")
+        np.take(A.cols, rows, axis=0, out=cb, mode="clip")
+        g = ws.get("ell.rows.gather", (m, w), x.dtype)
+        np.take(x, cb, out=g, mode="clip")
+        np.multiply(vb, g, out=g)
+        y = out if out is not None else np.empty(m, dtype=A.vals.dtype)
+        g.sum(axis=1, dtype=A.vals.dtype, out=y)
+        return y
+    acc = A.vals[rows] * x[A.cols[rows]]
+    y = acc.sum(axis=1, dtype=A.vals.dtype)
+    if out is not None:
+        out[:] = y
+        return out
+    return y
+
+
+# ----------------------------------------------------------------------
+# SELL-C-σ
+# ----------------------------------------------------------------------
+@register("spmv", fmt="sellcs")
+def spmv_sellcs(A, x, out=None, ws=None):
+    """y = A @ x: one ELL-style gather-multiply-reduce per width slab.
+
+    Every row belongs to exactly one slab, so the output needs no
+    global zero pass; zero-width slabs (all-empty chunks) scatter 0.
+    """
+    _check_cols(A, x)
+    dtype = A.dtype
+    y = out if out is not None else np.empty(A.nrows, dtype=dtype)
+    for bid, blk in enumerate(A.blocks):
+        if blk.width == 0:
+            y[blk.rows] = 0
+            continue
+        if ws is not None and blk.vals.dtype == x.dtype:
+            g = ws.get(("sellcs.spmv.gather", bid), blk.cols.shape, x.dtype)
+            np.take(x, blk.cols, out=g, mode="clip")
+            np.multiply(blk.vals, g, out=g)
+            s = ws.get(("sellcs.spmv.sum", bid), (len(blk.rows),), dtype)
+            g.sum(axis=1, dtype=dtype, out=s)
+            y[blk.rows] = s
+        else:
+            y[blk.rows] = (blk.vals * x[blk.cols]).sum(axis=1, dtype=dtype)
+    return y
+
+
+@register("spmv_rows", fmt="sellcs")
+def spmv_rows_sellcs(A, rows, x, out=None, ws=None):
+    """(A @ x) on a row subset, resolved through the per-row slab map.
+
+    With ``ws`` the O(rows × width) slab gathers are pooled; the
+    per-slab selection index vectors (O(rows)) still allocate — the
+    price of the permuted layout's indirection.
+    """
+    m = len(rows)
+    dtype = A.dtype
+    y = out if out is not None else np.empty(m, dtype=dtype)
+    if m == 0:
+        return y
+    owner = A.row_block[rows]
+    for bid, blk in enumerate(A.blocks):
+        sel = np.nonzero(owner == bid)[0]
+        n_sel = len(sel)
+        if n_sel == 0:
+            continue
+        if blk.width == 0:
+            y[sel] = 0
+            continue
+        slots = A.row_slot[rows[sel]]
+        if ws is not None and blk.vals.dtype == x.dtype:
+            shape = (n_sel, blk.width)
+            vb = ws.get(("sellcs.rows.vals", bid), shape, blk.vals.dtype)
+            cb = ws.get(("sellcs.rows.cols", bid), shape, blk.cols.dtype)
+            np.take(blk.vals, slots, axis=0, out=vb, mode="clip")
+            np.take(blk.cols, slots, axis=0, out=cb, mode="clip")
+            g = ws.get(("sellcs.rows.gather", bid), shape, x.dtype)
+            np.take(x, cb, out=g, mode="clip")
+            np.multiply(vb, g, out=g)
+            s = ws.get(("sellcs.rows.sum", bid), (n_sel,), dtype)
+            g.sum(axis=1, dtype=dtype, out=s)
+            y[sel] = s
+        else:
+            acc = blk.vals[slots] * x[blk.cols[slots]]
+            y[sel] = acc.sum(axis=1, dtype=dtype)
+    return y
+
+
+# ----------------------------------------------------------------------
+# Symmetric / multicolor Gauss-Seidel sweep (format-generic)
+# ----------------------------------------------------------------------
+@register("symgs_sweep")
+def symgs_sweep(A, r, xfull, sets, diag_sets, direction="forward", ws=None):
+    """One multicolor Gauss-Seidel sweep over all color sets.
+
+    Rows of a color are mutually independent, so each pass is one
+    vectorized relaxation ``x[c] += (r[c] - (A x)[c]) / diag[c]``;
+    colors run sequentially (later colors see earlier updates).
+    ``diag_sets[i]`` is the diagonal restricted to ``sets[i]``,
+    precomputed once by the smoother.
+    """
+    from repro.backends.dispatch import spmv_rows
+
+    order = range(len(sets))
+    if direction == "backward":
+        order = reversed(order)
+    elif direction != "forward":
+        raise ValueError(f"unknown sweep direction {direction!r}")
+    for i in order:
+        rows = sets[i]
+        m = len(rows)
+        if m == 0:
+            continue
+        if ws is None:
+            ax = spmv_rows(A, rows, xfull)
+            xfull[rows] += (r[rows] - ax) / diag_sets[i]
+            continue
+        ax = ws.get(("gs.ax", i), (m,), A.dtype)
+        spmv_rows(A, rows, xfull, out=ax, ws=ws)
+        rb = ws.get(("gs.rhs", i), (m,), r.dtype)
+        np.take(r, rows, out=rb, mode="clip")
+        np.subtract(rb, ax, out=rb)
+        np.divide(rb, diag_sets[i], out=rb)
+        xb = ws.get(("gs.x", i), (m,), xfull.dtype)
+        np.take(xfull, rows, out=xb, mode="clip")
+        np.add(xb, rb, out=xb)
+        xfull[rows] = xb
+
+
+# ----------------------------------------------------------------------
+# Dense / vector motifs
+# ----------------------------------------------------------------------
+@register("dot")
+def dot(a, b) -> float:
+    """Local dot product (the all-reduce lives in ``parallel``)."""
+    return float(np.dot(a, b))
+
+
+@register("waxpby")
+def waxpby(alpha, x, beta, y, out=None, ws=None):
+    """``w = alpha x + beta y`` with aliasing-safe in-place updates."""
+    if out is None:
+        return alpha * x + beta * y
+    if out is y:
+        if beta != 1.0:
+            np.multiply(y, beta, out=out)
+        if alpha == 1.0:
+            np.add(out, x, out=out)
+        elif alpha != 0.0:
+            if ws is None:
+                np.add(out, alpha * x, out=out)
+            else:
+                t = ws.get("waxpby.t", x.shape, out.dtype)
+                np.multiply(x, alpha, out=t)
+                np.add(out, t, out=out)
+        return out
+    np.multiply(x, alpha, out=out)
+    if beta == 1.0:
+        np.add(out, y, out=out)
+    elif beta != 0.0:
+        if ws is None:
+            np.add(out, beta * y, out=out)
+        else:
+            t = ws.get("waxpby.t", y.shape, out.dtype)
+            np.multiply(y, beta, out=t)
+            np.add(out, t, out=out)
+    return out
+
+
+@register("gemv")
+def gemv(Q, k, coef, out=None):
+    """``y = Q[:, :k] @ coef`` — the basis-combination GEMV.
+
+    ``Q[:, :k]`` is a leading-dimension view (rows contiguous), which
+    BLAS consumes without copying; with ``out`` the call is
+    allocation-free.
+    """
+    if out is None:
+        return Q[:, :k] @ coef
+    np.dot(Q[:, :k], coef, out=out)
+    return out
+
+
+@register("gemvT")
+def gemvT(Q, k, w, out=None):
+    """``h = Q[:, :k]^T w`` — CGS2's batched projection (GEMVT)."""
+    if out is None:
+        return Q[:, :k].T @ w
+    np.dot(w, Q[:, :k], out=out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Grid transfers
+# ----------------------------------------------------------------------
+@register("fused_restrict")
+def fused_restrict(A, r, xfull, f_c, out=None, ws=None):
+    """Coarse defect without the full residual (eq. 6):
+    ``r_c[i] = r[f_c(i)] - (A x)[f_c(i)]`` at coarse-mapped rows only."""
+    from repro.backends.dispatch import spmv_rows
+
+    if out is None:
+        ax = spmv_rows(A, f_c, xfull, ws=ws)
+        return (r[f_c] - ax).astype(xfull.dtype)
+    m = len(f_c)
+    if ws is None:
+        ax = spmv_rows(A, f_c, xfull)
+    else:
+        ax = ws.get("restrict.ax", (m,), A.dtype)
+        spmv_rows(A, f_c, xfull, out=ax, ws=ws)
+    np.take(r, f_c, out=out, mode="clip")
+    np.subtract(out, ax, out=out)
+    return out
+
+
+@register("prolong")
+def prolong(xfull, z_c, f_c, ws=None):
+    """Transpose-injection prolongation ``x[f_c(i)] += z_c[i]``."""
+    if ws is None:
+        xfull[f_c] += z_c
+        return
+    b = ws.get("prolong.buf", (len(f_c),), xfull.dtype)
+    np.take(xfull, f_c, out=b, mode="clip")
+    np.add(b, z_c, out=b)
+    xfull[f_c] = b

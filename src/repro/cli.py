@@ -22,10 +22,24 @@ import json
 import sys
 
 
+def _format_choices() -> list[str]:
+    """Storage formats registered with the kernel backend layer."""
+    from repro.sparse.formats import known_formats
+
+    return ["auto", *known_formats()]
+
+
 def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--local-nx", type=int, default=32, help="local box edge")
     p.add_argument("--nranks", type=int, default=1, help="SPMD ranks (GCDs)")
     p.add_argument("--impl", choices=["optimized", "reference"], default="optimized")
+    p.add_argument(
+        "--format",
+        dest="matrix_format",
+        choices=_format_choices(),
+        default="auto",
+        help="sparse storage layout (auto follows --impl)",
+    )
     p.add_argument(
         "--validation-mode", choices=["standard", "fullscale"], default="standard"
     )
@@ -51,6 +65,7 @@ def cmd_run(args) -> int:
         local_nx=args.local_nx,
         nranks=args.nranks,
         impl=args.impl,
+        matrix_format=args.matrix_format,
         validation_mode=args.validation_mode,
         max_iters_per_solve=args.max_iters,
         num_solves=args.num_solves,
@@ -164,17 +179,9 @@ def cmd_trace(args) -> int:
 
 
 def cmd_ablation(args) -> int:
+    from repro.perf.scaling import ABLATION_CONFIGS as ablations
     from repro.perf.scaling import ScalingModel
 
-    ablations = [
-        ("optimized (all on)", {}),
-        ("CSR storage", {"matrix_format": "csr"}),
-        ("level-scheduled GS", {"smoother": "levelsched"}),
-        ("unfused restriction", {"fused_restrict": False}),
-        ("no overlap", {"overlap": False}),
-        ("host mixed ops", {"host_mixed_ops": True}),
-        ("reference (all off)", {"impl": "reference"}),
-    ]
     nranks = args.nodes * 8
     print(f"ablation at {args.nodes} node(s), 320^3/GCD, mxp:")
     base = None

@@ -18,8 +18,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.config import BenchmarkConfig
 from repro.core.flops import (
     flops_gmres_solve,

@@ -8,7 +8,7 @@ official value visible via :meth:`BenchmarkConfig.table1`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.fp.policy import DOUBLE_POLICY, PrecisionPolicy
 from repro.fp.precision import Precision
@@ -73,12 +73,34 @@ class BenchmarkConfig:
     matrix_kind: str = "symmetric"
     ortho: str = "cgs2"
     nlevels: int = 4
+    #: Sparse storage layout for the solver and hierarchy: any format
+    #: registered with the kernel backend layer ("csr", "ell",
+    #: "sellcs"), or "auto" to follow ``impl`` (optimized -> ell,
+    #: reference -> csr).  Resolved to a concrete format name at
+    #: construction.
+    matrix_format: str = "auto"
+
+    @staticmethod
+    def _auto_format(impl: str) -> str:
+        return "ell" if impl == "optimized" else "csr"
 
     def __post_init__(self) -> None:
         if self.impl not in ("optimized", "reference"):
             raise ValueError(f"unknown impl {self.impl!r}")
         if self.validation_mode not in ("standard", "fullscale"):
             raise ValueError(f"unknown validation mode {self.validation_mode!r}")
+        if self.matrix_format == "auto":
+            object.__setattr__(
+                self, "matrix_format", self._auto_format(self.impl)
+            )
+        else:
+            from repro.sparse.formats import known_formats
+
+            if self.matrix_format not in known_formats():
+                raise ValueError(
+                    f"unknown matrix format {self.matrix_format!r}; "
+                    f"registered formats: {known_formats()} (or 'auto')"
+                )
         nx, ny, nz = self.local_dims
         div = 2 ** (self.nlevels - 1)
         if any(d % div or d < div * 2 for d in (nx, ny, nz)):
@@ -118,9 +140,6 @@ class BenchmarkConfig:
             nlevels=self.nlevels, smoother="levelsched", fused_restrict=False
         )
 
-    @property
-    def matrix_format(self) -> str:
-        return "ell" if self.impl == "optimized" else "csr"
 
     def mixed_policy(self) -> PrecisionPolicy:
         """The mxp phase's precision policy."""
@@ -130,7 +149,20 @@ class BenchmarkConfig:
         return DOUBLE_POLICY
 
     def with_updates(self, **kwargs) -> "BenchmarkConfig":
-        """Functional update helper."""
+        """Functional update helper.
+
+        An auto-derived ``matrix_format`` follows a bare ``impl``
+        update (the historical behaviour); a format that differs from
+        the current impl's auto choice was evidently pinned and stays
+        put.  This is value-based, so it survives arbitrary chains of
+        unrelated updates.
+        """
+        if (
+            "impl" in kwargs
+            and "matrix_format" not in kwargs
+            and self.matrix_format == self._auto_format(self.impl)
+        ):
+            kwargs["matrix_format"] = "auto"
         return replace(self, **kwargs)
 
     def table1(self) -> dict[str, tuple[object, object]]:

@@ -12,7 +12,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.core.config import BenchmarkConfig
 from repro.core.flops import flops_pcg_iteration, hierarchy_dims, total_flops
 from repro.core.metrics import PhaseMetrics
 from repro.geometry.grid import BoxGrid

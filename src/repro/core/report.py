@@ -60,6 +60,7 @@ def result_to_dict(result: BenchmarkResult) -> dict:
             "local_dims": result.config.local_dims,
             "nranks": result.config.nranks,
             "impl": result.config.impl,
+            "matrix_format": result.config.matrix_format,
             "restart": result.config.restart,
             "validation_mode": result.config.validation_mode,
         },

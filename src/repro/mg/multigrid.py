@@ -8,9 +8,12 @@ problem, textbook O(N) multigrid scalability is deliberately absent —
 the paper points out this is why iteration counts climb at scale, which
 Table 2 and the full-scale validation probe.
 
-The preconditioner owns per-level matrices in a single precision; for
-GMRES-IR the whole hierarchy is instantiated in the policy's
-preconditioner precision (single), separate from the double operator.
+The preconditioner owns per-level matrices in a single precision and a
+single storage format (any format registered with the kernel backend
+layer); every hot operation — smoother sweeps, the fused restriction,
+prolongation — dispatches through :mod:`repro.backends`.  All per-level
+iterate and coarse-defect buffers are preallocated, so one V-cycle
+performs zero array allocations after warmup.
 """
 
 from __future__ import annotations
@@ -19,8 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backends.workspace import Workspace
 from repro.fp.precision import Precision
-from repro.geometry.halo import build_halo_pattern
 from repro.geometry.partition import Subdomain
 from repro.mg.restriction import (
     coarse_to_fine_map,
@@ -31,8 +34,8 @@ from repro.mg.smoothers import Smoother, make_smoother, smooth_distributed
 from repro.parallel.comm import Communicator
 from repro.parallel.halo_exchange import HaloExchange
 from repro.sparse.coloring import color_sets, structured_coloring8
-from repro.sparse.ell import ELLMatrix
-from repro.stencil.poisson27 import Problem, ProblemSpec, generate_problem
+from repro.sparse.formats import matrix_format_of, to_format
+from repro.stencil.poisson27 import Problem, generate_problem
 from repro.util.timers import NullTimers
 
 
@@ -68,12 +71,13 @@ class MGLevel:
     """All per-level state: matrix, halo plan, smoother, transfers."""
 
     sub: Subdomain
-    A: ELLMatrix
+    A: object  # local matrix in the hierarchy's storage format
     diag: np.ndarray
     halo_ex: HaloExchange
     smoother: Smoother
     f_c: np.ndarray | None  # map to next-coarser level (None on coarsest)
     zfull: np.ndarray = field(repr=False, default=None)  # iterate workspace
+    r_c: np.ndarray = field(repr=False, default=None)  # coarse-defect buffer
 
     @property
     def nlocal(self) -> int:
@@ -97,11 +101,13 @@ class MultigridPreconditioner:
         config: MGConfig,
         precision: Precision,
         timers=None,
+        workspace: Workspace | None = None,
     ) -> None:
         self.levels = levels
         self.config = config
         self.precision = precision
         self.timers = timers if timers is not None else NullTimers()
+        self.ws = workspace if workspace is not None else Workspace("mg")
 
     # ------------------------------------------------------------------
     # Construction
@@ -114,7 +120,9 @@ class MultigridPreconditioner:
         config: MGConfig | None = None,
         precision: "Precision | str" = Precision.DOUBLE,
         timers=None,
-        fine_matrix: ELLMatrix | None = None,
+        fine_matrix=None,
+        matrix_format: str = "ell",
+        workspace: Workspace | None = None,
     ) -> "MultigridPreconditioner":
         """Build the hierarchy under ``problem``'s fine grid.
 
@@ -125,14 +133,27 @@ class MultigridPreconditioner:
         ``fine_matrix`` lets the caller share an already-cast fine-level
         matrix (e.g. the solver's low-precision Krylov operator) instead
         of making another copy — the sharing the memory model assumes.
+        It is used only when its format matches the hierarchy's;
+        otherwise the level is built fresh (no sharing, no error) —
+        the historical behaviour for CSR Krylov matrices.
+        ``matrix_format`` selects the per-level storage layout; the
+        level-scheduled smoother operates on ELL triangular blocks, so
+        a ``levelsched`` hierarchy is stored in ELL outright rather
+        than keeping a duplicate ELL conversion beside each level.
         """
         config = config or MGConfig()
         prec = Precision.from_any(precision)
+        ws = workspace if workspace is not None else Workspace("mg")
         spec = problem.spec
-        if fine_matrix is not None and fine_matrix.vals.dtype != prec.dtype:
-            raise ValueError(
-                "fine_matrix precision must match the preconditioner precision"
-            )
+        if config.smoother == "levelsched":
+            matrix_format = "ell"
+        if fine_matrix is not None:
+            if fine_matrix.dtype != prec.dtype:
+                raise ValueError(
+                    "fine_matrix precision must match the preconditioner precision"
+                )
+            if matrix_format_of(fine_matrix) != matrix_format:
+                fine_matrix = None  # format mismatch: build, don't share
 
         levels: list[MGLevel] = []
         sub = problem.sub
@@ -141,11 +162,12 @@ class MultigridPreconditioner:
             if lvl == 0 and fine_matrix is not None:
                 A = fine_matrix
             else:
-                A = level_problem.A.astype(prec)
-            halo_ex = HaloExchange(level_problem.halo, comm)
+                A = to_format(level_problem.A, matrix_format).astype(prec)
+            halo_ex = HaloExchange(level_problem.halo, comm, workspace=ws)
             diag = A.diagonal()
-            smoother = cls._build_smoother(A, diag, sub, config)
+            smoother = cls._build_smoother(A, diag, sub, config, ws)
             f_c = None
+            coarse_sub = None
             if lvl < config.nlevels - 1:
                 coarse_sub = sub.coarsen(2)
                 f_c = coarse_to_fine_map(sub, coarse_sub)
@@ -160,19 +182,25 @@ class MultigridPreconditioner:
             level.zfull = np.zeros(
                 level.nlocal + level.halo_ex.n_ghost, dtype=prec.dtype
             )
+            if coarse_sub is not None:
+                level.r_c = np.zeros(coarse_sub.nlocal, dtype=prec.dtype)
             levels.append(level)
             if f_c is not None:
-                sub = sub.coarsen(2)
+                sub = coarse_sub
                 level_problem = generate_problem(sub, spec=spec)
-        return cls(levels, config, prec, timers)
+        return cls(levels, config, prec, timers, workspace=ws)
 
     @staticmethod
     def _build_smoother(
-        A: ELLMatrix, diag: np.ndarray, sub: Subdomain, config: MGConfig
+        A, diag: np.ndarray, sub: Subdomain, config: MGConfig, ws: Workspace
     ) -> Smoother:
         if config.smoother == "multicolor":
             colors = structured_coloring8(sub)
-            return make_smoother(A, "multicolor", diag=diag, sets=color_sets(colors))
+            return make_smoother(
+                A, "multicolor", diag=diag, sets=color_sets(colors), ws=ws
+            )
+        # build() stores levelsched hierarchies in ELL, so A is the
+        # matrix the triangular machinery splits — no duplicate copy.
         return make_smoother(A, "levelsched")
 
     # ------------------------------------------------------------------
@@ -182,14 +210,21 @@ class MultigridPreconditioner:
         """z = M^{-1} r: one V-cycle from a zero initial guess.
 
         ``r`` is cast to the preconditioner precision on entry; the
-        result is returned in that precision.
+        result is returned in that precision.  With a caller-provided
+        ``out`` buffer the whole V-cycle is allocation-free (the hot
+        path the solvers use); without one a fresh copy is returned.
         """
-        r_prec = np.asarray(r, dtype=self.precision.dtype)
+        dtype = self.precision.dtype
+        if r.dtype == dtype:
+            r_prec = r
+        else:
+            r_prec = self.ws.get("mg.rcast", r.shape, dtype)
+            np.copyto(r_prec, r)
         z = self._vcycle(0, r_prec)
         if out is not None:
             out[:] = z
             return out
-        return z
+        return z.copy()
 
     def _vcycle(self, lvl: int, r: np.ndarray) -> np.ndarray:
         level = self.levels[lvl]
@@ -203,7 +238,7 @@ class MultigridPreconditioner:
                     smooth_distributed(
                         level.smoother, level.halo_ex, r, zfull, cfg.sweep
                     )
-            return zfull[: level.nlocal].copy()
+            return zfull[: level.nlocal]
 
         with self.timers.section("gs"):
             for _ in range(cfg.npre):
@@ -217,19 +252,22 @@ class MultigridPreconditioner:
                 zfull,
                 level.f_c,
                 fused=cfg.fused_restrict,
+                out=level.r_c,
+                ws=self.ws,
             )
 
         z_c = self._vcycle(lvl + 1, r_c)
-        # Recursion reuses deeper workspaces only, so zfull is intact.
+        # Recursion reuses deeper workspaces only, so zfull is intact;
+        # z_c is the deeper level's iterate view, consumed immediately.
 
         with self.timers.section("prolong"):
-            prolong_correct(zfull, z_c, level.f_c)
+            prolong_correct(zfull, z_c, level.f_c, ws=self.ws)
 
         with self.timers.section("gs"):
             for _ in range(cfg.npost):
                 smooth_distributed(level.smoother, level.halo_ex, r, zfull, cfg.sweep)
 
-        return zfull[: level.nlocal].copy()
+        return zfull[: level.nlocal]
 
     # ------------------------------------------------------------------
     # Introspection (flop/byte models)

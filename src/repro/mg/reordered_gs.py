@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.dispatch import spmv_rows
 from repro.geometry.partition import Subdomain
 from repro.mg.smoothers import Smoother
 from repro.sparse.coloring import structured_coloring8
@@ -59,7 +60,7 @@ class ReorderedMulticolorGS(Smoother):
         A, diag = self.A_perm, self.diag_perm
         for start, end in blocks:
             rows = np.arange(start, end)
-            ax = A.spmv_rows(rows, xp)
+            ax = spmv_rows(A, rows, xp)
             xp[start:end] += (rp[start:end] - ax) / diag[start:end]
         self._permute_out(xp, xfull)
 

@@ -5,16 +5,20 @@ HPG-MxP's restriction is plain injection from every second fine point
 injected points).  The reference implementation computes the full fine
 residual with an SpMV and then injects; the optimized implementation
 fuses the two, evaluating the residual *only at coarse points*
-(eq. 6) — implemented here with the row-subset SpMV.
+(eq. 6) — implemented through the kernel registry's ``fused_restrict``
+op (a row-subset SpMV at coarse-mapped rows).
+
+All entry points accept an ``out=`` coarse buffer and a workspace, so
+the V-cycle's transfers are allocation-free after warmup.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends import dispatch
 from repro.geometry.partition import Subdomain
 from repro.parallel.halo_exchange import HaloExchange
-from repro.sparse.ell import ELLMatrix
 
 
 def coarse_to_fine_map(fine_sub: Subdomain, coarse_sub: Subdomain) -> np.ndarray:
@@ -31,25 +35,28 @@ def coarse_to_fine_map(fine_sub: Subdomain, coarse_sub: Subdomain) -> np.ndarray
 
 
 def fused_residual_restrict(
-    A_f: ELLMatrix,
+    A_f,
     r_f: np.ndarray,
     xfull_f: np.ndarray,
     f_c: np.ndarray,
+    out: np.ndarray | None = None,
+    ws=None,
 ) -> np.ndarray:
     """Optimized path (eq. 6): coarse defect without the full residual.
 
     ``r_c[i] = r_f[f_c(i)] - (A_f x_f)[f_c(i)]`` evaluated only at the
     coarse-mapped rows.  ``xfull_f`` must have current ghost values.
     """
-    ax = A_f.spmv_rows(f_c, xfull_f)
-    return (r_f[f_c] - ax).astype(xfull_f.dtype)
+    return dispatch.fused_restrict(A_f, r_f, xfull_f, f_c, out=out, ws=ws)
 
 
 def unfused_residual_restrict(
-    A_f: ELLMatrix,
+    A_f,
     r_f: np.ndarray,
     xfull_f: np.ndarray,
     f_c: np.ndarray,
+    out: np.ndarray | None = None,
+    ws=None,
 ) -> np.ndarray:
     """Reference path (eqs. 4-5): full residual SpMV, then injection.
 
@@ -57,14 +64,20 @@ def unfused_residual_restrict(
     benchmarks can charge the extra full-grid work the paper removes.
     """
     n = A_f.nrows
-    ax = A_f.spmv(xfull_f)
+    ax = dispatch.spmv(A_f, xfull_f, ws=ws)
     residual = r_f - ax[:n] if len(ax) >= n else r_f - ax
-    return residual[f_c].astype(xfull_f.dtype)
+    r_c = residual[f_c].astype(xfull_f.dtype)
+    if out is not None:
+        out[:] = r_c
+        return out
+    return r_c
 
 
-def prolong_correct(xfull_f: np.ndarray, z_c: np.ndarray, f_c: np.ndarray) -> None:
+def prolong_correct(
+    xfull_f: np.ndarray, z_c: np.ndarray, f_c: np.ndarray, ws=None
+) -> None:
     """Transpose-injection prolongation: ``x_f[f_c(i)] += z_c[i]``."""
-    xfull_f[f_c] += z_c
+    dispatch.prolong(xfull_f, z_c, f_c, ws=ws)
 
 
 def restrict_vector(v_f: np.ndarray, f_c: np.ndarray) -> np.ndarray:
@@ -74,11 +87,13 @@ def restrict_vector(v_f: np.ndarray, f_c: np.ndarray) -> np.ndarray:
 
 def exchange_and_fused_restrict(
     halo_ex: HaloExchange,
-    A_f: ELLMatrix,
+    A_f,
     r_f: np.ndarray,
     xfull_f: np.ndarray,
     f_c: np.ndarray,
     fused: bool = True,
+    out: np.ndarray | None = None,
+    ws=None,
 ) -> np.ndarray:
     """Distributed coarse-defect computation.
 
@@ -89,5 +104,5 @@ def exchange_and_fused_restrict(
     """
     halo_ex.exchange(xfull_f)
     if fused:
-        return fused_residual_restrict(A_f, r_f, xfull_f, f_c)
-    return unfused_residual_restrict(A_f, r_f, xfull_f, f_c)
+        return fused_residual_restrict(A_f, r_f, xfull_f, f_c, out=out, ws=ws)
+    return unfused_residual_restrict(A_f, r_f, xfull_f, f_c, out=out, ws=ws)

@@ -7,7 +7,8 @@ Two parallelization strategies, matching the paper's contrast (§2,
   into independent sets; each color is one fully-vectorized relaxation
   pass ``x[c] += (r[c] - (A x)[c]) / diag[c]``.  Within a color no two
   rows couple, so the pass is embarrassingly parallel (this is the GPU
-  kernel of the paper; here it is a single NumPy gather/scatter).
+  kernel of the paper; here it is one ``symgs_sweep`` dispatch through
+  the kernel registry, format-generic over CSR/ELL/SELL-C-σ).
 - :class:`LevelScheduledGS` — the reference path: an upper-triangle
   SpMV followed by a level-scheduled lower-triangular substitution,
   bit-identical to sequential lexicographic Gauss-Seidel but with far
@@ -25,6 +26,8 @@ import abc
 
 import numpy as np
 
+from repro.backends.dispatch import spmv, symgs_sweep
+from repro.backends.workspace import Workspace
 from repro.parallel.halo_exchange import HaloExchange
 from repro.sparse.ell import ELLMatrix
 from repro.sparse.triangular import (
@@ -68,25 +71,28 @@ class MulticolorGS(Smoother):
     Because rows of a color are mutually independent, the relaxation
     update over a color equals the classic triangular-solve form of GS
     restricted to that color — the whole sweep touches the matrix once.
+    Works with any matrix format that registers a ``spmv_rows`` kernel.
     """
 
-    def __init__(self, A: ELLMatrix, diag: np.ndarray, sets: list[np.ndarray]):
+    def __init__(self, A, diag: np.ndarray, sets: list[np.ndarray], ws: Workspace | None = None):
         self.A = A
         self.diag = diag
         self.sets = sets
+        # Diagonal restricted to each color, gathered once: the sweep
+        # kernel then runs without per-pass fancy-index allocations.
+        self.diag_sets = [diag[rows] for rows in sets]
+        self.ws = ws
         self.num_passes = len(sets)
 
     def forward(self, r: np.ndarray, xfull: np.ndarray) -> None:
-        A, diag = self.A, self.diag
-        for rows in self.sets:
-            ax = A.spmv_rows(rows, xfull)
-            xfull[rows] += (r[rows] - ax) / diag[rows]
+        symgs_sweep(
+            self.A, r, xfull, self.sets, self.diag_sets, "forward", ws=self.ws
+        )
 
     def backward(self, r: np.ndarray, xfull: np.ndarray) -> None:
-        A, diag = self.A, self.diag
-        for rows in reversed(self.sets):
-            ax = A.spmv_rows(rows, xfull)
-            xfull[rows] += (r[rows] - ax) / diag[rows]
+        symgs_sweep(
+            self.A, r, xfull, self.sets, self.diag_sets, "backward", ws=self.ws
+        )
 
 
 class LevelScheduledGS(Smoother):
@@ -105,25 +111,26 @@ class LevelScheduledGS(Smoother):
         self.lower_sets = level_sets(lower_levels(self.L))
         self.upper_sets = level_sets(upper_levels(self.U))
         self.num_passes = len(self.lower_sets)
+        # Ghost couplings of U, isolated once for the backward sweep.
+        n = self.A.nrows
+        ghost_mask = (self.U.vals != 0) & (self.U.cols >= n)
+        self.U_ghost = ELLMatrix(
+            cols=np.where(ghost_mask, self.U.cols, 0).astype(np.int32),
+            vals=np.where(ghost_mask, self.U.vals, 0),
+            ncols=self.U.ncols,
+        )
 
     def forward(self, r: np.ndarray, xfull: np.ndarray) -> None:
         n = self.A.nrows
-        rhs = r - self.U.spmv(xfull)
+        rhs = r - spmv(self.U, xfull)
         y = solve_lower_levelscheduled(self.L, self.diag, rhs, self.lower_sets)
         xfull[:n] = y
 
     def backward(self, r: np.ndarray, xfull: np.ndarray) -> None:
         n = self.A.nrows
         # (D + U_local) x_new = r - (L + ghost) x_old.  Ghost couplings
-        # live in self.U; isolate them by subtracting local-upper terms.
-        rows = np.arange(n)[:, None]
-        ghost_mask = (self.U.vals != 0) & (self.U.cols >= n)
-        U_ghost = ELLMatrix(
-            cols=np.where(ghost_mask, self.U.cols, 0).astype(np.int32),
-            vals=np.where(ghost_mask, self.U.vals, 0),
-            ncols=self.U.ncols,
-        )
-        rhs = r - self.L.spmv(xfull) - U_ghost.spmv(xfull)
+        # live in self.U; they were isolated into U_ghost at setup.
+        rhs = r - spmv(self.L, xfull) - spmv(self.U_ghost, xfull)
         # upper_levels assigns level 0 to rows with no upper neighbors,
         # so ascending level order IS the backward-substitution order.
         y = solve_upper_levelscheduled(self.U, self.diag, rhs, self.upper_sets)
@@ -131,16 +138,17 @@ class LevelScheduledGS(Smoother):
 
 
 def make_smoother(
-    A: ELLMatrix,
+    A,
     kind: str,
     diag: np.ndarray | None = None,
     sets: list[np.ndarray] | None = None,
+    ws: Workspace | None = None,
 ) -> Smoother:
     """Factory: ``"multicolor"`` (needs diag+sets) or ``"levelsched"``."""
     if kind == "multicolor":
         if diag is None or sets is None:
             raise ValueError("multicolor smoother needs diag and color sets")
-        return MulticolorGS(A, diag, sets)
+        return MulticolorGS(A, diag, sets, ws=ws)
     if kind == "levelsched":
         return LevelScheduledGS(A)
     raise ValueError(f"unknown smoother kind {kind!r}")

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.dispatch import dot as local_dot
+from repro.backends.dispatch import gemvT
 from repro.parallel.comm import Communicator
 
 
 def ddot(comm: Communicator, a: np.ndarray, b: np.ndarray) -> float:
     """Global dot product ``sum_i a_i * b_i`` over all owned entries."""
-    local = float(np.dot(a, b))
+    local = local_dot(a, b)
     if comm.is_serial:
         return local
     return comm.allreduce_scalar(local, op="sum")
@@ -40,7 +42,7 @@ def dmatvec_block(comm: Communicator, Q: np.ndarray, v: np.ndarray) -> np.ndarra
     global inner products, reduced in one batched all-reduce — the
     latency batching the paper credits CGS2 for.
     """
-    local = Q.T @ v
+    local = gemvT(Q, Q.shape[1], v)
     if comm.is_serial:
         return local
     return comm.allreduce(local.astype(np.float64), op="sum")

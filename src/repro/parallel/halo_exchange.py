@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.workspace import Workspace
 from repro.geometry.halo import HaloPattern, direction_index, opposite_direction
 from repro.parallel.comm import Communicator
 
@@ -25,11 +26,25 @@ HALO_TAG_BASE = 1000
 
 
 class HaloExchange:
-    """Executable halo-exchange plan bound to a communicator."""
+    """Executable halo-exchange plan bound to a communicator.
 
-    def __init__(self, pattern: HaloPattern, comm: Communicator) -> None:
+    Packing stages each outgoing message in a pooled per-direction
+    buffer from the (optionally shared) workspace arena, so repeated
+    exchanges allocate nothing on this rank's hot path.  Handing the
+    staged buffer straight to ``isend`` is safe because the
+    :class:`~repro.parallel.comm.Communicator` contract is
+    buffered-send semantics (the transport copies before returning).
+    """
+
+    def __init__(
+        self,
+        pattern: HaloPattern,
+        comm: Communicator,
+        workspace: Workspace | None = None,
+    ) -> None:
         self.pattern = pattern
         self.comm = comm
+        self.ws = workspace if workspace is not None else Workspace("halo")
         self.nlocal = pattern.nlocal
         self.n_ghost = pattern.n_ghost
         # Precompute (neighbor, send-indices, send-tag, recv-tag,
@@ -78,8 +93,10 @@ class HaloExchange:
         for nb, _, _, recv_tag, ghost_slice in self._plan:
             pending.append((comm.irecv(nb, recv_tag), nb, ghost_slice))
         # ... then pack and post every send (buffered, non-blocking).
-        for nb, send_idx, send_tag, _, _ in self._plan:
-            comm.isend(np.ascontiguousarray(xfull[send_idx]), nb, send_tag)
+        for i, (nb, send_idx, send_tag, _, _) in enumerate(self._plan):
+            buf = self.ws.get(("halo.send", i), (len(send_idx),), xfull.dtype)
+            np.take(xfull, send_idx, out=buf, mode="clip")
+            comm.isend(buf, nb, send_tag)
         return pending
 
     def exchange_finish(self, pending: list, xfull: np.ndarray) -> None:

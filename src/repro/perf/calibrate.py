@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.perf.machine import FRONTIER_GCD, MachineSpec
-from repro.perf.scaling import PAPER_PENALTY, ScalingModel
+from repro.perf.scaling import ScalingModel
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,6 @@ uses the same flop model as the real benchmark driver.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.core.flops import (
@@ -43,6 +42,22 @@ MODE_PRECISION = {
 
 #: The validation penalty the paper measures on one node (2305/2382).
 PAPER_PENALTY = 2305.0 / 2382.0
+
+#: The canonical one-at-a-time ablation grid (§3.2's optimizations),
+#: consumed by both the CLI ``ablation`` command and the ablation
+#: benchmark so the two can never drift apart.  Each entry is
+#: ``(label, ScalingModel kwargs)`` switching one optimization off the
+#: fully-optimized configuration.
+ABLATION_CONFIGS: list[tuple[str, dict]] = [
+    ("optimized (all on)", {}),
+    ("SELL-C-sigma storage", {"matrix_format": "sellcs"}),
+    ("CSR storage", {"matrix_format": "csr"}),
+    ("level-scheduled GS", {"smoother": "levelsched"}),
+    ("unfused restriction", {"fused_restrict": False}),
+    ("no overlap", {"overlap": False}),
+    ("host mixed ops", {"host_mixed_ops": True}),
+    ("reference (all off)", {"impl": "reference"}),
+]
 
 
 @dataclass
@@ -122,7 +137,7 @@ class ScalingModel:
         self.host_mixed_ops = (
             host_mixed_ops if host_mixed_ops is not None else (not opt)
         )
-        if self.fmt not in ("ell", "csr"):
+        if self.fmt not in ("ell", "csr", "sellcs"):
             raise ValueError(f"unknown matrix format {self.fmt!r}")
         if self.smoother not in ("multicolor", "levelsched"):
             raise ValueError(f"unknown smoother {self.smoother!r}")
@@ -179,7 +194,7 @@ class ScalingModel:
         n = self.level_nlocal(lvl)
         t_comm = self._halo_time(lvl, prec, nranks)
         imb = imbalance_factor(m, nodes)
-        fmt_eff = 1.0 if self.fmt == "ell" else m.csr_bw_efficiency
+        fmt_eff = m.csr_bw_efficiency if self.fmt == "csr" else 1.0
         if self.smoother == "multicolor":
             cost = self.km.gs_sweep(n, prec, fmt=self.fmt)
             t_kernel = m.kernel_time(
@@ -212,7 +227,7 @@ class ScalingModel:
         m = self.machine
         n = self.level_nlocal(lvl)
         cost = self.km.spmv(n, prec, fmt=self.fmt)
-        bw_eff = 1.0 if self.fmt == "ell" else m.csr_bw_efficiency
+        bw_eff = m.csr_bw_efficiency if self.fmt == "csr" else 1.0
         t_kernel = (
             m.kernel_time(cost.nbytes, cost.flops, prec, launches=cost.launches, bw_efficiency=bw_eff)
             * imbalance_factor(m, nodes)
@@ -228,7 +243,7 @@ class ScalingModel:
         m = self.machine
         imb = imbalance_factor(m, nodes)
         t_comm = self._halo_time(lvl, prec, nranks)
-        fmt_eff = 1.0 if self.fmt == "ell" else m.csr_bw_efficiency
+        fmt_eff = m.csr_bw_efficiency if self.fmt == "csr" else 1.0
         if self.fused:
             cost = self.km.fused_spmv_restrict(self.level_nlocal(lvl + 1), prec)
             t_kernel = m.kernel_time(

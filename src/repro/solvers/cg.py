@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backends.dispatch import waxpby
+from repro.backends.workspace import Workspace
 from repro.mg.multigrid import MGConfig, MultigridPreconditioner
 from repro.parallel.comm import Communicator
 from repro.parallel.distributed import ddot, dnorm2
@@ -46,13 +48,24 @@ class PCGSolver:
         self.problem = problem
         self.comm = comm
         self.timers = timers if timers is not None else NullTimers()
+        self.ws = Workspace("pcg")
         # HPCG's preconditioner: symmetric Gauss-Seidel smoothing, which
         # keeps M symmetric (required for CG convergence theory).
         self.mg_config = mg_config or MGConfig(sweep="symmetric")
-        self.op = DistributedOperator(problem.A, problem.halo, comm)
-        self.M = MultigridPreconditioner.build(
-            problem, comm, self.mg_config, precision="fp64", timers=self.timers
+        self.op = DistributedOperator(
+            problem.A, problem.halo, comm, workspace=self.ws
         )
+        self.M = MultigridPreconditioner.build(
+            problem,
+            comm,
+            self.mg_config,
+            precision="fp64",
+            timers=self.timers,
+            workspace=self.ws,
+        )
+        n = problem.nlocal
+        self._Ap = np.zeros(n, dtype=np.float64)
+        self._z = np.zeros(n, dtype=np.float64)
 
     def solve(
         self,
@@ -77,14 +90,15 @@ class PCGSolver:
             stats.final_relres = 0.0
             return x, stats
 
-        z = self.M.apply(r).astype(np.float64)
+        z, Ap = self._z, self._Ap
+        self.M.apply(r, out=z)
         p = z.copy()
         with timers.section("dot"):
             rz_old = ddot(comm, r, z)
 
         for it in range(1, maxiter + 1):
             with timers.section("spmv"):
-                Ap = self.op.matvec(p)
+                self.op.matvec(p, out=Ap)
             with timers.section("dot"):
                 pAp = ddot(comm, p, Ap)
             if pAp <= 0:
@@ -92,8 +106,8 @@ class PCGSolver:
                 break
             alpha = rz_old / pAp
             with timers.section("waxpby"):
-                x += alpha * p
-                r -= alpha * Ap
+                waxpby(alpha, p, 1.0, x, out=x, ws=self.ws)
+                waxpby(-alpha, Ap, 1.0, r, out=r, ws=self.ws)
             with timers.section("dot"):
                 normr = dnorm2(comm, r)
             stats.iterations = it
@@ -101,12 +115,12 @@ class PCGSolver:
             if normr / rho0 <= tol:
                 stats.converged = True
                 break
-            z = self.M.apply(r).astype(np.float64)
+            self.M.apply(r, out=z)
             with timers.section("dot"):
                 rz_new = ddot(comm, r, z)
             beta = rz_new / rz_old
             with timers.section("waxpby"):
-                p = z + beta * p
+                waxpby(1.0, z, beta, p, out=p, ws=self.ws)
             rz_old = rz_new
 
         stats.final_relres = normr / rho0

@@ -1,17 +1,24 @@
 """Distributed sparse operator: SpMV with halo exchange.
 
-Wraps a local matrix (ELL or CSR) with its halo-exchange plan and a
-persistent full-vector workspace, so every matvec is: copy owned part,
-exchange ghosts, local SpMV.  ``matvec_split`` mirrors the optimized
-implementation's interior/boundary decomposition (§3.2.3) — identical
-numerics, exercised by tests, and the shape the performance model's
-overlap timeline assumes.
+Wraps a local matrix (any registered format) with its halo-exchange
+plan and a persistent full-vector workspace, so every matvec is: copy
+owned part, exchange ghosts, local SpMV through the kernel registry.
+``matvec_split`` mirrors the optimized implementation's
+interior/boundary decomposition (§3.2.3) — identical numerics,
+exercised by tests, and the shape the performance model's overlap
+timeline assumes.
+
+The operator owns (or shares) a :class:`~repro.backends.workspace.Workspace`
+arena; with ``out=`` buffers supplied by the caller, ``matvec`` and
+``residual`` are allocation-free after warmup.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.dispatch import spmv, spmv_rows
+from repro.backends.workspace import Workspace
 from repro.geometry.halo import HaloPattern
 from repro.parallel.comm import Communicator
 from repro.parallel.halo_exchange import HaloExchange
@@ -20,15 +27,20 @@ from repro.parallel.halo_exchange import HaloExchange
 class DistributedOperator:
     """``y = A x`` across ranks, for one matrix in one precision."""
 
-    def __init__(self, A, halo_pattern: HaloPattern, comm: Communicator) -> None:
+    def __init__(
+        self,
+        A,
+        halo_pattern: HaloPattern,
+        comm: Communicator,
+        workspace: Workspace | None = None,
+    ) -> None:
         self.A = A
         self.comm = comm
-        self.halo_ex = HaloExchange(halo_pattern, comm)
+        self.ws = workspace if workspace is not None else Workspace("operator")
+        self.halo_ex = HaloExchange(halo_pattern, comm, workspace=self.ws)
         self.nlocal = halo_pattern.nlocal
         self._xfull = np.zeros(
-            self.nlocal + halo_pattern.n_ghost, dtype=A.vals.dtype
-            if hasattr(A, "vals")
-            else A.data.dtype,
+            self.nlocal + halo_pattern.n_ghost, dtype=A.dtype
         )
 
     @property
@@ -40,7 +52,7 @@ class DistributedOperator:
         xf = self._xfull
         xf[: self.nlocal] = x
         self.halo_ex.exchange(xf)
-        return self.A.spmv(xf, out=out)
+        return spmv(self.A, xf, out=out, ws=self.ws)
 
     def matvec_split(self, x: np.ndarray) -> np.ndarray:
         """Overlapped SpMV: halo in flight while interior rows compute.
@@ -58,12 +70,19 @@ class DistributedOperator:
         y = np.empty(self.nlocal, dtype=self.dtype)
         pending = self.halo_ex.exchange_begin(xf)
         # Interior compute while the halo is in flight ...
-        y[interior] = self.A.spmv_rows(interior, xf)
+        y[interior] = spmv_rows(self.A, interior, xf, ws=self.ws)
         # ... land the ghosts, then the boundary rows.
         self.halo_ex.exchange_finish(pending, xf)
-        y[boundary] = self.A.spmv_rows(boundary, xf)
+        y[boundary] = spmv_rows(self.A, boundary, xf, ws=self.ws)
         return y
 
-    def residual(self, b: np.ndarray, x: np.ndarray) -> np.ndarray:
+    def residual(
+        self, b: np.ndarray, x: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """``b - A x`` in this operator's precision."""
-        return b - self.matvec(x)
+        ax = self.ws.get("op.residual.ax", (self.nlocal,), self.dtype)
+        self.matvec(x, out=ax)
+        if out is None:
+            return b - ax
+        np.subtract(b, ax, out=out)
+        return out

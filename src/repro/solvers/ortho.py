@@ -15,40 +15,52 @@ trade-offs (paper §3):
 
 All variants operate on the leading ``k`` columns of the basis ``Q``
 (local rows), modify ``w`` in place, and return the global projection
-coefficients in float64.
+coefficients in float64.  The BLAS-2 passes route through the kernel
+registry (``gemv``/``gemvT``); with a workspace the only per-call
+allocations are the length-``k`` coefficient vectors.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.backends.dispatch import gemv
 from repro.parallel.comm import Communicator
 from repro.parallel.distributed import ddot, dmatvec_block
 
 
-def cgs(comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray) -> np.ndarray:
+def _project_out(Q: np.ndarray, k: int, w: np.ndarray, h: np.ndarray, ws) -> None:
+    """``w -= Q[:, :k] @ h`` (one GEMV), allocation-free with ``ws``."""
+    coef = h.astype(w.dtype)  # length-k host vector
+    if ws is None:
+        w -= Q[:, :k] @ coef
+        return
+    t = ws.get("ortho.gemv", w.shape, w.dtype)
+    gemv(Q, k, coef, out=t)
+    np.subtract(w, t, out=w)
+
+
+def cgs(comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray, ws=None) -> np.ndarray:
     """Classical Gram-Schmidt: single projection pass (GEMVT + GEMV)."""
-    Qk = Q[:, :k]
-    h = dmatvec_block(comm, Qk, w)
-    w -= Qk @ h.astype(w.dtype)
+    h = dmatvec_block(comm, Q[:, :k], w)
+    _project_out(Q, k, w, h, ws)
     return np.asarray(h, dtype=np.float64)
 
 
-def cgs2(comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray) -> np.ndarray:
+def cgs2(comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray, ws=None) -> np.ndarray:
     """CGS with reorthogonalization (Algorithm 3 lines 20-27).
 
     Two GEMVT/GEMV pairs; the returned coefficients are the sum of both
     passes, which is what lands in the Hessenberg column.
     """
-    Qk = Q[:, :k]
-    h1 = dmatvec_block(comm, Qk, w)
-    w -= Qk @ h1.astype(w.dtype)
-    h2 = dmatvec_block(comm, Qk, w)
-    w -= Qk @ h2.astype(w.dtype)
+    h1 = dmatvec_block(comm, Q[:, :k], w)
+    _project_out(Q, k, w, h1, ws)
+    h2 = dmatvec_block(comm, Q[:, :k], w)
+    _project_out(Q, k, w, h2, ws)
     return np.asarray(h1, dtype=np.float64) + np.asarray(h2, dtype=np.float64)
 
 
-def mgs(comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray) -> np.ndarray:
+def mgs(comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray, ws=None) -> np.ndarray:
     """Modified Gram-Schmidt: k sequential projections (k all-reduces)."""
     h = np.zeros(k, dtype=np.float64)
     for i in range(k):

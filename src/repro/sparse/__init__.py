@@ -1,15 +1,26 @@
 """Sparse matrix formats and kernels.
 
-Implements the two storage formats the paper contrasts — CSR (used by
-the reference HPG-MxP implementation) and ELLPACK/ELL (used by the
-optimized one, §3.2.2) — plus the parallelism-exposing machinery:
+Implements the storage formats the paper contrasts — CSR (used by the
+reference HPG-MxP implementation), ELLPACK/ELL (used by the optimized
+one, §3.2.2), and SELL-C-σ (the GPU-native chunked format the paper's
+ELL choice approximates) — plus the parallelism-exposing machinery:
 greedy / Jones-Plassmann-Luby multicoloring (§3.2.1), symmetric
 reordering, and level-scheduled triangular solves (the reference
 implementation's Gauss-Seidel building block).
+
+Kernels (SpMV and friends) live in :mod:`repro.backends`; the classes
+here hold layout and dispatch through the registry.
 """
 
 from repro.sparse.ell import ELLMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.sellcs import SELLCSMatrix
+from repro.sparse.formats import (
+    MATRIX_FORMATS,
+    known_formats,
+    matrix_format_of,
+    to_format,
+)
 from repro.sparse.coloring import (
     greedy_coloring,
     jpl_coloring,
@@ -32,6 +43,11 @@ from repro.sparse.triangular import (
 __all__ = [
     "ELLMatrix",
     "CSRMatrix",
+    "SELLCSMatrix",
+    "MATRIX_FORMATS",
+    "known_formats",
+    "matrix_format_of",
+    "to_format",
     "greedy_coloring",
     "jpl_coloring",
     "structured_coloring8",

@@ -37,6 +37,9 @@ class CSRMatrix:
     data: np.ndarray
     ncols: int
 
+    #: Storage-format key for the kernel registry.
+    format_name = "csr"
+
     def __post_init__(self) -> None:
         if self.indptr.ndim != 1 or self.indices.shape != self.data.shape:
             raise ValueError("malformed CSR arrays")
@@ -65,54 +68,29 @@ class CSRMatrix:
         """Stored entries per row."""
         return np.diff(self.indptr)
 
+    @property
+    def width(self) -> int:
+        """Max stored entries in any row (ELL width equivalent)."""
+        return int(self.row_nnz().max(initial=0))
+
     # ------------------------------------------------------------------
     # Kernels
     # ------------------------------------------------------------------
     def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """y = A @ x, vectorized with a segmented reduction.
+        """y = A @ x via the registered kernel (segmented reduction).
 
-        ``np.add.reduceat`` mis-handles empty segments (it returns the
-        *next* element instead of zero), so empty rows are fixed up
-        afterward; the benchmark matrix has none but generality is cheap.
+        Honors a caller-provided ``out=`` buffer end-to-end, including
+        the empty-row fixup path.
         """
-        if x.shape[0] != self.ncols:
-            raise ValueError(
-                f"x has {x.shape[0]} entries, matrix has {self.ncols} columns"
-            )
-        n = self.nrows
-        y = np.zeros(n, dtype=self.data.dtype)
-        if self.nnz:
-            products = self.data * x[self.indices]
-            starts = self.indptr[:-1]
-            nonempty = self.indptr[:-1] < self.indptr[1:]
-            # reduceat requires indices < len(products); clamp empties.
-            safe_starts = np.minimum(starts, len(products) - 1)
-            sums = np.add.reduceat(products, safe_starts)
-            y[nonempty] = sums[nonempty]
-        if out is not None:
-            out[:] = y
-            return out
-        return y
+        from repro.backends.dispatch import spmv
+
+        return spmv(self, x, out=out)
 
     def spmv_rows(self, rows: np.ndarray, x: np.ndarray) -> np.ndarray:
         """(A @ x) restricted to a subset of rows (overlap split)."""
-        if len(rows) == 0:
-            return np.zeros(0, dtype=self.data.dtype)
-        lens = (self.indptr[rows + 1] - self.indptr[rows]).astype(np.int64)
-        total = int(lens.sum())
-        # Gather the concatenated nnz ranges of the selected rows.
-        flat = np.repeat(self.indptr[rows], lens) + (
-            np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
-        )
-        products = self.data[flat] * x[self.indices[flat]]
-        out = np.zeros(len(rows), dtype=self.data.dtype)
-        starts = np.cumsum(lens) - lens
-        nonempty = lens > 0
-        if total:
-            safe_starts = np.minimum(starts, total - 1)
-            sums = np.add.reduceat(products, safe_starts)
-            out[nonempty] = sums[nonempty]
-        return out
+        from repro.backends.dispatch import spmv_rows
+
+        return spmv_rows(self, rows, x)
 
     def diagonal(self) -> np.ndarray:
         """Extract the main diagonal."""
@@ -138,6 +116,15 @@ class CSRMatrix:
         from repro.sparse.ell import ELLMatrix
 
         return ELLMatrix.from_csr(self)
+
+    def to_sellcs(self, chunk: int | None = None, sigma: int | None = None):
+        """Convert to SELL-C-σ."""
+        from repro.sparse.sellcs import DEFAULT_CHUNK, SELLCSMatrix
+
+        return SELLCSMatrix.from_csr(
+            self, chunk=chunk if chunk is not None else DEFAULT_CHUNK,
+            sigma=sigma,
+        )
 
     def to_scipy(self):
         """Convert to scipy.sparse.csr_matrix (tests/diagnostics)."""

@@ -40,6 +40,9 @@ class ELLMatrix:
     vals: np.ndarray
     ncols: int
 
+    #: Storage-format key for the kernel registry.
+    format_name = "ell"
+
     def __post_init__(self) -> None:
         if self.cols.shape != self.vals.shape:
             raise ValueError("cols/vals shape mismatch")
@@ -92,16 +95,9 @@ class ELLMatrix:
         Fully vectorized: one gather of ``x`` through the column block,
         elementwise multiply, and a row reduction.
         """
-        if x.shape[0] != self.ncols:
-            raise ValueError(
-                f"x has {x.shape[0]} entries, matrix has {self.ncols} columns"
-            )
-        acc = self.vals * x[self.cols]
-        y = acc.sum(axis=1, dtype=self.vals.dtype)
-        if out is not None:
-            out[:] = y
-            return out
-        return y
+        from repro.backends.dispatch import spmv
+
+        return spmv(self, x, out=out)
 
     def spmv_rows(self, rows: np.ndarray, x: np.ndarray) -> np.ndarray:
         """(A @ x) restricted to a subset of rows.
@@ -110,10 +106,9 @@ class ELLMatrix:
         (evaluate the residual only at coarse-grid points, §3.2.4) and
         for the interior/boundary overlap split (§3.2.3).
         """
-        sub_vals = self.vals[rows]
-        sub_cols = self.cols[rows]
-        acc = sub_vals * x[sub_cols]
-        return acc.sum(axis=1, dtype=self.vals.dtype)
+        from repro.backends.dispatch import spmv_rows
+
+        return spmv_rows(self, rows, x)
 
     def diagonal(self) -> np.ndarray:
         """Extract the main diagonal (vectorized slot search)."""
@@ -156,6 +151,16 @@ class ELLMatrix:
         indices = self.cols[mask].astype(np.int32)
         data = self.vals[mask]
         return CSRMatrix(indptr=indptr, indices=indices, data=data, ncols=self.ncols)
+
+    def to_sellcs(self, chunk: int | None = None, sigma: int | None = None):
+        """Convert to SELL-C-σ."""
+        from repro.sparse.sellcs import DEFAULT_CHUNK, SELLCSMatrix
+
+        return SELLCSMatrix.from_csr(
+            self.to_csr(),
+            chunk=chunk if chunk is not None else DEFAULT_CHUNK,
+            sigma=sigma,
+        )
 
     def to_scipy(self):
         """Convert to a scipy CSR matrix (test/diagnostic use)."""

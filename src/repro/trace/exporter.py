@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 
-from repro.trace.events import TraceEvent, Timeline
+from repro.trace.events import Timeline
 
 
 def to_chrome_json(timeline: "Timeline | list[TraceEvent]", time_unit: float = 1e6) -> str:

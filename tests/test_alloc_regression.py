@@ -1,0 +1,117 @@
+"""Allocation regression tests (issue satellite).
+
+The GMRES-IR inner loop (Arnoldi step + V-cycle) must perform zero
+per-iteration array allocations after warmup: every O(n) temporary
+lives in the solver's workspace arena.  Two independent checks:
+
+1. the arena's miss counter must not move after the warmup solve (no
+   new pooled buffers are ever created), and
+2. ``tracemalloc`` must see no allocation site that grows by a
+   vector-sized amount across a 32-iteration solve.
+
+The thresholds: at 16³ (n = 4096) one fp32 vector is 16 KB and one
+fp64 vector 32 KB.  A single per-*iteration* vector leak would show up
+as ≥ 32 × 16 KB = 512 KB of growth at one site; the test allows at
+most one vector's worth (per-*solve* setup like the fp64 iterate) and
+flags anything above.
+"""
+
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.fp import MIXED_DS_POLICY
+from repro.parallel import SerialComm
+from repro.solvers import GMRESIRSolver
+
+#: One fp64 vector at 16^3.
+VECTOR_BYTES = 4096 * 8
+
+
+@pytest.fixture(scope="module")
+def warm_solver(problem16):
+    solver = GMRESIRSolver(problem16, SerialComm(), policy=MIXED_DS_POLICY)
+    # Warmup: populate every workspace buffer the hot path touches.
+    solver.solve(problem16.b, tol=0.0, maxiter=10)
+    return solver
+
+
+class TestInnerLoopAllocations:
+    def test_workspace_arena_is_stable_after_warmup(self, warm_solver, problem16):
+        misses0 = warm_solver.ws.misses
+        hits0 = warm_solver.ws.hits
+        warm_solver.solve(problem16.b, tol=0.0, maxiter=32)
+        assert warm_solver.ws.misses == misses0, (
+            "hot path allocated new arena buffers after warmup"
+        )
+        assert warm_solver.ws.hits > hits0  # and it actually used the arena
+
+    def test_no_vector_sized_allocation_sites(self, warm_solver, problem16):
+        gc.collect()
+        tracemalloc.start(15)
+        try:
+            snap1 = tracemalloc.take_snapshot()
+            warm_solver.solve(problem16.b, tol=0.0, maxiter=32)
+            snap2 = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        diff = snap2.compare_to(snap1, "traceback")
+        offenders = [d for d in diff if d.size_diff > VECTOR_BYTES]
+        msg = "\n".join(
+            f"{d.size_diff / 1024:.1f} KB (count +{d.count_diff}) at "
+            + " <- ".join(d.traceback.format()[-2:])
+            for d in offenders
+        )
+        assert not offenders, (
+            f"inner loop grew vector-sized allocation sites:\n{msg}"
+        )
+
+    def test_vcycle_is_allocation_free_with_out(self, problem16):
+        """The preconditioner alone: apply(out=...) reuses its arena."""
+        from repro.mg import MGConfig, MultigridPreconditioner
+
+        mg = MultigridPreconditioner.build(
+            problem16, SerialComm(), MGConfig(), precision="fp32"
+        )
+        r = problem16.b.astype(np.float32)
+        out = np.empty(problem16.nlocal, dtype=np.float32)
+        mg.apply(r, out=out)  # warmup
+        misses0 = mg.ws.misses
+        for _ in range(5):
+            mg.apply(r, out=out)
+        assert mg.ws.misses == misses0
+
+    def test_sellcs_smoother_arena_stable(self, problem16):
+        """SELL-C-σ GS sweeps pool the O(rows × width) slab gathers."""
+        from repro.backends import Workspace
+        from repro.mg.smoothers import MulticolorGS
+        from repro.sparse import to_format
+        from repro.sparse.coloring import color_sets, structured_coloring8
+
+        S = to_format(problem16.A, "sellcs")
+        ws = Workspace()
+        sets = color_sets(structured_coloring8(problem16.sub))
+        gs = MulticolorGS(S, S.diagonal(), sets, ws=ws)
+        xfull = np.zeros(S.ncols)
+        gs.forward(problem16.b, xfull)  # warmup
+        misses0 = ws.misses
+        for _ in range(3):
+            gs.forward(problem16.b, xfull)
+            gs.backward(problem16.b, xfull)
+        assert ws.misses == misses0
+
+    def test_distributed_operator_matvec_out(self, problem16):
+        from repro.solvers.operator import DistributedOperator
+
+        op = DistributedOperator(problem16.A, problem16.halo, SerialComm())
+        x = problem16.b
+        out = np.empty(problem16.nlocal)
+        op.matvec(x, out=out)  # warmup
+        op.residual(problem16.b, x, out=out)
+        misses0 = op.ws.misses
+        for _ in range(3):
+            op.matvec(x, out=out)
+            op.residual(problem16.b, x, out=out)
+        assert op.ws.misses == misses0

@@ -1,0 +1,218 @@
+"""Unit tests for the kernel-backend layer (registry, dispatch, arenas)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    KernelNotFoundError,
+    Workspace,
+    active_backend,
+    available_backends,
+    registered_formats,
+)
+from repro.backends.registry import KernelRegistry
+from repro.backends import dispatch
+from repro.fp.precision import Precision
+from repro.sparse import CSRMatrix, ELLMatrix, SELLCSMatrix
+
+
+class TestRegistry:
+    def make_registry(self):
+        reg = KernelRegistry()
+        reg.register_backend("numpy", priority=0)
+        return reg
+
+    def test_register_and_lookup(self):
+        reg = self.make_registry()
+
+        @reg.register("spmv", fmt="ell")
+        def k(*a, **kw):
+            return "ell-any"
+
+        assert reg.lookup("spmv", "ell", "fp64") is k
+        assert reg.lookup("spmv", "ell", "fp32") is k
+
+    def test_specific_precision_wins(self):
+        reg = self.make_registry()
+
+        @reg.register("spmv", fmt="ell")
+        def generic(*a, **kw):
+            pass
+
+        @reg.register("spmv", fmt="ell", precision="fp32")
+        def fp32_kernel(*a, **kw):
+            pass
+
+        assert reg.lookup("spmv", "ell", Precision.SINGLE) is fp32_kernel
+        assert reg.lookup("spmv", "ell", Precision.DOUBLE) is generic
+
+    def test_wildcard_format_fallback(self):
+        reg = self.make_registry()
+
+        @reg.register("dot")
+        def generic(*a, **kw):
+            pass
+
+        assert reg.lookup("dot", "sellcs", "fp64") is generic
+
+    def test_backend_fallback_to_numpy(self):
+        reg = self.make_registry()
+
+        @reg.register("spmv", fmt="csr")
+        def numpy_kernel(*a, **kw):
+            pass
+
+        reg.register_backend("fancy", priority=5)
+
+        @reg.register("spmv", fmt="ell", backend="fancy")
+        def fancy_ell(*a, **kw):
+            pass
+
+        reg.set_backend("fancy")
+        # fancy has no csr kernel -> falls back to numpy's.
+        assert reg.lookup("spmv", "csr", "fp64") is numpy_kernel
+        assert reg.lookup("spmv", "ell", "fp64") is fancy_ell
+
+    def test_missing_kernel_error_lists_registered(self):
+        reg = self.make_registry()
+
+        @reg.register("spmv", fmt="ell")
+        def k(*a, **kw):
+            pass
+
+        with pytest.raises(KernelNotFoundError, match="ell"):
+            reg.lookup("frobnicate", "ell", "fp64")
+
+    def test_unknown_backend_raises(self):
+        reg = self.make_registry()
+        with pytest.raises(KernelNotFoundError, match="numpy"):
+            reg.set_backend("gpu")
+
+    def test_autoselect_honors_env(self, monkeypatch):
+        reg = self.make_registry()
+        reg.register_backend("fast", priority=99)
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert reg.autoselect_backend() == "numpy"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert reg.autoselect_backend() == "fast"
+
+    def test_process_registry_has_all_formats(self):
+        assert set(registered_formats()) >= {"csr", "ell", "sellcs"}
+        assert "numpy" in available_backends()
+        assert active_backend() in available_backends()
+
+
+class TestWorkspace:
+    def test_reuse_and_counters(self):
+        ws = Workspace("t")
+        a = ws.get("buf", 16, np.float64)
+        b = ws.get("buf", 16, np.float64)
+        assert a is b
+        assert ws.misses == 1 and ws.hits == 1
+
+    def test_distinct_keys(self):
+        ws = Workspace()
+        a = ws.get("buf", 16, np.float64)
+        assert ws.get("buf", 16, np.float32) is not a
+        assert ws.get("buf", 17, np.float64) is not a
+        assert ws.get("other", 16, np.float64) is not a
+        assert ws.nbuffers == 4
+
+    def test_zeros(self):
+        ws = Workspace()
+        a = ws.zeros("z", 8, np.float64)
+        a += 5.0
+        assert ws.zeros("z", 8, np.float64).sum() == 0.0
+
+    def test_nbytes_and_clear(self):
+        ws = Workspace()
+        ws.get("a", 10, np.float64)
+        assert ws.nbytes == 80
+        ws.clear()
+        assert ws.nbuffers == 0 and ws.nbytes == 0
+
+
+class TestDispatch:
+    def test_matrix_format_of_all_classes(self, problem16):
+        A = problem16.A
+        assert dispatch.matrix_format(A) == "ell"
+        assert dispatch.matrix_format(A.to_csr()) == "csr"
+        assert dispatch.matrix_format(A.to_sellcs()) == "sellcs"
+
+    def test_matrix_format_rejects_unknown(self):
+        with pytest.raises(TypeError, match="registered formats"):
+            dispatch.matrix_format(np.zeros(3))
+
+    def test_spmv_matches_method(self, problem16, rng):
+        x = rng.standard_normal(problem16.A.ncols)
+        np.testing.assert_array_equal(
+            dispatch.spmv(problem16.A, x), problem16.A.spmv(x)
+        )
+
+    def test_waxpby_fresh_out(self, rng):
+        x = rng.standard_normal(32)
+        y = rng.standard_normal(32)
+        out = np.empty(32)
+        dispatch.waxpby(2.0, x, -3.0, y, out=out)
+        np.testing.assert_allclose(out, 2.0 * x - 3.0 * y)
+
+    @pytest.mark.parametrize("use_ws", [False, True])
+    def test_waxpby_aliased_out(self, rng, use_ws):
+        ws = Workspace() if use_ws else None
+        x = rng.standard_normal(32)
+        for alpha, beta in [(2.0, 1.0), (1.0, 0.5), (0.25, -1.5)]:
+            y = rng.standard_normal(32)
+            expect = alpha * x + beta * y
+            got = dispatch.waxpby(alpha, x, beta, y, out=y, ws=ws)
+            assert got is y
+            np.testing.assert_allclose(got, expect)
+            # out aliasing x instead of y
+            x2 = x.copy()
+            y2 = rng.standard_normal(32)
+            expect = alpha * x2 + beta * y2
+            got = dispatch.waxpby(alpha, x2, beta, y2, out=x2, ws=ws)
+            np.testing.assert_allclose(got, expect)
+
+    def test_gemv_gemvT_with_out(self, rng):
+        Q = rng.standard_normal((50, 8))
+        coef = rng.standard_normal(5)
+        out = np.empty(50)
+        dispatch.gemv(Q, 5, coef, out=out)
+        np.testing.assert_allclose(out, Q[:, :5] @ coef)
+        w = rng.standard_normal(50)
+        h = np.empty(5)
+        dispatch.gemvT(Q, 5, w, out=h)
+        np.testing.assert_allclose(h, Q[:, :5].T @ w)
+
+    def test_dot(self, rng):
+        a = rng.standard_normal(64)
+        b = rng.standard_normal(64)
+        assert dispatch.dot(a, b) == pytest.approx(float(a @ b))
+
+    @pytest.mark.parametrize("use_ws", [False, True])
+    def test_prolong(self, rng, use_ws):
+        ws = Workspace() if use_ws else None
+        xfull = rng.standard_normal(40)
+        z_c = rng.standard_normal(5)
+        f_c = np.array([3, 9, 14, 22, 37])
+        expect = xfull.copy()
+        expect[f_c] += z_c
+        dispatch.prolong(xfull, z_c, f_c, ws=ws)
+        np.testing.assert_allclose(xfull, expect)
+
+    @pytest.mark.parametrize("fmt", ["csr", "ell", "sellcs"])
+    def test_fused_restrict_out_ws(self, problem16, rng, fmt):
+        from repro.sparse import to_format
+
+        A = to_format(problem16.A, fmt)
+        xfull = rng.standard_normal(A.ncols)
+        r = rng.standard_normal(A.nrows)
+        f_c = np.arange(0, A.nrows, 8)
+        expect = r[f_c] - (problem16.A.to_csr().to_scipy() @ xfull)[f_c]
+        ws = Workspace()
+        out = np.empty(len(f_c))
+        dispatch.fused_restrict(A, r, xfull, f_c, out=out, ws=ws)
+        np.testing.assert_allclose(out, expect, rtol=1e-12)
+        np.testing.assert_allclose(
+            dispatch.fused_restrict(A, r, xfull, f_c), expect, rtol=1e-12
+        )

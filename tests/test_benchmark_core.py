@@ -60,6 +60,27 @@ class TestBenchmarkConfig:
         assert not ref.mg_config().fused_restrict
         assert ref.matrix_format == "csr"
 
+    def test_with_updates_impl_rederives_format(self):
+        cfg = BenchmarkConfig(local_nx=16)  # resolves to ell
+        assert cfg.with_updates(impl="reference").matrix_format == "csr"
+        # An explicitly pinned format survives an impl change.
+        pinned = BenchmarkConfig(local_nx=16, matrix_format="sellcs")
+        assert pinned.with_updates(impl="reference").matrix_format == "sellcs"
+        # Auto-derivation survives chains of unrelated updates.
+        chained = cfg.with_updates(nranks=8).with_updates(impl="reference")
+        assert chained.matrix_format == "csr"
+        # ... and pinning survives chains too.
+        chained_pin = pinned.with_updates(nranks=8).with_updates(impl="reference")
+        assert chained_pin.matrix_format == "sellcs"
+
+    def test_explicit_format_overrides_impl(self):
+        cfg = BenchmarkConfig(local_nx=16, impl="reference", matrix_format="sellcs")
+        assert cfg.matrix_format == "sellcs"
+
+    def test_unknown_format_lists_registered(self):
+        with pytest.raises(ValueError, match="registered formats"):
+            BenchmarkConfig(local_nx=16, matrix_format="coo")
+
     def test_policies(self):
         cfg = BenchmarkConfig(local_nx=16)
         assert cfg.mixed_policy().low.short_name == "fp32"

@@ -35,6 +35,15 @@ class TestParser:
         args = build_parser().parse_args(argv)
         assert callable(args.fn)
 
+    @pytest.mark.parametrize("fmt", ["auto", "csr", "ell", "sellcs"])
+    def test_format_flag_parses(self, fmt):
+        args = build_parser().parse_args(["run", "--format", fmt])
+        assert args.matrix_format == fmt
+
+    def test_format_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--format", "coo"])
+
 
 class TestCommands:
     def test_validate(self, capsys):
@@ -56,6 +65,18 @@ class TestCommands:
         data = json.loads(capsys.readouterr().out)
         assert data["mxp"]["iterations"] == 8
         assert 0 < data["validation"]["penalty"] <= 1
+
+    def test_run_sellcs_format(self, capsys):
+        rc = main(
+            [
+                "run", "--local-nx", "16", "--max-iters", "4",
+                "--validation-max-iters", "40", "--format", "sellcs",
+                "--json",
+            ]
+        )
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["config"]["matrix_format"] == "sellcs"
 
     def test_run_report(self, capsys):
         rc = main(
