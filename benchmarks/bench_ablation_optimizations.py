@@ -10,6 +10,10 @@ the optimized configuration at the official 320^3/GCD, 1 node:
 - overlap -> no compute-communication overlap (§3.2.3),
 - device -> host-staged mixed-precision kernels (§3.2.5).
 
+Each configuration also reports an fp16 column ("mxp-half": the §5
+future-work mode with half-precision inner kernels), tracking how every
+optimization interacts with the precision ladder's newest rung.
+
 Also cross-checks fused-vs-unfused with *real* kernel timings.
 """
 
@@ -37,16 +41,23 @@ def test_ablation_model(benchmark):
     for name, kwargs in ABLATIONS:
         model = ScalingModel(**kwargs)
         g = model.gflops_per_gcd("mxp", nranks)
+        # fp16 column: the same configuration with half-precision inner
+        # kernels ("mxp-half", the §5 future-work mode) — tracks how
+        # each optimization interacts with the new precision axis.
+        g16 = model.gflops_per_gcd("mxp-half", nranks)
         s = model.speedup_overall(nranks)
         if base is None:
             base = g
-        rows.append([name, g, g / base, s])
+        rows.append([name, g, g16, g / base, s])
     print_table(
         "Ablation at 1 node, 320^3/GCD (model, mxp)",
-        ["configuration", "GF/GCD", "vs optimized", "speedup"],
+        ["configuration", "GF/GCD", "fp16 GF/GCD", "vs optimized", "speedup"],
         rows,
-        widths=[22, 9, 13, 9],
+        widths=[22, 9, 12, 13, 9],
     )
+    # fp16 must beat fp32 on every bandwidth-bound configuration.
+    for name, g32, g16, *_rest in rows:
+        assert g16 > g32, f"{name}: fp16 {g16} <= fp32 {g32}"
 
     # Orthogonalization-method comparison (§2's CGS2 justification).
     print("\northogonalization method (ortho seconds per cycle, model):")
@@ -67,13 +78,13 @@ def test_ablation_model(benchmark):
         assert by_name[name][1] <= by_name["optimized (all on)"][1] + 1e-9, name
     # The smoother strategy is the single largest lever (launch-bound
     # wavefronts), and the all-off reference is the worst.
-    losses = {name: 1 - r[2] for name, r in by_name.items() if name != "optimized (all on)"}
+    losses = {name: 1 - r[3] for name, r in by_name.items() if name != "optimized (all on)"}
     assert losses["level-scheduled GS"] == max(
         v for k, v in losses.items() if k != "reference (all off)"
     )
     assert by_name["reference (all off)"][1] == min(r[1] for r in rows)
     # Host-staged mixed ops erode the mxp *speedup* specifically.
-    assert by_name["host mixed ops"][3] < by_name["optimized (all on)"][3]
+    assert by_name["host mixed ops"][4] < by_name["optimized (all on)"][4]
 
     benchmark(lambda: ScalingModel(smoother="levelsched").gflops_per_gcd("mxp", 8))
 

@@ -29,14 +29,21 @@ def prob():
 def vectors(prob):
     rng = np.random.default_rng(0)
     x64 = rng.standard_normal(prob.A.ncols)
-    return {"x64": x64, "x32": x64.astype(np.float32)}
+    return {
+        "x64": x64,
+        "x32": x64.astype(np.float32),
+        "x16": x64.astype(np.float16),
+    }
 
 
 @pytest.fixture(scope="module")
 def mats(prob):
+    from repro.sparse import to_precision
+
     return {
         "ell64": prob.A,
         "ell32": prob.A.astype("fp32"),
+        "ell16": to_precision(prob.A, "fp16"),  # row-equilibrated fp16
         "csr64": prob.A.to_csr(),
         "csr32": prob.A.to_csr().astype("fp32"),
         "sellcs64": prob.A.to_sellcs(),
@@ -66,6 +73,12 @@ class TestSpMV:
 
     def test_spmv_sellcs_fp32(self, benchmark, mats, vectors):
         benchmark(lambda: mats["sellcs32"].spmv(vectors["x32"]))
+
+    def test_spmv_ell_fp16(self, benchmark, mats, vectors):
+        """Row-equilibrated fp16 storage, fp32-accumulating kernel."""
+        from repro.backends import spmv
+
+        benchmark(lambda: spmv(mats["ell16"], vectors["x16"]))
 
     @pytest.mark.parametrize("fmt", ["ell", "csr", "sellcs"])
     def test_spmv_workspace_fp64(self, benchmark, mats, vectors, fmt):
@@ -170,11 +183,39 @@ class TestEndToEnd:
         r = prob.b.astype(np.float32)
         benchmark(lambda: mg.apply(r))
 
+    def test_mg_vcycle_ladder(self, benchmark, prob):
+        """Per-level ladder hierarchy (fp16 fine level) vs the uniform
+        fp32 V-cycle above — the byte-width win the precision ladder
+        buys on the fine (dominant) level."""
+        from repro.mg import MGConfig, MultigridPreconditioner
+
+        mg = MultigridPreconditioner.build(
+            prob, SerialComm(), MGConfig(), precision="fp16:fp32:fp64"
+        )
+        r = prob.b.astype(np.float16)
+        benchmark(lambda: mg.apply(r))
+
     def test_gmres_iteration_mxp(self, benchmark, prob):
         from repro.fp import MIXED_DS_POLICY
         from repro.solvers import GMRESIRSolver
 
         solver = GMRESIRSolver(prob, SerialComm(), policy=MIXED_DS_POLICY)
+        benchmark.pedantic(
+            lambda: solver.solve(prob.b, tol=0.0, maxiter=5),
+            rounds=2,
+            iterations=1,
+        )
+
+    def test_gmres_iteration_ladder_fp16(self, benchmark, prob):
+        """The fp16-ladder inner iteration the escalation controller
+        starts from; compare against the mxp row to see what half
+        precision buys per iteration in this NumPy engine."""
+        from repro.fp import HALF_LADDER_POLICY
+        from repro.solvers import GMRESIRSolver
+
+        solver = GMRESIRSolver(
+            prob, SerialComm(), policy=HALF_LADDER_POLICY, escalation=False
+        )
         benchmark.pedantic(
             lambda: solver.solve(prob.b, tol=0.0, maxiter=5),
             rounds=2,

@@ -19,8 +19,8 @@ from repro.solvers import GMRESIRSolver
 from repro.stencil import generate_problem
 
 
-def run_policy(problem, comm, policy, label, tol=1e-9, maxiter=3000):
-    solver = GMRESIRSolver(problem, comm, policy=policy)
+def run_policy(problem, comm, policy, label, tol=1e-9, maxiter=3000, escalation=None):
+    solver = GMRESIRSolver(problem, comm, policy=policy, escalation=escalation)
     x, stats = solver.solve(problem.b, tol=tol, maxiter=maxiter)
     err = np.abs(x - 1.0).max()
     flag = "converged" if stats.converged else "STALLED  "
@@ -39,17 +39,30 @@ def main() -> None:
     print("uniform low-precision sweeps (all blue steps):")
     base = run_policy(problem, comm, DOUBLE_POLICY, "fp64 (plain GMRES)")
     run_policy(problem, comm, DOUBLE_POLICY.with_low("fp32"), "fp32 GMRES-IR")
-    # fp16 cannot reach 1e-9 within the iteration budget at this size;
-    # show what it does achieve at a looser target.
+    # A *pinned* fp16 policy (escalation off) shows the raw precision
+    # floor at a looser target; the ladder below climbs past it.
     run_policy(
         problem, comm, DOUBLE_POLICY.with_low("fp16"),
-        "fp16 GMRES-IR (tol 1e-5)", tol=1e-5,
+        "fp16 GMRES-IR pinned (tol 1e-5)", tol=1e-5, escalation=False,
     )
 
     print("\npartial policies (one ingredient in fp32, rest fp64):")
-    for field in ("matrix", "preconditioner", "krylov_basis", "orthogonalization"):
-        policy = replace(DOUBLE_POLICY, **{field: Precision.SINGLE})
+    for field in ("matrix", "mg_levels", "krylov_basis", "orthogonalization"):
+        value = (
+            (Precision.SINGLE,) if field == "mg_levels" else Precision.SINGLE
+        )
+        policy = replace(DOUBLE_POLICY, **{field: value})
         run_policy(problem, comm, policy, f"fp32 {field}")
+
+    print("\nladder policies (per-MG-level schedule, adaptive escalation):")
+    from repro.fp import PrecisionPolicy
+
+    stats = run_policy(
+        problem, comm, PrecisionPolicy.from_ladder("fp16:fp32:fp64"),
+        "fp16:fp32:fp64 ladder",
+    )
+    for p in stats.promotions:
+        print(f"      promotion: {p.describe()}")
 
     print(
         f"\nreference: fp64 took {base.iterations} iterations; the penalty "

@@ -17,7 +17,14 @@ Quickstart::
 """
 
 from repro.version import __version__, PAPER
-from repro.fp import Precision, PrecisionPolicy, DOUBLE_POLICY, MIXED_DS_POLICY
+from repro.fp import (
+    Precision,
+    PrecisionPolicy,
+    EscalationConfig,
+    DOUBLE_POLICY,
+    HALF_LADDER_POLICY,
+    MIXED_DS_POLICY,
+)
 from repro.core import (
     BenchmarkConfig,
     BenchmarkResult,
@@ -38,7 +45,9 @@ __all__ = [
     "PAPER",
     "Precision",
     "PrecisionPolicy",
+    "EscalationConfig",
     "DOUBLE_POLICY",
+    "HALF_LADDER_POLICY",
     "MIXED_DS_POLICY",
     "BenchmarkConfig",
     "BenchmarkResult",

@@ -68,6 +68,40 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
 
         return kernel
 
+    def _make_ell_spmv_fp16():
+        """JIT ELL SpMV streaming fp16 values with an fp32 accumulator.
+
+        Matches the NumPy backend's fp16 contract: products and sums in
+        fp32, result written to a float32 output buffer (the wrapper
+        applies row equilibration and the final cast).
+        """
+
+        @numba.njit(parallel=True, fastmath=False, cache=True)
+        def kernel(cols, vals, x, y):
+            nrows, width = cols.shape
+            for i in numba.prange(nrows):
+                acc = np.float32(0.0)
+                for j in range(width):
+                    acc += np.float32(vals[i, j]) * np.float32(x[cols[i, j]])
+                y[i] = acc
+
+        return kernel
+
+    def _probe_fp16_ell():
+        """Compile-and-run probe: CPU float16 support varies by numba
+        version, so the fp16 kernel registers only where it works."""
+        try:  # pragma: no cover - depends on the installed numba
+            kernel = _make_ell_spmv_fp16()
+            kernel(
+                np.zeros((1, 1), dtype=np.int32),
+                np.ones((1, 1), dtype=np.float16),
+                np.ones(1, dtype=np.float16),
+                np.zeros(1, dtype=np.float32),
+            )
+            return kernel
+        except Exception:  # pragma: no cover
+            return None
+
     # Precision-specific registrations: each kernel accumulates in its
     # own format, exercising the registry's precision axis.
     _KERNELS = {
@@ -100,3 +134,26 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
 
     for _prec in ("fp32", "fp64"):
         _register_numba(_prec)
+
+    _ELL_FP16 = _probe_fp16_ell()
+    if _ELL_FP16 is not None:  # pragma: no cover - numba-with-fp16 only
+
+        @register("spmv", fmt="ell", precision="fp16", backend="numba")
+        def spmv_ell_numba_fp16(A, x, out=None, ws=None):
+            if x.shape[0] != A.ncols:
+                raise ValueError(
+                    f"x has {x.shape[0]} entries, matrix has {A.ncols} columns"
+                )
+            y = (
+                ws.get("numba.ell.spmv16", (A.nrows,), np.float32)
+                if ws is not None
+                else np.empty(A.nrows, dtype=np.float32)
+            )
+            _ELL_FP16(A.cols, A.vals, x, y)
+            scale = getattr(A, "row_scale", None)
+            if scale is not None:
+                np.multiply(y, scale, out=y)
+            if out is None:
+                return y.astype(A.vals.dtype)
+            out[:] = y
+            return out

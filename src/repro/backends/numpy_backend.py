@@ -370,7 +370,12 @@ def gemvT(Q, k, w, out=None):
 @register("fused_restrict")
 def fused_restrict(A, r, xfull, f_c, out=None, ws=None):
     """Coarse defect without the full residual (eq. 6):
-    ``r_c[i] = r[f_c(i)] - (A x)[f_c(i)]`` at coarse-mapped rows only."""
+    ``r_c[i] = r[f_c(i)] - (A x)[f_c(i)]`` at coarse-mapped rows only.
+
+    ``out`` may be the next level's buffer in a *different* precision
+    (ladder schedules): the subtraction then runs in the fine level's
+    precision and only the final store casts.
+    """
     from repro.backends.dispatch import spmv_rows
 
     if out is None:
@@ -382,8 +387,17 @@ def fused_restrict(A, r, xfull, f_c, out=None, ws=None):
     else:
         ax = ws.get("restrict.ax", (m,), A.dtype)
         spmv_rows(A, f_c, xfull, out=ax, ws=ws)
-    np.take(r, f_c, out=out, mode="clip")
-    np.subtract(out, ax, out=out)
+    if out.dtype == r.dtype:
+        np.take(r, f_c, out=out, mode="clip")
+        np.subtract(out, ax, out=out)
+        return out
+    if ws is None:
+        out[:] = r[f_c] - ax
+        return out
+    rb = ws.get("restrict.rfine", (m,), r.dtype)
+    np.take(r, f_c, out=rb, mode="clip")
+    np.subtract(rb, ax, out=rb)
+    out[:] = rb
     return out
 
 
@@ -397,3 +411,345 @@ def prolong(xfull, z_c, f_c, ws=None):
     np.take(xfull, f_c, out=b, mode="clip")
     np.add(b, z_c, out=b)
     xfull[f_c] = b
+
+
+# ----------------------------------------------------------------------
+# fp16 kernels: fp32 accumulation + row-equilibration support
+# ----------------------------------------------------------------------
+# Half precision has ~3 decimal digits and a max of 65504, so summing a
+# 27-wide stencil row (let alone a 10^5-length dot product) natively in
+# fp16 is numerically unusable.  Every kernel below therefore streams
+# fp16 *storage* but accumulates in fp32 (fp64 for global reductions),
+# the same split a GPU's half-precision FMA pipelines implement — and
+# the reason fp16 buys bandwidth without collapsing the solver.
+#
+# Matrices may carry a ``row_scale`` attribute (row-equilibrated
+# storage, :mod:`repro.sparse.scaled` holds ``D^{-1}A`` + ``D``); the
+# SpMV kernels fold the scale back into their output so callers always
+# see the original operator.  ``out=`` buffers of any float dtype are
+# accepted — the cast happens on the final store, which is what lets
+# ladder schedules restrict an fp16 level's defect straight into an
+# fp32 coarse buffer.
+
+
+def _store(acc: np.ndarray, out, dtype) -> np.ndarray:
+    """Write an fp32 accumulator to ``out`` (casting) or materialize."""
+    if out is None:
+        return acc.astype(dtype)
+    out[:] = acc
+    return out
+
+
+@register("spmv", fmt="ell", precision="fp16")
+def spmv_ell_fp16(A, x, out=None, ws=None):
+    """ELL SpMV: fp16 streaming, fp32 accumulation, optional row scale."""
+    _check_cols(A, x)
+    scale = getattr(A, "row_scale", None)
+    if ws is not None:
+        g = ws.get("ell.spmv16.gather", A.cols.shape, x.dtype)
+        np.take(x, A.cols, out=g, mode="clip")
+        acc = ws.get("ell.spmv16.acc", A.cols.shape, np.float32)
+        np.multiply(A.vals, g, out=acc, dtype=np.float32)
+        y = ws.get("ell.spmv16.sum", (A.nrows,), np.float32)
+        acc.sum(axis=1, dtype=np.float32, out=y)
+    else:
+        acc = np.multiply(A.vals, x[A.cols], dtype=np.float32)
+        y = acc.sum(axis=1, dtype=np.float32)
+    if scale is not None:
+        np.multiply(y, scale, out=y)
+    return _store(y, out, A.vals.dtype)
+
+
+@register("spmv_rows", fmt="ell", precision="fp16")
+def spmv_rows_ell_fp16(A, rows, x, out=None, ws=None):
+    """ELL row-subset SpMV with fp32 accumulation (GS / fused restrict)."""
+    m = len(rows)
+    w = A.width
+    scale = getattr(A, "row_scale", None)
+    if m == 0:
+        return out if out is not None else np.zeros(0, dtype=A.vals.dtype)
+    if ws is not None:
+        vb = ws.get("ell.rows16.vals", (m, w), A.vals.dtype)
+        cb = ws.get("ell.rows16.cols", (m, w), A.cols.dtype)
+        np.take(A.vals, rows, axis=0, out=vb, mode="clip")
+        np.take(A.cols, rows, axis=0, out=cb, mode="clip")
+        g = ws.get("ell.rows16.gather", (m, w), x.dtype)
+        np.take(x, cb, out=g, mode="clip")
+        acc = ws.get("ell.rows16.acc", (m, w), np.float32)
+        np.multiply(vb, g, out=acc, dtype=np.float32)
+        y = ws.get("ell.rows16.sum", (m,), np.float32)
+        acc.sum(axis=1, dtype=np.float32, out=y)
+        if scale is not None:
+            sb = ws.get("ell.rows16.scale", (m,), np.float32)
+            np.take(scale, rows, out=sb, mode="clip")
+            np.multiply(y, sb, out=y)
+    else:
+        acc = np.multiply(A.vals[rows], x[A.cols[rows]], dtype=np.float32)
+        y = acc.sum(axis=1, dtype=np.float32)
+        if scale is not None:
+            y *= scale[rows]
+    return _store(y, out, A.vals.dtype)
+
+
+@register("spmv", fmt="csr", precision="fp16")
+def spmv_csr_fp16(A, x, out=None, ws=None):
+    """CSR SpMV with fp32 products and segmented fp32 reduction.
+
+    With ``ws`` all floating-point traffic (gather, products, row sums)
+    is pooled, matching the generic CSR kernel's contract.
+    """
+    _check_cols(A, x)
+    n = A.nrows
+    scale = getattr(A, "row_scale", None)
+    if A.nnz == 0:
+        y = out if out is not None else np.zeros(n, dtype=A.data.dtype)
+        y[:] = 0
+        return y
+    plan = _csr_plan(A)
+    if ws is not None:
+        g = ws.get("csr.spmv16.gather", (A.nnz,), x.dtype)
+        np.take(x, A.indices, out=g, mode="clip")
+        products = ws.get("csr.spmv16.prod", (A.nnz,), np.float32)
+        np.multiply(A.data, g, out=products, dtype=np.float32)
+        y = ws.get("csr.spmv16.sum", (n,), np.float32)
+        if plan.nonempty_rows is None:
+            np.add.reduceat(products, plan.nonempty_starts, out=y)
+        else:
+            s = ws.get(
+                "csr.spmv16.seg", plan.nonempty_starts.shape, np.float32
+            )
+            np.add.reduceat(products, plan.nonempty_starts, out=s)
+            y[:] = 0
+            y[plan.nonempty_rows] = s
+    else:
+        products = np.multiply(A.data, x[A.indices], dtype=np.float32)
+        sums = np.add.reduceat(products, plan.nonempty_starts)
+        y = np.zeros(n, dtype=np.float32)
+        if plan.nonempty_rows is None:
+            y[:] = sums
+        else:
+            y[plan.nonempty_rows] = sums
+    if scale is not None:
+        np.multiply(y, scale, out=y)
+    return _store(y, out, A.data.dtype)
+
+
+@register("spmv_rows", fmt="csr", precision="fp16")
+def spmv_rows_csr_fp16(A, rows, x, out=None, ws=None):
+    """CSR row-subset SpMV, fp32 accumulation.
+
+    As with the generic CSR kernel, the concatenated-range index
+    construction is O(rows) integer scratch per call (the layout's
+    indirection price); with ``ws`` the fp32 result vector is pooled.
+    """
+    m = len(rows)
+    scale = getattr(A, "row_scale", None)
+    y = (
+        ws.zeros("csr.rows16.sum", (m,), np.float32)
+        if ws is not None
+        else np.zeros(m, dtype=np.float32)
+    )
+    if m:
+        lens = (A.indptr[rows + 1] - A.indptr[rows]).astype(np.int64)
+        total = int(lens.sum())
+        if total:
+            flat = np.repeat(A.indptr[rows], lens) + (
+                np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+            )
+            products = np.multiply(
+                A.data[flat], x[A.indices[flat]], dtype=np.float32
+            )
+            starts = np.cumsum(lens) - lens
+            nonempty = lens > 0
+            y[nonempty] = np.add.reduceat(products, starts[nonempty])
+        if scale is not None:
+            y *= scale[rows]
+    return _store(y, out, A.data.dtype)
+
+
+@register("spmv", fmt="sellcs", precision="fp16")
+def spmv_sellcs_fp16(A, x, out=None, ws=None):
+    """SELL-C-σ SpMV: per-slab fp16 streaming, fp32 reduction.
+
+    With ``ws`` the per-slab gathers, fp32 accumulators and the result
+    vector are all pooled (keyed per slab, like the generic kernel).
+    """
+    _check_cols(A, x)
+    scale = getattr(A, "row_scale", None)
+    y = (
+        ws.get("sellcs.spmv16.y", (A.nrows,), np.float32)
+        if ws is not None
+        else np.empty(A.nrows, dtype=np.float32)
+    )
+    for bid, blk in enumerate(A.blocks):
+        if blk.width == 0:
+            y[blk.rows] = 0.0
+            continue
+        if ws is not None:
+            g = ws.get(("sellcs.spmv16.gather", bid), blk.cols.shape, x.dtype)
+            np.take(x, blk.cols, out=g, mode="clip")
+            acc = ws.get(("sellcs.spmv16.acc", bid), blk.cols.shape, np.float32)
+            np.multiply(blk.vals, g, out=acc, dtype=np.float32)
+            s = ws.get(("sellcs.spmv16.sum", bid), (len(blk.rows),), np.float32)
+            acc.sum(axis=1, dtype=np.float32, out=s)
+            y[blk.rows] = s
+        else:
+            acc = np.multiply(blk.vals, x[blk.cols], dtype=np.float32)
+            y[blk.rows] = acc.sum(axis=1, dtype=np.float32)
+    if scale is not None:
+        np.multiply(y, scale, out=y)
+    return _store(y, out, A.dtype)
+
+
+@register("spmv_rows", fmt="sellcs", precision="fp16")
+def spmv_rows_sellcs_fp16(A, rows, x, out=None, ws=None):
+    """SELL-C-σ row-subset SpMV through the slab map, fp32 accumulation.
+
+    The per-slab selection indices allocate O(rows) per call (the
+    permuted layout's indirection price, as in the generic kernel);
+    with ``ws`` the fp32 result vector is pooled.
+    """
+    m = len(rows)
+    scale = getattr(A, "row_scale", None)
+    y = (
+        ws.zeros("sellcs.rows16.sum", (m,), np.float32)
+        if ws is not None
+        else np.zeros(m, dtype=np.float32)
+    )
+    if m:
+        owner = A.row_block[rows]
+        for bid, blk in enumerate(A.blocks):
+            sel = np.nonzero(owner == bid)[0]
+            if len(sel) == 0 or blk.width == 0:
+                continue
+            slots = A.row_slot[rows[sel]]
+            acc = np.multiply(
+                blk.vals[slots], x[blk.cols[slots]], dtype=np.float32
+            )
+            y[sel] = acc.sum(axis=1, dtype=np.float32)
+        if scale is not None:
+            y *= scale[rows]
+    return _store(y, out, A.dtype)
+
+
+@register("symgs_sweep", precision="fp16")
+def symgs_sweep_fp16(A, r, xfull, sets, diag_sets, direction="forward", ws=None):
+    """Multicolor GS sweep at fp16 with fp32 relaxation arithmetic.
+
+    The update ``x[c] += (r[c] - (A x)[c]) / diag[c]`` subtracts two
+    nearly-equal quantities; doing that in fp16 loses every significant
+    digit once the residual is small, so the whole color pass computes
+    in fp32 and only the scatter back into the fp16 iterate rounds.
+    ``diag_sets`` may be fp32 (row-equilibrated matrices report their
+    unscaled diagonal in fp32) or the matrix precision.
+    """
+    from repro.backends.dispatch import spmv_rows
+
+    order = range(len(sets))
+    if direction == "backward":
+        order = reversed(order)
+    elif direction != "forward":
+        raise ValueError(f"unknown sweep direction {direction!r}")
+    for i in order:
+        rows = sets[i]
+        m = len(rows)
+        if m == 0:
+            continue
+        if ws is None:
+            ax = np.empty(m, dtype=np.float32)
+            spmv_rows(A, rows, xfull, out=ax)
+            upd = (r[rows] - ax) / np.asarray(diag_sets[i], dtype=np.float32)
+            xfull[rows] = xfull[rows] + upd.astype(np.float32)
+            continue
+        ax = ws.get(("gs16.ax", i), (m,), np.float32)
+        spmv_rows(A, rows, xfull, out=ax, ws=ws)
+        rb = ws.get(("gs16.r", i), (m,), r.dtype)
+        np.take(r, rows, out=rb, mode="clip")
+        acc = ws.get(("gs16.acc", i), (m,), np.float32)
+        np.subtract(rb, ax, out=acc)
+        np.divide(acc, diag_sets[i], out=acc)
+        xb = ws.get(("gs16.x", i), (m,), xfull.dtype)
+        np.take(xfull, rows, out=xb, mode="clip")
+        np.add(acc, xb, out=acc)
+        xfull[rows] = acc
+
+
+@register("dot", precision="fp16")
+def dot_fp16(a, b) -> float:
+    """fp16 dot with fp64 accumulation (an fp16 norm² would overflow)."""
+    return float(np.einsum("i,i->", a, b, dtype=np.float64))
+
+
+@register("waxpby", precision="fp16")
+def waxpby_fp16(alpha, x, beta, y, out=None, ws=None):
+    """``w = alpha x + beta y`` accumulated in fp32 (aliasing-safe)."""
+    if ws is None:
+        acc = np.float32(alpha) * x.astype(np.float32)
+        acc += np.float32(beta) * y.astype(np.float32)
+        return _store(acc, out, y.dtype)
+    t = ws.get("waxpby16.ax", y.shape, np.float32)
+    np.multiply(x, np.float32(alpha), out=t, dtype=np.float32)
+    u = ws.get("waxpby16.by", y.shape, np.float32)
+    np.multiply(y, np.float32(beta), out=u, dtype=np.float32)
+    np.add(t, u, out=t)
+    return _store(t, out, y.dtype)
+
+
+@register("gemv", precision="fp16")
+def gemv_fp16(Q, k, coef, out=None):
+    """Basis-combination GEMV with fp32 accumulation."""
+    y = np.einsum("ij,j->i", Q[:, :k], coef, dtype=np.float32)
+    return _store(y, out, Q.dtype)
+
+
+@register("gemvT", precision="fp16")
+def gemvT_fp16(Q, k, w, out=None):
+    """CGS2 projection GEMVT with fp32 accumulation.
+
+    Without ``out`` the length-``k`` coefficients stay fp32 — they land
+    in the (double) Hessenberg column, so rounding them back to fp16
+    would only destroy information.
+    """
+    h = np.einsum("ij,i->j", Q[:, :k], w, dtype=np.float32)
+    if out is None:
+        return h
+    out[:] = h
+    return out
+
+
+@register("fused_restrict", precision="fp16")
+def fused_restrict_fp16(A, r, xfull, f_c, out=None, ws=None):
+    """Coarse defect at fp16 levels, accumulated in fp32.
+
+    ``out`` may be the next level's buffer in *any* precision — ladder
+    schedules hand an fp32 coarse buffer to an fp16 fine level, and the
+    cast happens on the store (after the fp32 subtraction).
+    """
+    from repro.backends.dispatch import spmv_rows
+
+    m = len(f_c)
+    if ws is None:
+        ax = np.empty(m, dtype=np.float32)
+        spmv_rows(A, f_c, xfull, out=ax)
+        res = r[f_c] - ax
+    else:
+        ax = ws.get("restrict16.ax", (m,), np.float32)
+        spmv_rows(A, f_c, xfull, out=ax, ws=ws)
+        rb = ws.get("restrict16.r", (m,), r.dtype)
+        np.take(r, f_c, out=rb, mode="clip")
+        res = ws.get("restrict16.res", (m,), np.float32)
+        np.subtract(rb, ax, out=res)
+    return _store(res, out, xfull.dtype)
+
+
+@register("prolong", precision="fp16")
+def prolong_fp16(xfull, z_c, f_c, ws=None):
+    """Prolongation into an fp16 iterate, correction added in fp32."""
+    if ws is None:
+        xfull[f_c] = np.add(xfull[f_c], z_c, dtype=np.float32)
+        return
+    b = ws.get("prolong16.buf", (len(f_c),), xfull.dtype)
+    np.take(xfull, f_c, out=b, mode="clip")
+    acc = ws.get("prolong16.acc", (len(f_c),), np.float32)
+    np.add(b, z_c, out=acc, dtype=np.float32)
+    xfull[f_c] = acc

@@ -43,6 +43,20 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--validation-mode", choices=["standard", "fullscale"], default="standard"
     )
+    p.add_argument(
+        "--precision-ladder",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="per-MG-level precision ladder for the mxp phase, finest "
+        "level first (e.g. fp16:fp32:fp64); the first rung also sets "
+        "the inner matrix/basis precision",
+    )
+    p.add_argument(
+        "--no-escalation",
+        action="store_true",
+        help="pin the ladder policy (disable adaptive rung promotion)",
+    )
     p.add_argument("--max-iters", type=int, default=40, help="iterations per solve")
     p.add_argument("--num-solves", type=int, default=1)
     p.add_argument("--validation-max-iters", type=int, default=500)
@@ -67,6 +81,8 @@ def cmd_run(args) -> int:
         impl=args.impl,
         matrix_format=args.matrix_format,
         validation_mode=args.validation_mode,
+        precision_ladder=args.precision_ladder,
+        escalation=not args.no_escalation,
         max_iters_per_solve=args.max_iters,
         num_solves=args.num_solves,
         validation_max_iters=args.validation_max_iters,

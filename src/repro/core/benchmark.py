@@ -73,6 +73,7 @@ def _phase_worker(
         ortho=config.ortho,
         timers=timers,
         matrix_format=config.matrix_format,
+        escalation=config.escalation_config(),
     )
     setup_seconds = time.perf_counter() - t_setup0
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.fp.ladder import EscalationConfig, NO_ESCALATION, parse_ladder
 from repro.fp.policy import DOUBLE_POLICY, PrecisionPolicy
 from repro.fp.precision import Precision
 from repro.mg.multigrid import MGConfig
@@ -70,6 +71,15 @@ class BenchmarkConfig:
     validation_mode: str = "standard"
     impl: str = "optimized"
     low_precision: str = "fp32"
+    #: Optional per-MG-level precision ladder for the mxp phase, e.g.
+    #: ``"fp16:fp32:fp64"`` (finest level first; the last rung extends
+    #: to the remaining coarse levels).  Overrides ``low_precision``;
+    #: the first rung also sets the inner matrix/basis/ortho precision.
+    precision_ladder: str | None = None
+    #: Adaptive ladder escalation in the solver (promote one rung on
+    #: inner-stage stagnation).  Only ladder configurations escalate;
+    #: the classic fp32 mxp phase keeps the paper's fixed policy.
+    escalation: bool = True
     matrix_kind: str = "symmetric"
     ortho: str = "cgs2"
     nlevels: int = 4
@@ -108,6 +118,8 @@ class BenchmarkConfig:
                 f"local dims {self.local_dims} must be multiples of {div} "
                 f"(and at least {2 * div}) for a {self.nlevels}-level hierarchy"
             )
+        if self.precision_ladder is not None:
+            parse_ladder(self.precision_ladder)  # fail fast on bad specs
 
     # ------------------------------------------------------------------
     @property
@@ -142,11 +154,32 @@ class BenchmarkConfig:
 
 
     def mixed_policy(self) -> PrecisionPolicy:
-        """The mxp phase's precision policy."""
+        """The mxp phase's precision policy.
+
+        A ``precision_ladder`` builds the per-level ladder policy
+        (fp16-capable); otherwise the classic single-low-precision
+        configuration from ``low_precision``.
+        """
+        if self.precision_ladder is not None:
+            return PrecisionPolicy.from_ladder(self.precision_ladder)
         return DOUBLE_POLICY.with_low(Precision.from_any(self.low_precision))
 
     def double_policy(self) -> PrecisionPolicy:
         return DOUBLE_POLICY
+
+    def escalation_config(self) -> EscalationConfig:
+        """Ladder-escalation settings handed to the solvers.
+
+        Matches the solver's own default: only fp16 rungs escalate —
+        they cannot reach double tolerances without climbing — while
+        fp16-free configurations (the classic fp32 phase, but also an
+        explicit ``fp32:fp64`` ladder) keep the fixed policy the paper
+        specifies.  ``escalation=False`` pins everything.
+        """
+        if not self.escalation or self.precision_ladder is None:
+            return NO_ESCALATION
+        has_fp16 = Precision.HALF in parse_ladder(self.precision_ladder)
+        return EscalationConfig(enabled=has_fp16)
 
     def with_updates(self, **kwargs) -> "BenchmarkConfig":
         """Functional update helper.

@@ -59,13 +59,26 @@ def _matrix_bytes(n: int, value_bytes: int) -> int:
     return n * ROW_WIDTH * (value_bytes + IDX_BYTES)
 
 
-def _coarse_hierarchy_bytes(dims: list[LevelDims], value_bytes: int) -> int:
-    """Matrices of the coarse levels only.
+def _coarse_hierarchy_bytes(
+    dims: list[LevelDims], policy: PrecisionPolicy
+) -> int:
+    """Matrices of the coarse levels only, on the policy's schedule.
 
-    The fine-level matrix is shared between the Krylov operator and the
+    Each level is charged at its own ladder rung (``policy.mg_level``);
+    the fine-level matrix is shared between the Krylov operator and the
     smoother (as in HPCG/HPGMP), so it is accounted once by the caller.
     """
-    return sum(_matrix_bytes(d.n, value_bytes) for d in dims[1:])
+    return sum(
+        _matrix_bytes(d.n, policy.mg_level(lvl).bytes)
+        + _scale_bytes(d.n, policy.mg_level(lvl))
+        for lvl, d in enumerate(dims)
+        if lvl > 0
+    )
+
+
+def _scale_bytes(n: int, prec: Precision) -> int:
+    """Row-equilibration scale vector (float32) fp16 storage carries."""
+    return n * 4 if prec is Precision.HALF else 0
 
 
 def solver_footprint(
@@ -99,17 +112,17 @@ def solver_footprint(
         # Matrix-free A in both precisions: codes only; the smoother
         # still needs the low-precision fine matrix.
         matrix_fp64 = n * ROW_WIDTH + n * ROW_WIDTH * IDX_BYTES
-        matrix_low = _matrix_bytes(n, low.bytes)
+        matrix_low = _matrix_bytes(n, low.bytes) + _scale_bytes(n, low)
     else:
         matrix_fp64 = _matrix_bytes(n, Precision.DOUBLE.bytes)
         if policy.is_uniform_double:
             matrix_low = 0  # single shared fp64 fine matrix
         else:
-            matrix_low = _matrix_bytes(n, low.bytes)
+            matrix_low = _matrix_bytes(n, low.bytes) + _scale_bytes(n, low)
 
-    # Coarse levels of the preconditioner hierarchy, in its precision
-    # (the fine level is the shared matrix counted above).
-    mg = _coarse_hierarchy_bytes(dims, policy.preconditioner.bytes)
+    # Coarse levels of the preconditioner hierarchy, each on its own
+    # ladder rung (the fine level is the shared matrix counted above).
+    mg = _coarse_hierarchy_bytes(dims, policy)
 
     basis = n * (restart + 1) * policy.krylov_basis.bytes
     vectors = n * num_work_vectors * Precision.DOUBLE.bytes

@@ -63,6 +63,8 @@ def result_to_dict(result: BenchmarkResult) -> dict:
             "matrix_format": result.config.matrix_format,
             "restart": result.config.restart,
             "validation_mode": result.config.validation_mode,
+            "precision_ladder": result.config.precision_ladder,
+            "escalation": result.config.escalation,
         },
         "validation": {
             "n_d": val.n_d,

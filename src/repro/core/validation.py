@@ -79,6 +79,7 @@ def _validation_solve(
         restart=config.restart,
         ortho=config.ortho,
         matrix_format=config.matrix_format,
+        escalation=config.escalation_config(),
     )
     _, stats = solver.solve(
         problem.b,

@@ -7,18 +7,41 @@ residual and solution updates to double.  This package provides:
 - :class:`~repro.fp.precision.Precision` — an enum of IEEE formats with
   their dtype, byte width, and unit roundoff.
 - :class:`~repro.fp.policy.PrecisionPolicy` — which GMRES-IR step runs in
-  which precision (the paper's "blue" steps of Algorithm 3).
+  which precision (the paper's "blue" steps of Algorithm 3), including
+  the per-multigrid-level schedule.
+- :mod:`~repro.fp.ladder` — the fp16 < fp32 < fp64 rung ordering,
+  ladder-spec parsing, and the adaptive-escalation configuration.
 """
 
 from repro.fp.precision import Precision, as_dtype, cast, machine_eps
-from repro.fp.policy import PrecisionPolicy, DOUBLE_POLICY, MIXED_DS_POLICY
+from repro.fp.ladder import (
+    EscalationConfig,
+    NO_ESCALATION,
+    format_ladder,
+    next_rung,
+    parse_ladder,
+    schedule_for_levels,
+)
+from repro.fp.policy import (
+    PrecisionPolicy,
+    DOUBLE_POLICY,
+    HALF_LADDER_POLICY,
+    MIXED_DS_POLICY,
+)
 
 __all__ = [
     "Precision",
     "as_dtype",
     "cast",
     "machine_eps",
+    "EscalationConfig",
+    "NO_ESCALATION",
+    "format_ladder",
+    "next_rung",
+    "parse_ladder",
+    "schedule_for_levels",
     "PrecisionPolicy",
     "DOUBLE_POLICY",
+    "HALF_LADDER_POLICY",
     "MIXED_DS_POLICY",
 ]

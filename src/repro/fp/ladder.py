@@ -1,0 +1,133 @@
+"""The precision ladder: ordered rungs and per-MG-level schedules.
+
+The paper evaluates double/single GMRES-IR and names fp16 as the next
+step (§5); Carson's inexactness framework motivates choosing a
+precision per solver ingredient against a roundoff budget.  This module
+provides the two pieces of machinery that generalization needs:
+
+- a **ladder** — the ordered rungs fp16 < fp32 < fp64 with
+  :func:`next_rung` ("promote") navigation, parsed from compact specs
+  like ``"fp16:fp32:fp64"``;
+- a **per-level schedule** — one precision per multigrid level, so the
+  coarse levels (which contribute less to the correction and tolerate
+  more roundoff) can run below the fine level.
+
+A schedule shorter than the hierarchy extends its last entry to the
+remaining (coarser) levels, so ``"fp16:fp32"`` means "fp16 fine level,
+fp32 everywhere below".  :class:`EscalationConfig` carries the knobs of
+the adaptive controller in :mod:`repro.solvers.gmres_ir` that climbs
+the ladder when an inner stage stagnates at its precision floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.fp.precision import Precision
+
+#: The rungs, lowest first.  Promotion moves one step right.
+LADDER: tuple[Precision, ...] = (
+    Precision.HALF,
+    Precision.SINGLE,
+    Precision.DOUBLE,
+)
+
+#: Separator of textual ladder specs (``fp16:fp32:fp64``).
+LADDER_SEP = ":"
+
+
+def next_rung(prec: "Precision | str") -> Precision:
+    """The next-higher rung (fp16 -> fp32 -> fp64; fp64 is a fixpoint)."""
+    p = Precision.from_any(prec)
+    i = LADDER.index(p)
+    return LADDER[min(i + 1, len(LADDER) - 1)]
+
+
+def parse_ladder(spec: "str | Precision | Iterable") -> tuple[Precision, ...]:
+    """Parse a ladder/schedule spec into a tuple of rungs.
+
+    Accepts a colon-separated string (``"fp16:fp32:fp64"``), a single
+    precision-like value, or any iterable of precision-like values.
+    Raises ``ValueError`` on empty specs or unknown precision names
+    (listing the valid ones, via :meth:`Precision.from_any`).
+    """
+    if isinstance(spec, str):
+        parts: Sequence = [s for s in spec.split(LADDER_SEP) if s.strip()]
+    elif isinstance(spec, Precision):
+        parts = [spec]
+    else:
+        parts = list(spec)
+    if not parts:
+        raise ValueError(f"empty precision ladder spec: {spec!r}")
+    return tuple(Precision.from_any(p) for p in parts)
+
+
+def format_ladder(schedule: Iterable[Precision]) -> str:
+    """Inverse of :func:`parse_ladder`: ``"fp16:fp32:fp64"``."""
+    return LADDER_SEP.join(p.short_name for p in schedule)
+
+
+def schedule_for_levels(
+    schedule: "str | Precision | Iterable", nlevels: int
+) -> tuple[Precision, ...]:
+    """Expand a schedule spec to exactly ``nlevels`` entries.
+
+    The last entry extends to the remaining (coarser) levels; a
+    schedule longer than the hierarchy is truncated.
+    """
+    rungs = parse_ladder(schedule)
+    if nlevels < 1:
+        raise ValueError("nlevels must be >= 1")
+    if len(rungs) >= nlevels:
+        return rungs[:nlevels]
+    return rungs + (rungs[-1],) * (nlevels - len(rungs))
+
+
+def promote_schedule(schedule: Iterable[Precision]) -> tuple[Precision, ...]:
+    """Every entry one rung up (the whole-ladder promotion move)."""
+    return tuple(next_rung(p) for p in schedule)
+
+
+@dataclass(frozen=True)
+class EscalationConfig:
+    """Knobs of the adaptive ladder-escalation controller.
+
+    The controller watches the *outer* (fp64) residual at every restart
+    boundary.  An inner stage running at precision ``u`` cannot reduce
+    the outer residual below roughly ``u * kappa(A)`` per cycle; when
+    the per-cycle reduction degrades past ``stall_ratio`` the stage has
+    hit that floor and the whole policy is promoted one rung.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; a disabled controller never promotes (the solver
+        then behaves exactly like the fixed-policy GMRES-IR).
+    stall_ratio:
+        A restart cycle must shrink the true residual to at most
+        ``stall_ratio * previous`` or it counts as stagnation.
+    floor_factor:
+        Classification only: a stagnation with relative residual at or
+        below ``floor_factor * eps(active low precision)`` is labeled
+        ``"floor"`` (stuck at the precision's roundoff floor) rather
+        than ``"stall"``.
+    min_cycles:
+        Completed cycles at the active rung before stagnation is
+        judged (the first cycle after a promotion gets a free pass).
+    """
+
+    enabled: bool = True
+    stall_ratio: float = 0.5
+    floor_factor: float = 4.0
+    min_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.stall_ratio <= 1.0:
+            raise ValueError("stall_ratio must be in (0, 1]")
+        if self.min_cycles < 1:
+            raise ValueError("min_cycles must be >= 1")
+
+
+#: Escalation disabled — the fixed-policy historical behaviour.
+NO_ESCALATION = EscalationConfig(enabled=False)

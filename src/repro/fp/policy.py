@@ -8,14 +8,20 @@ benchmark specification:
 - the solution update ``x <- x_0 + M^{-1} r`` (line 47).
 
 A :class:`PrecisionPolicy` records the precision for each group of
-steps.  The all-double policy reproduces plain GMRES; the double-single
-policy is the configuration the paper evaluates.
+steps.  The multigrid preconditioner is not one precision but a
+**level-indexed schedule** (``mg_levels``): the coarse levels — whose
+corrections are smoothed again on the way up — tolerate more roundoff
+than the fine level and may sit lower on the ladder.  The all-double
+policy reproduces plain GMRES; the double-single policy is the
+configuration the paper evaluates; :meth:`PrecisionPolicy.from_ladder`
+builds the fp16-and-up configurations of the §5 future-work direction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.fp.ladder import format_ladder, next_rung, parse_ladder
 from repro.fp.precision import Precision
 
 
@@ -30,9 +36,13 @@ class PrecisionPolicy:
         inside the restart cycle (SpMV, line 19).  GMRES-IR keeps this
         *in addition* to the double-precision matrix, which the paper
         notes makes its memory footprint larger than plain GMRES.
-    preconditioner:
-        Precision of the multigrid preconditioner (matrices, smoother
+    mg_levels:
+        Per-multigrid-level precision schedule (matrices, smoother
         sweeps, grid-transfer vectors; lines 18 and 47's ``M^{-1}``).
+        Entry ``i`` is level ``i``'s precision, level 0 the finest; the
+        last entry extends to any coarser level (see :meth:`mg_level`).
+        Accepts a ladder spec (``"fp16:fp32"``), a single precision, or
+        a sequence at construction.
     krylov_basis:
         Storage precision of the Krylov basis vectors ``Q``.
     orthogonalization:
@@ -50,7 +60,7 @@ class PrecisionPolicy:
     """
 
     matrix: Precision = Precision.DOUBLE
-    preconditioner: Precision = Precision.DOUBLE
+    mg_levels: tuple[Precision, ...] = (Precision.DOUBLE,)
     krylov_basis: Precision = Precision.DOUBLE
     orthogonalization: Precision = Precision.DOUBLE
     least_squares: Precision = Precision.DOUBLE
@@ -58,6 +68,7 @@ class PrecisionPolicy:
     solution_update: Precision = field(default=Precision.DOUBLE)
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "mg_levels", parse_ladder(self.mg_levels))
         if self.residual_update is not Precision.DOUBLE:
             raise ValueError(
                 "HPG-MxP requires the residual update in double precision"
@@ -67,33 +78,49 @@ class PrecisionPolicy:
                 "HPG-MxP requires the solution update in double precision"
             )
 
+    # ------------------------------------------------------------------
+    # The preconditioner schedule
+    # ------------------------------------------------------------------
+    @property
+    def preconditioner(self) -> Precision:
+        """Fine-level preconditioner precision (``mg_levels[0]``)."""
+        return self.mg_levels[0]
+
+    def mg_level(self, lvl: int) -> Precision:
+        """Precision of multigrid level ``lvl`` (last entry extends)."""
+        if lvl < 0:
+            raise ValueError("level index must be >= 0")
+        return self.mg_levels[min(lvl, len(self.mg_levels) - 1)]
+
+    def mg_schedule(self, nlevels: int) -> tuple[Precision, ...]:
+        """The schedule expanded to exactly ``nlevels`` entries."""
+        return tuple(self.mg_level(lvl) for lvl in range(nlevels))
+
+    # ------------------------------------------------------------------
+    def _inner_precisions(self) -> tuple[Precision, ...]:
+        """Every "blue" (non-pinned) precision in the policy."""
+        return (
+            self.matrix,
+            *self.mg_levels,
+            self.krylov_basis,
+            self.orthogonalization,
+            self.least_squares,
+        )
+
     @property
     def is_uniform_double(self) -> bool:
         """True when every step runs in double (plain GMRES)."""
-        return all(
-            p is Precision.DOUBLE
-            for p in (
-                self.matrix,
-                self.preconditioner,
-                self.krylov_basis,
-                self.orthogonalization,
-                self.least_squares,
-            )
-        )
+        return all(p is Precision.DOUBLE for p in self._inner_precisions())
 
     @property
     def low(self) -> Precision:
         """The lowest precision appearing anywhere in the policy."""
-        return min(
-            (
-                self.matrix,
-                self.preconditioner,
-                self.krylov_basis,
-                self.orthogonalization,
-                self.least_squares,
-            ),
-            key=lambda p: p.bytes,
-        )
+        return min(self._inner_precisions(), key=lambda p: p.bytes)
+
+    @property
+    def can_promote(self) -> bool:
+        """True when a rung above the current policy exists."""
+        return not self.is_uniform_double
 
     def with_low(self, prec: "Precision | str") -> "PrecisionPolicy":
         """Return a policy with all blue steps set to ``prec``."""
@@ -101,9 +128,51 @@ class PrecisionPolicy:
         return replace(
             self,
             matrix=p,
-            preconditioner=p,
+            mg_levels=(p,),
             krylov_basis=p,
             orthogonalization=p,
+        )
+
+    def with_mg_schedule(
+        self, schedule: "str | Precision | tuple"
+    ) -> "PrecisionPolicy":
+        """Return a policy with the given per-level MG schedule."""
+        return replace(self, mg_levels=parse_ladder(schedule))
+
+    @classmethod
+    def from_ladder(cls, spec: "str | tuple") -> "PrecisionPolicy":
+        """Build a ladder policy from a spec like ``"fp16:fp32:fp64"``.
+
+        The first rung is the fine-level (Krylov-side) precision: it
+        sets the inner matrix, the Krylov basis, the orthogonalization,
+        and MG level 0; the remaining rungs are the coarser MG levels.
+        The host-side least-squares and the pinned outer updates stay
+        double, per the benchmark specification.
+        """
+        rungs = parse_ladder(spec)
+        return cls(
+            matrix=rungs[0],
+            mg_levels=rungs,
+            krylov_basis=rungs[0],
+            orthogonalization=rungs[0],
+        )
+
+    def promote(self) -> "PrecisionPolicy":
+        """One rung up the ladder for every blue step.
+
+        fp16 -> fp32 -> fp64 elementwise (the pinned outer updates and
+        the host least-squares are already double).  A uniform-double
+        policy returns itself unchanged — the top of the ladder.
+        """
+        if self.is_uniform_double:
+            return self
+        return replace(
+            self,
+            matrix=next_rung(self.matrix),
+            mg_levels=tuple(next_rung(p) for p in self.mg_levels),
+            krylov_basis=next_rung(self.krylov_basis),
+            orthogonalization=next_rung(self.orthogonalization),
+            least_squares=next_rung(self.least_squares),
         )
 
     def describe(self) -> str:
@@ -112,7 +181,7 @@ class PrecisionPolicy:
             return "uniform fp64 (plain GMRES)"
         return (
             f"matrix={self.matrix.short_name} "
-            f"precond={self.preconditioner.short_name} "
+            f"mg={format_ladder(self.mg_levels)} "
             f"basis={self.krylov_basis.short_name} "
             f"ortho={self.orthogonalization.short_name} "
             f"lsq={self.least_squares.short_name} "
@@ -125,3 +194,7 @@ DOUBLE_POLICY = PrecisionPolicy()
 
 #: The paper's double+single GMRES-IR configuration (the "mxp" phase).
 MIXED_DS_POLICY = PrecisionPolicy().with_low(Precision.SINGLE)
+
+#: The §5 future-work ladder: fp16 fine level escalating to fp32/fp64
+#: on the coarse levels, double outer updates.
+HALF_LADDER_POLICY = PrecisionPolicy.from_ladder("fp16:fp32:fp64")

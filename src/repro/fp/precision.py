@@ -61,29 +61,55 @@ class Precision(enum.Enum):
             return spec
         if isinstance(spec, str):
             key = spec.lower()
-            aliases = {
-                "half": cls.HALF,
-                "fp16": cls.HALF,
-                "float16": cls.HALF,
-                "single": cls.SINGLE,
-                "fp32": cls.SINGLE,
-                "float32": cls.SINGLE,
-                "float": cls.SINGLE,
-                "double": cls.DOUBLE,
-                "fp64": cls.DOUBLE,
-                "float64": cls.DOUBLE,
-            }
-            if key in aliases:
-                return aliases[key]
-            raise ValueError(f"unknown precision spec: {spec!r}")
-        dt = np.dtype(spec)
+            if key in _ALIASES:
+                return _ALIASES[key]
+            raise ValueError(
+                f"unknown precision spec {spec!r}; valid names: "
+                f"{_valid_names()}"
+            )
+        try:
+            dt = np.dtype(spec)
+        except TypeError as exc:
+            raise ValueError(
+                f"unknown precision spec {spec!r}; valid names: "
+                f"{_valid_names()}"
+            ) from exc
         for member in cls:
             if member.dtype == dt:
                 return member
-        raise ValueError(f"no Precision for dtype {dt}")
+        raise ValueError(
+            f"no Precision for dtype {dt}; supported formats: "
+            f"{_valid_names()}"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.short_name
+
+
+#: Accepted string spellings of each format, canonical short name first.
+_ALIASES: dict[str, Precision] = {
+    "fp16": Precision.HALF,
+    "half": Precision.HALF,
+    "float16": Precision.HALF,
+    "fp32": Precision.SINGLE,
+    "single": Precision.SINGLE,
+    "float": Precision.SINGLE,
+    "float32": Precision.SINGLE,
+    "fp64": Precision.DOUBLE,
+    "double": Precision.DOUBLE,
+    "float64": Precision.DOUBLE,
+}
+
+
+def _valid_names() -> str:
+    """``"fp16 (half, float16), fp32 (...), fp64 (...)"`` for errors."""
+    by_member: dict[Precision, list[str]] = {}
+    for name, member in _ALIASES.items():
+        by_member.setdefault(member, []).append(name)
+    return ", ".join(
+        f"{member.short_name} ({', '.join(n for n in names if n != member.short_name)})"
+        for member, names in by_member.items()
+    )
 
 
 def as_dtype(spec: "Precision | str | np.dtype | type") -> np.dtype:

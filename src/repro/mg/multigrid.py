@@ -8,12 +8,18 @@ problem, textbook O(N) multigrid scalability is deliberately absent —
 the paper points out this is why iteration counts climb at scale, which
 Table 2 and the full-scale validation probe.
 
-The preconditioner owns per-level matrices in a single precision and a
-single storage format (any format registered with the kernel backend
-layer); every hot operation — smoother sweeps, the fused restriction,
-prolongation — dispatches through :mod:`repro.backends`.  All per-level
-iterate and coarse-defect buffers are preallocated, so one V-cycle
-performs zero array allocations after warmup.
+The preconditioner owns per-level matrices in a single storage format
+(any format registered with the kernel backend layer) and a **per-level
+precision schedule**: each level may sit on its own rung of the fp16 <
+fp32 < fp64 ladder (coarse levels, whose corrections get re-smoothed on
+the way up, tolerate more roundoff than the fine level).  fp16 levels
+get row-equilibrated matrix storage via :mod:`repro.sparse.scaled`.
+Every hot operation — smoother sweeps, the fused restriction,
+prolongation — dispatches through :mod:`repro.backends`, which resolves
+precision-specific kernels per level; cross-precision level boundaries
+cast once, at the grid transfer.  All per-level iterate and
+coarse-defect buffers are preallocated, so one V-cycle performs zero
+array allocations after warmup.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.backends.workspace import Workspace
+from repro.fp.ladder import format_ladder, schedule_for_levels
 from repro.fp.precision import Precision
 from repro.geometry.partition import Subdomain
 from repro.mg.restriction import (
@@ -35,6 +42,7 @@ from repro.parallel.comm import Communicator
 from repro.parallel.halo_exchange import HaloExchange
 from repro.sparse.coloring import color_sets, structured_coloring8
 from repro.sparse.formats import matrix_format_of, to_format
+from repro.sparse.scaled import to_precision
 from repro.stencil.poisson27 import Problem, generate_problem
 from repro.util.timers import NullTimers
 
@@ -76,6 +84,7 @@ class MGLevel:
     halo_ex: HaloExchange
     smoother: Smoother
     f_c: np.ndarray | None  # map to next-coarser level (None on coarsest)
+    precision: Precision = Precision.DOUBLE  # this level's ladder rung
     zfull: np.ndarray = field(repr=False, default=None)  # iterate workspace
     r_c: np.ndarray = field(repr=False, default=None)  # coarse-defect buffer
 
@@ -105,9 +114,19 @@ class MultigridPreconditioner:
     ) -> None:
         self.levels = levels
         self.config = config
+        #: Fine-level precision (the rung ``apply`` casts its input to).
         self.precision = precision
         self.timers = timers if timers is not None else NullTimers()
         self.ws = workspace if workspace is not None else Workspace("mg")
+
+    @property
+    def schedule(self) -> tuple[Precision, ...]:
+        """The per-level precision schedule, finest first."""
+        return tuple(lv.precision for lv in self.levels)
+
+    def describe_schedule(self) -> str:
+        """Compact ladder spec of this hierarchy (``"fp16:fp32:..."``)."""
+        return format_ladder(self.schedule)
 
     # ------------------------------------------------------------------
     # Construction
@@ -130,6 +149,13 @@ class MultigridPreconditioner:
         are re-discretizations on the coarsened subdomain.  Requires the
         local dims to be divisible by ``2**(nlevels-1)``.
 
+        ``precision`` is either one precision for every level or a
+        per-level ladder schedule — a ``"fp16:fp32:fp64"`` spec, a
+        sequence, or anything :func:`repro.fp.ladder.schedule_for_levels`
+        accepts; a schedule shorter than ``nlevels`` extends its last
+        rung to the remaining (coarser) levels.  fp16 levels store
+        row-equilibrated matrices (:mod:`repro.sparse.scaled`).
+
         ``fine_matrix`` lets the caller share an already-cast fine-level
         matrix (e.g. the solver's low-precision Krylov operator) instead
         of making another copy — the sharing the memory model assumes.
@@ -142,15 +168,21 @@ class MultigridPreconditioner:
         than keeping a duplicate ELL conversion beside each level.
         """
         config = config or MGConfig()
-        prec = Precision.from_any(precision)
+        schedule = schedule_for_levels(precision, config.nlevels)
         ws = workspace if workspace is not None else Workspace("mg")
         spec = problem.spec
         if config.smoother == "levelsched":
             matrix_format = "ell"
-        if fine_matrix is not None:
-            if fine_matrix.dtype != prec.dtype:
+            if any(p is Precision.HALF for p in schedule):
                 raise ValueError(
-                    "fine_matrix precision must match the preconditioner precision"
+                    "the level-scheduled smoother has no fp16 triangular "
+                    "path; use the multicolor smoother for fp16 levels"
+                )
+        if fine_matrix is not None:
+            if fine_matrix.dtype != schedule[0].dtype:
+                raise ValueError(
+                    "fine_matrix precision must match the preconditioner's "
+                    "fine-level precision"
                 )
             if matrix_format_of(fine_matrix) != matrix_format:
                 fine_matrix = None  # format mismatch: build, don't share
@@ -159,10 +191,13 @@ class MultigridPreconditioner:
         sub = problem.sub
         level_problem = problem
         for lvl in range(config.nlevels):
+            prec = schedule[lvl]
             if lvl == 0 and fine_matrix is not None:
                 A = fine_matrix
             else:
-                A = to_format(level_problem.A, matrix_format).astype(prec)
+                A = to_precision(
+                    to_format(level_problem.A, matrix_format), prec
+                )
             halo_ex = HaloExchange(level_problem.halo, comm, workspace=ws)
             diag = A.diagonal()
             smoother = cls._build_smoother(A, diag, sub, config, ws)
@@ -178,17 +213,23 @@ class MultigridPreconditioner:
                 halo_ex=halo_ex,
                 smoother=smoother,
                 f_c=f_c,
+                precision=prec,
             )
             level.zfull = np.zeros(
                 level.nlocal + level.halo_ex.n_ghost, dtype=prec.dtype
             )
             if coarse_sub is not None:
-                level.r_c = np.zeros(coarse_sub.nlocal, dtype=prec.dtype)
+                # The defect buffer belongs to the *coarser* level and
+                # lives on its rung; the fused restriction casts on the
+                # store into it.
+                level.r_c = np.zeros(
+                    coarse_sub.nlocal, dtype=schedule[lvl + 1].dtype
+                )
             levels.append(level)
             if f_c is not None:
                 sub = coarse_sub
                 level_problem = generate_problem(sub, spec=spec)
-        return cls(levels, config, prec, timers, workspace=ws)
+        return cls(levels, config, schedule[0], timers, workspace=ws)
 
     @staticmethod
     def _build_smoother(
@@ -281,6 +322,8 @@ class MultigridPreconditioner:
                 "width": lv.A.width,
                 "num_colors": lv.num_colors,
                 "n_ghost": lv.halo_ex.n_ghost,
+                "precision": lv.precision.short_name,
+                "value_bytes": lv.precision.bytes,
             }
             for lv in self.levels
         ]

@@ -9,7 +9,11 @@ fuses the two, evaluating the residual *only at coarse points*
 op (a row-subset SpMV at coarse-mapped rows).
 
 All entry points accept an ``out=`` coarse buffer and a workspace, so
-the V-cycle's transfers are allocation-free after warmup.
+the V-cycle's transfers are allocation-free after warmup.  The coarse
+buffer may live in a *different precision* than the fine level (ladder
+schedules assign each multigrid level its own rung): the defect is
+accumulated in the fine level's compute precision and cast once on the
+store into ``out``.
 """
 
 from __future__ import annotations
@@ -100,7 +104,8 @@ def exchange_and_fused_restrict(
     The smoothed iterate's ghost values are stale after a sweep (local
     entries moved), so the residual evaluation is preceded by a halo
     exchange — the same communication the paper overlaps with interior
-    work in its fused kernel.
+    work in its fused kernel.  ``out`` may be the coarser level's
+    buffer in a different precision (per-level ladder schedules).
     """
     halo_ex.exchange(xfull_f)
     if fused:

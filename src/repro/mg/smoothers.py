@@ -18,6 +18,12 @@ Across ranks both smoothers freeze ghost values for the duration of a
 sweep (block-Jacobi coupling), exchanging the halo once per sweep —
 exactly the benchmark's behaviour, where each subdomain is reordered
 and swept independently.
+
+Precision rides on the kernel registry: ``symgs_sweep`` resolves a
+precision-specific kernel from the matrix dtype, so an fp16 ladder
+level transparently gets the fp32-accumulating sweep (and its
+row-equilibrated diagonal, reported unscaled by the matrix class).
+The level-scheduled path is fp32/fp64-only and says so.
 """
 
 from __future__ import annotations
@@ -106,6 +112,13 @@ class LevelScheduledGS(Smoother):
     """
 
     def __init__(self, A: ELLMatrix):
+        if A.dtype == np.float16 or getattr(A, "row_scale", None) is not None:
+            # The triangular split has no fp32-accumulating / scale-aware
+            # substitution path; fp16 ladder levels must use multicolor.
+            raise ValueError(
+                "LevelScheduledGS does not support fp16 or row-equilibrated "
+                "matrices; use the multicolor smoother"
+            )
         self.A = A
         self.L, self.U, self.diag = split_triangular(A)
         self.lower_sets = level_sets(lower_levels(self.L))

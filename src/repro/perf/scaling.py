@@ -21,6 +21,7 @@ from repro.core.flops import (
     flops_gmres_iteration,
     stencil27_nnz,
 )
+from repro.fp.ladder import schedule_for_levels
 from repro.fp.precision import Precision
 from repro.mg.multigrid import MGConfig
 from repro.perf.kernels import KernelModel
@@ -106,6 +107,7 @@ class ScalingModel:
         host_mixed_ops: bool | None = None,
         sweep: str = "forward",
         ortho_method: str = "cgs2",
+        mg_schedule: "str | tuple | list | None" = None,
     ) -> None:
         """Build a model configuration.
 
@@ -113,6 +115,13 @@ class ScalingModel:
         their absence ("reference"); the five keyword overrides detach
         individual optimizations from the bundle so ablation benchmarks
         can toggle one at a time (§3.2's itemized contributions).
+
+        ``mg_schedule`` overrides the mode's uniform inner precision
+        with a per-multigrid-level ladder (``"fp16:fp32:fp64"`` or a
+        precision sequence, finest level first, last entry extending
+        to the remaining levels) — the byte widths then differ level
+        by level, which is the whole point of running coarse levels
+        lower on the ladder.
         """
         if impl not in ("optimized", "reference"):
             raise ValueError(f"unknown impl {impl!r}")
@@ -150,6 +159,17 @@ class ScalingModel:
             fused_restrict=self.fused,
             sweep=sweep,
         )
+        self.mg_schedule = (
+            schedule_for_levels(mg_schedule, nlevels)
+            if mg_schedule is not None
+            else None
+        )
+
+    def _level_prec(self, lvl: int, prec: Precision) -> Precision:
+        """Level ``lvl``'s precision: the ladder rung, or ``prec``."""
+        if self.mg_schedule is None:
+            return prec
+        return self.mg_schedule[min(lvl, len(self.mg_schedule) - 1)]
 
     # ------------------------------------------------------------------
     # Geometry helpers
@@ -283,21 +303,91 @@ class ScalingModel:
         sweep_mult = 2 if cfg.sweep == "symmetric" else 1
         gs = restrict = prolong = 0.0
         for lvl in range(self.nlevels):
+            prec_l = self._level_prec(lvl, prec)
             if lvl == self.nlevels - 1:
                 gs += (
                     cfg.coarse_sweeps
                     * sweep_mult
-                    * self._gs_sweep_time(lvl, prec, nranks, nodes)
+                    * self._gs_sweep_time(lvl, prec_l, nranks, nodes)
                 )
                 continue
             gs += (
                 (cfg.npre + cfg.npost)
                 * sweep_mult
-                * self._gs_sweep_time(lvl, prec, nranks, nodes)
+                * self._gs_sweep_time(lvl, prec_l, nranks, nodes)
             )
-            restrict += self._restrict_time(lvl, prec, nranks, nodes)
-            prolong += self._prolong_time(lvl, prec, nodes)
+            restrict += self._restrict_time(lvl, prec_l, nranks, nodes)
+            prolong += self._prolong_time(lvl, prec_l, nodes)
         return {"gs": gs, "restrict": restrict, "prolong": prolong}
+
+    # ------------------------------------------------------------------
+    # Byte-traffic accounting (policy-driven, per-level widths)
+    # ------------------------------------------------------------------
+    def mg_vcycle_bytes(self, policy) -> float:
+        """Modeled HBM bytes of one V-cycle under a policy (per GCD).
+
+        Each level is charged at its own ladder rung
+        (``policy.mg_level``), so an ``fp16:fp32:fp64`` schedule
+        streams measurably less than an all-fp32 hierarchy — the
+        memory-wall argument for the ladder, level by level.
+        """
+        cfg = self.mg_config
+        sweep_mult = 2 if cfg.sweep == "symmetric" else 1
+        total = 0.0
+        for lvl in range(self.nlevels):
+            prec = policy.mg_level(lvl)
+            n = self.level_nlocal(lvl)
+            sweeps = (
+                cfg.coarse_sweeps
+                if lvl == self.nlevels - 1
+                else cfg.npre + cfg.npost
+            )
+            total += (
+                sweeps * sweep_mult * self.km.gs_sweep(n, prec, fmt=self.fmt).nbytes
+            )
+            if lvl == self.nlevels - 1:
+                continue
+            n_c = self.level_nlocal(lvl + 1)
+            if self.fused:
+                total += self.km.fused_spmv_restrict(n_c, prec).nbytes
+            else:
+                total += self.km.unfused_residual_restrict(
+                    n, n_c, prec, fmt=self.fmt
+                ).nbytes
+            total += self.km.prolong_correct(n_c, prec).nbytes
+        return total
+
+    def cycle_traffic_bytes(self, policy) -> dict[str, float]:
+        """Modeled bytes of one full restart cycle under a policy.
+
+        The per-motif breakdown mirrors :meth:`cycle_profile` but
+        consumes a :class:`~repro.fp.policy.PrecisionPolicy` directly:
+        the inner SpMV streams at ``policy.matrix``, each V-cycle level
+        at its ``mg_levels`` rung, the CGS2 BLAS-2 at
+        ``policy.krylov_basis``, and the pinned outer pieces at fp64.
+        Returns motif bytes plus ``"total"``.
+        """
+        m = self.restart
+        n = self.level_nlocal(0)
+        km = self.km
+        by: dict[str, float] = {}
+        vcycle = self.mg_vcycle_bytes(policy)
+        by["mg"] = (m + 1) * vcycle  # m inner + 1 solution-update cycle
+        by["spmv"] = m * km.spmv(n, policy.matrix, fmt=self.fmt).nbytes
+        by["ortho"] = sum(
+            km.ortho_cgs2_step(n, k, policy.krylov_basis).nbytes
+            for k in range(1, m + 1)
+        )
+        # Outer IR overhead, pinned to fp64 by the benchmark.
+        by["outer"] = (
+            km.spmv(n, Precision.DOUBLE, fmt=self.fmt).nbytes
+            + km.waxpby(n, Precision.DOUBLE).nbytes
+            + km.dot(n, Precision.DOUBLE).nbytes
+            + km.gemv_qt(n, m, policy.krylov_basis).nbytes
+            + km.mixed_waxpby_device(n).nbytes
+        )
+        by["total"] = sum(by.values())
+        return by
 
     def _ortho_time(
         self, k: int, prec: Precision, nranks: int, nodes: float

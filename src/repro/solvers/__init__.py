@@ -4,13 +4,22 @@ The benchmark's two timed phases run the same code path with different
 precision policies: ``MIXED_DS_POLICY`` gives Algorithm 3 (GMRES-IR
 with CGS2 reorthogonalization, low-precision inner steps, double outer
 updates) and ``DOUBLE_POLICY`` reduces it to plain restarted GMRES —
-mathematically Algorithm 2 with iterative-refinement restarts.
+mathematically Algorithm 2 with iterative-refinement restarts.  Ladder
+policies (``PrecisionPolicy.from_ladder("fp16:fp32:fp64")``) start the
+inner stage as low as fp16; the solver's adaptive escalation controller
+climbs one rung whenever a restart cycle stalls at the active
+precision's floor, recording each :class:`Promotion`.
 """
 
 from repro.solvers.givens import GivensQR, givens_coefficients
 from repro.solvers.ortho import cgs, cgs2, mgs
 from repro.solvers.operator import DistributedOperator
-from repro.solvers.gmres_ir import GMRESIRSolver, SolverStats, gmres_solve
+from repro.solvers.gmres_ir import (
+    GMRESIRSolver,
+    Promotion,
+    SolverStats,
+    gmres_solve,
+)
 from repro.solvers.cg import PCGSolver, pcg_solve
 from repro.solvers.switched import SwitchedGMRESSolver, SwitchedStats
 from repro.solvers.uniform import UniformStats, uniform_precision_gmres
@@ -23,6 +32,7 @@ __all__ = [
     "mgs",
     "DistributedOperator",
     "GMRESIRSolver",
+    "Promotion",
     "SolverStats",
     "gmres_solve",
     "PCGSolver",

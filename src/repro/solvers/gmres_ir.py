@@ -9,7 +9,16 @@ One implementation serves both benchmark phases:
   that recovers double-precision accuracy;
 - with :data:`~repro.fp.policy.DOUBLE_POLICY` every step is double and
   the algorithm reduces to restarted GMRES (Algorithm 2 with restarts),
-  the benchmark's "double" reference phase.
+  the benchmark's "double" reference phase;
+- with a ladder policy (:meth:`PrecisionPolicy.from_ladder`, e.g.
+  ``"fp16:fp32:fp64"``) the inner stage starts as low as fp16 and the
+  **adaptive escalation controller** climbs the ladder at run time:
+  when a restart cycle fails to shrink the true residual past the
+  configured stall ratio — the inner stage has hit its precision's
+  roundoff floor — the whole policy is promoted one rung
+  (fp16 -> fp32 -> fp64) and the low-precision operator, hierarchy and
+  basis are rebuilt.  Promotions are recorded in :class:`SolverStats`
+  and exportable as timeline events (:mod:`repro.trace`).
 
 Convergence checking follows the benchmark: the implicit residual from
 the Givens-transformed rhs (``|t_{k+1}|``) is monitored every inner
@@ -31,6 +40,7 @@ import numpy as np
 
 from repro.backends.dispatch import gemv
 from repro.backends.workspace import Workspace
+from repro.fp.ladder import EscalationConfig
 from repro.fp.policy import DOUBLE_POLICY, PrecisionPolicy
 from repro.fp.precision import Precision
 from repro.mg.multigrid import MGConfig, MultigridPreconditioner
@@ -40,8 +50,28 @@ from repro.solvers.givens import GivensQR
 from repro.solvers.operator import DistributedOperator
 from repro.solvers.ortho import ORTHO_METHODS
 from repro.sparse.formats import known_formats, to_format
+from repro.sparse.scaled import to_precision
 from repro.stencil.poisson27 import Problem
 from repro.util.timers import NullTimers
+
+
+@dataclass(frozen=True)
+class Promotion:
+    """One ladder-escalation event during a solve."""
+
+    iteration: int  # inner-iteration count when the promotion fired
+    restart: int  # restart cycles completed at that point
+    relres: float  # outer relative residual that triggered it
+    reason: str  # "stall" | "floor" | "breakdown"
+    from_low: Precision  # lowest precision before the promotion
+    to_low: Precision  # lowest precision after
+
+    def describe(self) -> str:
+        return (
+            f"iter {self.iteration}: {self.from_low.short_name}->"
+            f"{self.to_low.short_name} ({self.reason}, "
+            f"relres={self.relres:.2e})"
+        )
 
 
 @dataclass
@@ -56,12 +86,17 @@ class SolverStats:
     implicit_history: list[float] = field(default_factory=list)
     cycle_lengths: list[int] = field(default_factory=list)
     breakdown: bool = False  # "happy breakdown" (exact solution in span)
+    promotions: list[Promotion] = field(default_factory=list)
 
     def summary(self) -> str:
         state = "converged" if self.converged else "NOT converged"
+        promo = (
+            f", {len(self.promotions)} promotion(s)" if self.promotions else ""
+        )
         return (
             f"{state} in {self.iterations} iterations "
-            f"({self.restarts} restarts), relres={self.final_relres:.3e}"
+            f"({self.restarts} restarts{promo}), "
+            f"relres={self.final_relres:.3e}"
         )
 
 
@@ -70,10 +105,16 @@ class GMRESIRSolver:
 
     Construction performs the benchmark's setup work: the double
     operator, the low-precision matrix copy (when the policy needs
-    one), the multigrid hierarchy in the preconditioner precision, and
-    the preallocated workspace buffers the hot loop runs in.  ``solve``
-    may then be called repeatedly (the timed benchmark phase re-solves
-    from a zero guess until its time budget is spent).
+    one), the multigrid hierarchy on the policy's per-level precision
+    schedule, and the preallocated workspace buffers the hot loop runs
+    in.  ``solve`` may then be called repeatedly (the timed benchmark
+    phase re-solves from a zero guess until its time budget is spent).
+
+    ``escalation`` configures the adaptive ladder controller; pass
+    ``False`` (or :data:`repro.fp.ladder.NO_ESCALATION`) to pin the
+    policy for the whole solve.  After a promotion the solver *stays*
+    on the higher rung for subsequent ``solve`` calls — rebuilding per
+    solve would repay the setup cost the promotion already bought.
     """
 
     def __init__(
@@ -87,6 +128,7 @@ class GMRESIRSolver:
         timers=None,
         precond: MultigridPreconditioner | None = None,
         matrix_format: str = "ell",
+        escalation: "EscalationConfig | bool | None" = None,
     ) -> None:
         if ortho not in ORTHO_METHODS:
             raise ValueError(f"unknown orthogonalization {ortho!r}")
@@ -97,42 +139,72 @@ class GMRESIRSolver:
             )
         self.problem = problem
         self.comm = comm
-        self.policy = policy
         self.restart = restart
         self.ortho_name = ortho
         self.matrix_format = matrix_format
         self._orthogonalize = ORTHO_METHODS[ortho]
         self.timers = timers if timers is not None else NullTimers()
         self.ws = Workspace("gmres-ir")
+        if escalation is None:
+            # fp16 rungs cannot reach double tolerances without climbing,
+            # so the controller defaults on for them; fp32/fp64 policies
+            # keep the paper's fixed-policy behaviour unless the caller
+            # opts in explicitly.
+            escalation = EscalationConfig(
+                enabled=(policy.low is Precision.HALF)
+            )
+        elif escalation is True:
+            escalation = EscalationConfig()
+        elif escalation is False:
+            escalation = EscalationConfig(enabled=False)
+        self.escalation = escalation
 
         # Krylov-loop matrix in the requested storage format (the
         # reference implementation uses CSR, the optimized one ELL;
         # SELL-C-σ is the GPU-general layout).
-        A64 = to_format(problem.A, matrix_format)
+        self.A64 = to_format(problem.A, matrix_format)
 
-        # Double-precision operator for outer residuals.
+        # Double-precision operator for outer residuals, and the outer
+        # residual buffer — both policy-independent (always fp64), so
+        # they survive ladder promotions unchanged.
         self.op64 = DistributedOperator(
-            A64, problem.halo, comm, workspace=self.ws
+            self.A64, problem.halo, comm, workspace=self.ws
         )
+        self._r64 = np.zeros(problem.nlocal, dtype=np.float64)
+
+        self.mg_config = mg_config or MGConfig()
+        self._shared_precond = precond
+        self._bind_policy(policy)
+
+    # ------------------------------------------------------------------
+    def _bind_policy(self, policy: PrecisionPolicy) -> None:
+        """(Re)build every precision-dependent piece for ``policy``.
+
+        Called at construction and again by the escalation controller
+        after each promotion: the inner operator, the multigrid
+        hierarchy (on the policy's per-level schedule), the Krylov
+        basis and the hot-loop buffers all change dtype with the rung.
+        """
+        self.policy = policy
 
         # Inner operator in the policy's matrix precision.  GMRES-IR
         # stores this *second* copy of A (the memory overhead §5 notes);
-        # the uniform-double policy reuses the double operator.
+        # the uniform-double policy reuses the double operator.  fp16
+        # rungs get row-equilibrated storage (repro.sparse.scaled).
         if policy.matrix is Precision.DOUBLE:
             self.op_inner = self.op64
-            self.A_low = A64
+            self.A_low = self.A64
         else:
-            self.A_low = A64.astype(policy.matrix)
+            self.A_low = to_precision(self.A64, policy.matrix)
             self.op_inner = DistributedOperator(
-                self.A_low, problem.halo, comm, workspace=self.ws
+                self.A_low, self.problem.halo, self.comm, workspace=self.ws
             )
 
-        # Multigrid preconditioner in the policy's precision.  When the
-        # inner operator is in the same precision (and the hierarchy's
-        # format), share it as the fine level (no second low copy).
-        self.mg_config = mg_config or MGConfig()
-        if precond is not None:
-            self.M = precond
+        # Multigrid preconditioner on the policy's per-level schedule.
+        # When the fine level runs in the inner-operator precision (and
+        # the hierarchy's format), share it (no second low copy).
+        if self._shared_precond is not None:
+            self.M = self._shared_precond
         else:
             shared = (
                 self.A_low
@@ -140,21 +212,22 @@ class GMRESIRSolver:
                 else None
             )
             self.M = MultigridPreconditioner.build(
-                problem,
-                comm,
+                self.problem,
+                self.comm,
                 self.mg_config,
-                precision=policy.preconditioner,
+                precision=policy.mg_schedule(self.mg_config.nlevels),
                 timers=self.timers,
                 fine_matrix=shared,
-                matrix_format=matrix_format,
+                matrix_format=self.matrix_format,
                 workspace=self.ws,
             )
 
-        # Krylov basis and hot-loop vector buffers, preallocated once.
-        n = problem.nlocal
+        # Krylov basis and hot-loop vector buffers, preallocated once
+        # per rung.
+        n = self.problem.nlocal
+        restart = self.restart
         basis_dtype = policy.krylov_basis.dtype
         self.Q = np.zeros((n, restart + 1), dtype=basis_dtype)
-        self._r64 = np.zeros(n, dtype=np.float64)
         self._w_op = np.zeros(n, dtype=self.op_inner.dtype)
         self._u = np.zeros(n, dtype=basis_dtype)
         if self.op_inner.dtype != basis_dtype:
@@ -167,6 +240,60 @@ class GMRESIRSolver:
             self._z_op = np.zeros(n, dtype=self.op_inner.dtype)
         else:
             self._z_op = None  # preconditioner output feeds SpMV directly
+
+    # ------------------------------------------------------------------
+    def _stagnation_reason(
+        self, rho: float, prev_rho: float | None, cycles_at_rung: int
+    ) -> str | None:
+        """Classify the outer residual's progress at a restart boundary.
+
+        Returns ``None`` while the ladder is making progress.  An inner
+        stage at unit roundoff ``u`` cannot shrink the outer residual by
+        much more than ``u * kappa(A)`` per cycle; once the measured
+        per-cycle reduction degrades past ``stall_ratio`` the stage has
+        hit that wall.  ``"floor"`` labels the case where the relative
+        residual sits at the active precision's roundoff floor,
+        ``"stall"`` the general insufficient-decrease case (e.g. basis
+        ill-conditioning before the floor is reached).
+        """
+        esc = self.escalation
+        if (
+            not esc.enabled
+            or not self.policy.can_promote
+            or prev_rho is None
+            or cycles_at_rung < esc.min_cycles
+        ):
+            return None
+        if rho <= esc.stall_ratio * prev_rho:
+            return None
+        if self._relres(rho) <= esc.floor_factor * self.policy.low.eps:
+            return "floor"
+        return "stall"
+
+    def _relres(self, rho: float) -> float:
+        return rho / self._rho0 if self._rho0 else np.inf
+
+    def _promote(self, stats: SolverStats, rho: float, reason: str) -> None:
+        """Climb one rung: record the event and rebuild the inner stage.
+
+        A caller-supplied preconditioner is abandoned here: it sits on
+        the old rung — often the very component whose roundoff floor
+        triggered the promotion — so the rebuild constructs a fresh
+        hierarchy on the promoted schedule instead.
+        """
+        old_low = self.policy.low
+        self._shared_precond = None
+        self._bind_policy(self.policy.promote())
+        stats.promotions.append(
+            Promotion(
+                iteration=stats.iterations,
+                restart=stats.restarts,
+                relres=self._relres(rho),
+                reason=reason,
+                from_low=old_low,
+                to_low=self.policy.low,
+            )
+        )
 
     # ------------------------------------------------------------------
     def solve(
@@ -193,7 +320,6 @@ class GMRESIRSolver:
         comm, timers = self.comm, self.timers
         n = self.problem.nlocal
         m = self.restart
-        basis_dtype = self.policy.krylov_basis.dtype
 
         x = np.zeros(n, dtype=np.float64) if x0 is None else x0.astype(np.float64)
         stats = SolverStats()
@@ -201,15 +327,17 @@ class GMRESIRSolver:
         with timers.section("dot"):
             rho0 = dnorm2(comm, b)
         stats.rho0 = rho0
+        self._rho0 = rho0
         if rho0 == 0.0:
             stats.converged = True
             stats.final_relres = 0.0
             return x, stats
         abs_tol = target_residual if target_residual is not None else tol * rho0
 
-        Q = self.Q
         r64 = self._r64
         qr = GivensQR(m)
+        prev_rho: float | None = None
+        cycles_at_rung = 0
 
         while stats.iterations < maxiter:
             # --- outer (iterative-refinement) step: double precision ---
@@ -221,6 +349,17 @@ class GMRESIRSolver:
             if rho <= abs_tol:
                 stats.converged = True
                 return x, stats
+
+            # --- adaptive escalation: climb the ladder on stagnation ---
+            reason = self._stagnation_reason(rho, prev_rho, cycles_at_rung)
+            if reason is not None:
+                self._promote(stats, rho, reason)
+                cycles_at_rung = 0
+            prev_rho = rho
+
+            # Per-rung bindings (a promotion above replaces these).
+            Q = self.Q
+            basis_dtype = self.policy.krylov_basis.dtype
 
             # Start a restart cycle (lines 11-13).
             qr.start(rho)
@@ -269,6 +408,7 @@ class GMRESIRSolver:
                 stats.implicit_history.append(rho_implicit / rho0)
                 if rho_implicit <= abs_tol:
                     break  # lines 15-17: implicit convergence
+            cycles_at_rung += 1
 
             stats.cycle_lengths.append(k)
             if k > 0:
@@ -281,8 +421,16 @@ class GMRESIRSolver:
                 with timers.section("waxpby"):
                     np.add(x, z, out=x)  # fp64 update mandated
             elif stats.breakdown:
-                # Breakdown with an empty cycle: low precision cannot
-                # extend the basis at all; further restarts would spin.
+                # Breakdown with an empty cycle: this precision cannot
+                # extend the basis at all.  With rungs left on the
+                # ladder, promote and retry; otherwise further restarts
+                # would spin.
+                if self.escalation.enabled and self.policy.can_promote:
+                    self._promote(stats, rho, "breakdown")
+                    stats.breakdown = False
+                    cycles_at_rung = 0
+                    prev_rho = None
+                    continue
                 break
 
         # Final true residual (covers the maxiter and breakdown exits).
@@ -305,10 +453,17 @@ def gmres_solve(
     tol: float = 1e-9,
     maxiter: int = 300,
     ortho: str = "cgs2",
+    escalation: "EscalationConfig | bool | None" = None,
 ) -> tuple[np.ndarray, SolverStats]:
     """One-shot convenience wrapper around :class:`GMRESIRSolver`."""
     solver = GMRESIRSolver(
-        problem, comm, policy=policy, mg_config=mg_config, restart=restart, ortho=ortho
+        problem,
+        comm,
+        policy=policy,
+        mg_config=mg_config,
+        restart=restart,
+        ortho=ortho,
+        escalation=escalation,
     )
     rhs = problem.b if b is None else b
     return solver.solve(rhs, tol=tol, maxiter=maxiter)

@@ -76,8 +76,16 @@ class SwitchedGMRESSolver:
             if switch_tol is not None
             else 100.0 * low_policy.low.eps
         )
+        # Escalation stays off: switching (not in-solver promotion) is
+        # this strategy's whole design point — the low stage runs to its
+        # threshold and hands over.
         self.low_solver = GMRESIRSolver(
-            problem, comm, policy=low_policy, mg_config=mg_config, restart=restart
+            problem,
+            comm,
+            policy=low_policy,
+            mg_config=mg_config,
+            restart=restart,
+            escalation=False,
         )
         self.high_solver = GMRESIRSolver(
             problem, comm, policy=DOUBLE_POLICY, mg_config=mg_config, restart=restart

@@ -21,6 +21,12 @@ from repro.sparse.formats import (
     matrix_format_of,
     to_format,
 )
+from repro.sparse.scaled import (
+    ScaledELLMatrix,
+    equilibrated_half,
+    row_equilibration_scales,
+    to_precision,
+)
 from repro.sparse.coloring import (
     greedy_coloring,
     jpl_coloring,
@@ -48,6 +54,10 @@ __all__ = [
     "known_formats",
     "matrix_format_of",
     "to_format",
+    "ScaledELLMatrix",
+    "equilibrated_half",
+    "row_equilibration_scales",
+    "to_precision",
     "greedy_coloring",
     "jpl_coloring",
     "structured_coloring8",

@@ -1,6 +1,12 @@
 """Trace events and exporters (rocprof-style timelines, Figure 9)."""
 
-from repro.trace.events import TraceEvent, Timeline
+from repro.trace.events import TraceEvent, Timeline, promotions_to_timeline
 from repro.trace.exporter import to_chrome_json, to_ascii
 
-__all__ = ["TraceEvent", "Timeline", "to_chrome_json", "to_ascii"]
+__all__ = [
+    "TraceEvent",
+    "Timeline",
+    "promotions_to_timeline",
+    "to_chrome_json",
+    "to_ascii",
+]

@@ -81,3 +81,34 @@ class Timeline:
         if cur_e is not None:
             total += cur_e - cur_s
         return total
+
+
+def promotions_to_timeline(
+    promotions, rank: int = 0, stream: str = "precision"
+) -> Timeline:
+    """Ladder promotions as instant (zero-duration) timeline markers.
+
+    ``promotions`` is any iterable of promotion records exposing
+    ``iteration``, ``reason``, ``from_low`` and ``to_low`` (what
+    :class:`repro.solvers.gmres_ir.SolverStats` collects — duck-typed
+    here so the trace layer keeps no solver import).  The time axis is
+    the inner-iteration count, matching the convergence-history plots
+    these markers annotate; the exporters render zero-width spans as
+    instant events.
+    """
+    tl = Timeline()
+    for p in promotions:
+        t = float(p.iteration)
+        tl.add(
+            TraceEvent(
+                rank=rank,
+                stream=stream,
+                name=(
+                    f"promote[{p.reason}] "
+                    f"{p.from_low.short_name}->{p.to_low.short_name}"
+                ),
+                start=t,
+                end=t,
+            )
+        )
+    return tl

@@ -96,6 +96,77 @@ class TestRegistry:
         monkeypatch.delenv("REPRO_BACKEND")
         assert reg.autoselect_backend() == "fast"
 
+    def test_resolution_precedence_full_chain(self):
+        """Most-specific key wins: (fmt, prec) beats (fmt, None) beats
+        (None, prec) beats the full wildcard."""
+        reg = self.make_registry()
+
+        @reg.register("spmv")
+        def full_wildcard(*a, **kw):
+            pass
+
+        @reg.register("spmv", precision="fp16")
+        def prec_wildcard(*a, **kw):
+            pass
+
+        @reg.register("spmv", fmt="ell")
+        def fmt_wildcard(*a, **kw):
+            pass
+
+        @reg.register("spmv", fmt="ell", precision="fp16")
+        def exact(*a, **kw):
+            pass
+
+        assert reg.lookup("spmv", "ell", "fp16") is exact
+        assert reg.lookup("spmv", "ell", "fp64") is fmt_wildcard
+        assert reg.lookup("spmv", "csr", "fp16") is prec_wildcard
+        assert reg.lookup("spmv", "csr", "fp64") is full_wildcard
+        assert reg.lookup("spmv", None, None) is full_wildcard
+
+    def test_format_wildcard_beats_precision_wildcard(self):
+        """When both partial wildcards match, the format-specific
+        registration wins (it sits earlier in the chain)."""
+        reg = self.make_registry()
+
+        @reg.register("spmv", fmt="ell")
+        def fmt_wildcard(*a, **kw):
+            pass
+
+        @reg.register("spmv", precision="fp16")
+        def prec_wildcard(*a, **kw):
+            pass
+
+        assert reg.lookup("spmv", "ell", "fp16") is fmt_wildcard
+
+    def test_env_override_beats_priority_autodetection(self, monkeypatch):
+        """REPRO_BACKEND wins over priority-based auto-detection even
+        when a much higher-priority backend is registered."""
+        reg = self.make_registry()
+        reg.register_backend("turbo", priority=1000)
+        reg.register_backend("slowpoke", priority=-5)
+        monkeypatch.setenv("REPRO_BACKEND", "slowpoke")
+        assert reg.autoselect_backend() == "slowpoke"
+        assert reg.active_backend == "slowpoke"
+        monkeypatch.setenv("REPRO_BACKEND", "missing")
+        with pytest.raises(KernelNotFoundError, match="missing"):
+            reg.autoselect_backend()
+
+    def test_fp16_kernels_registered_in_process_registry(self):
+        """The fp16 rung resolves precision-specific kernels for every
+        storage format (not the generic wildcard)."""
+        from repro.backends.registry import registry as proc_reg
+        from repro.backends import numpy_backend
+
+        for fmt, expected in [
+            ("ell", numpy_backend.spmv_ell_fp16),
+            ("csr", numpy_backend.spmv_csr_fp16),
+            ("sellcs", numpy_backend.spmv_sellcs_fp16),
+        ]:
+            assert (
+                proc_reg.lookup("spmv", fmt, "fp16", backend="numpy")
+                is expected
+            )
+
     def test_process_registry_has_all_formats(self):
         assert set(registered_formats()) >= {"csr", "ell", "sellcs"}
         assert "numpy" in available_backends()

@@ -56,9 +56,23 @@ class TestPrecision:
         with pytest.raises(ValueError):
             Precision.from_any("quad")
 
+    def test_from_any_error_lists_valid_names(self):
+        """Unknown specs like "bf16" get a helpful error naming every
+        accepted spelling, not a bare KeyError."""
+        with pytest.raises(ValueError) as exc:
+            Precision.from_any("bf16")
+        msg = str(exc.value)
+        assert "bf16" in msg
+        for name in ("fp16", "fp32", "fp64", "half", "single", "double"):
+            assert name in msg
+
     def test_from_any_rejects_int_dtype(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="fp64"):
             Precision.from_any(np.int32)
+
+    def test_from_any_rejects_non_dtype_object(self):
+        with pytest.raises(ValueError, match="fp16"):
+            Precision.from_any(object())
 
     def test_short_name(self):
         assert Precision.SINGLE.short_name == "fp32"
@@ -119,3 +133,13 @@ class TestPrecisionPolicy:
     def test_policy_is_frozen(self):
         with pytest.raises(AttributeError):
             DOUBLE_POLICY.matrix = Precision.SINGLE
+
+    def test_preconditioner_is_fine_level_of_schedule(self):
+        assert DOUBLE_POLICY.mg_levels == (Precision.DOUBLE,)
+        assert MIXED_DS_POLICY.mg_levels == (Precision.SINGLE,)
+        assert MIXED_DS_POLICY.preconditioner is MIXED_DS_POLICY.mg_levels[0]
+
+    def test_with_mg_schedule(self):
+        p = DOUBLE_POLICY.with_mg_schedule("fp32:fp64")
+        assert p.mg_levels == (Precision.SINGLE, Precision.DOUBLE)
+        assert p.matrix is Precision.DOUBLE  # only the schedule changed

@@ -69,7 +69,12 @@ class TestSymmetricMatrix:
         x = rng.standard_normal(problem_rect.nlocal)
         y1 = problem_rect.A.spmv(x)
         y2 = stencil_apply_dense(problem_rect.sub.global_grid, x)
-        np.testing.assert_allclose(y1, y2, rtol=1e-13)
+        # atol floor scaled to the output: an individual entry may be a
+        # near-complete cancellation, where elementwise rtol alone is
+        # unsatisfiable at any summation order.
+        np.testing.assert_allclose(
+            y1, y2, rtol=1e-13, atol=1e-13 * np.abs(y2).max()
+        )
 
     def test_spd(self, problem8):
         """The symmetric matrix is positive definite (CG's requirement)."""
