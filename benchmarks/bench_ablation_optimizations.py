@@ -78,7 +78,11 @@ def test_ablation_model(benchmark):
         assert by_name[name][1] <= by_name["optimized (all on)"][1] + 1e-9, name
     # The smoother strategy is the single largest lever (launch-bound
     # wavefronts), and the all-off reference is the worst.
-    losses = {name: 1 - r[3] for name, r in by_name.items() if name != "optimized (all on)"}
+    losses = {
+        name: 1 - r[3]
+        for name, r in by_name.items()
+        if name != "optimized (all on)"
+    }
     assert losses["level-scheduled GS"] == max(
         v for k, v in losses.items() if k != "reference (all off)"
     )

@@ -16,7 +16,10 @@ from repro.stencil import generate_problem
 
 def test_table1_parameters(benchmark):
     cfg = BenchmarkConfig(local_nx=32, nranks=1)
-    rows = [[name, str(official), str(actual)] for name, (official, actual) in cfg.table1().items()]
+    rows = [
+        [name, str(official), str(actual)]
+        for name, (official, actual) in cfg.table1().items()
+    ]
     print_table(
         "Table 1: HPG-MxP parameters (official | this run)",
         ["parameter", "official", "this run"],

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI regression gate for the distributed benchmark phase.
+
+Compares a freshly-measured benchmark record (written by
+``python -m repro run --distributed ... --bench-out BENCH_ci.json``)
+against the committed baseline and fails (exit 1) when a tracked
+metric regresses by more than the threshold:
+
+- ``comm_bytes_per_iteration`` — measured halo + collective bytes per
+  inner iteration.  Deterministic for a given configuration, so any
+  increase is a real traffic regression (e.g. a layout change that
+  re-ships ghost values, or an extra exchange on the hot path).
+- ``model_bytes_per_cycle`` — the byte model's per-restart-cycle total
+  (HBM streams plus halo at rung widths).  Also deterministic.
+- ``seconds_per_solve`` — wall clock per solve.  Noisy on shared CI
+  runners, hence the generous default threshold; the byte metrics are
+  the precise tripwires, the wall clock catches order-of-magnitude
+  slips (an accidentally-quadratic setup, a lost overlap).
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_ci.json \
+        --baseline benchmarks/BENCH_baseline.json --threshold 0.2
+
+A current value *below* baseline never fails; the script prints a
+reminder to refresh the committed baseline when the improvement
+exceeds the threshold (so future regressions are measured from the
+better number).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Metric -> whether CI noise is expected (affects only the message).
+TRACKED_METRICS = {
+    "comm_bytes_per_iteration": False,
+    "model_bytes_per_cycle": False,
+    "seconds_per_solve": True,
+}
+
+
+def compare(
+    current: dict, baseline: dict, threshold: float
+) -> tuple[list[str], list[str]]:
+    """Return (failures, notes) comparing tracked metrics."""
+    failures: list[str] = []
+    notes: list[str] = []
+    for key, noisy in TRACKED_METRICS.items():
+        if key not in baseline:
+            notes.append(f"baseline has no {key!r}; skipped")
+            continue
+        if key not in current:
+            failures.append(f"current record is missing {key!r}")
+            continue
+        base = float(baseline[key])
+        cur = float(current[key])
+        if base <= 0:
+            notes.append(f"{key}: baseline {base} not positive; skipped")
+            continue
+        ratio = cur / base
+        tag = " (noisy)" if noisy else ""
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{key}: {cur:.6g} vs baseline {base:.6g} "
+                f"(+{(ratio - 1) * 100:.1f}% > {threshold * 100:.0f}%){tag}"
+            )
+        elif ratio < 1.0 - threshold:
+            notes.append(
+                f"{key}: improved {(1 - ratio) * 100:.1f}% "
+                f"({cur:.6g} vs {base:.6g}) — consider refreshing the baseline"
+            )
+        else:
+            notes.append(f"{key}: {cur:.6g} vs {base:.6g} (ok)")
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly measured record (JSON)")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_baseline.json",
+        help="committed baseline record",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="allowed relative regression (0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    bcfg, ccfg = baseline.get("config"), current.get("config")
+    if bcfg and ccfg and bcfg != ccfg:
+        print(f"warning: config mismatch\n  baseline: {bcfg}\n  current:  {ccfg}")
+
+    failures, notes = compare(current, baseline, args.threshold)
+    for n in notes:
+        print(f"  {n}")
+    if failures:
+        print("REGRESSION:")
+        for fmsg in failures:
+            print(f"  {fmsg}")
+        return 1
+    print("no regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

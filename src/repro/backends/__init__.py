@@ -42,6 +42,7 @@ from repro.backends.workspace import Workspace, default_workspace
 # Importing the backend modules populates the registry; numpy first
 # (the guaranteed fallback), then optional accelerated backends.
 from repro.backends import numpy_backend  # noqa: E402,F401
+from repro.backends import partitioned_ops  # noqa: E402,F401
 from repro.backends import numba_backend  # noqa: E402,F401
 
 registry.autoselect_backend()
@@ -54,6 +55,8 @@ from repro.backends.dispatch import (  # noqa: E402
     matrix_format,
     prolong,
     spmv,
+    spmv_boundary,
+    spmv_interior,
     spmv_rows,
     symgs_sweep,
     waxpby,
@@ -78,6 +81,8 @@ __all__ = [
     "registry",
     "set_backend",
     "spmv",
+    "spmv_boundary",
+    "spmv_interior",
     "spmv_rows",
     "symgs_sweep",
     "waxpby",

@@ -53,6 +53,18 @@ def spmv_rows(A, rows: np.ndarray, x: np.ndarray, out=None, ws=None):
     return fn(A, rows, x, out=out, ws=ws)
 
 
+def spmv_interior(P, x: np.ndarray, out=None, ws=None):
+    """Interior-rows half of a partitioned SpMV (overlap schedule)."""
+    fn = registry.lookup("spmv_interior", matrix_format(P), _prec(P.dtype))
+    return fn(P, x, out=out, ws=ws)
+
+
+def spmv_boundary(P, x: np.ndarray, out=None, ws=None):
+    """Boundary-rows half of a partitioned SpMV (after the halo lands)."""
+    fn = registry.lookup("spmv_boundary", matrix_format(P), _prec(P.dtype))
+    return fn(P, x, out=out, ws=ws)
+
+
 def symgs_sweep(
     A,
     r: np.ndarray,

@@ -1,0 +1,83 @@
+"""Registry ops for the ghost-aware partitioned format.
+
+``spmv_interior`` / ``spmv_boundary`` are the two halves of the
+distributed overlap schedule (§3.2.3): interior rows touch no ghost
+column and compute while the halo is in flight; boundary rows run
+after the ghosts land in the vector tail.  Each half is one
+*full-matrix* kernel on the corresponding row block — the inner
+``spmv`` lookup re-dispatches on the block's own (format, precision)
+key, so every storage layout and every ladder rung (including the
+row-equilibrated fp16 kernels) is served by these three registrations
+without further per-format code.
+
+The non-overlapped ``spmv`` on a partitioned matrix is, by
+construction, the same two block kernels run back to back: the
+overlapped and sequential schedules execute identical arithmetic in
+identical order and are therefore bitwise-equal — the property the
+overlap-correctness tests assert.
+
+Contract: ``out`` (when given) is the full owned-length result vector;
+each half scatters only its own rows.  With ``ws`` the block results
+land in pooled buffers keyed by region, so the distributed SpMV is
+allocation-free after warmup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.registry import register
+
+
+def _block_spmv_into(P, region: str, xfull, y, ws) -> None:
+    """Run one region's block SpMV and scatter into the full result."""
+    from repro.backends.dispatch import spmv
+
+    blk = P.interior if region == "interior" else P.boundary
+    rows = P.interior_rows if region == "interior" else P.boundary_rows
+    m = len(rows)
+    if m == 0:
+        return
+    if ws is None:
+        y[rows] = spmv(blk, xfull)
+        return
+    s = ws.get(("part.spmv", region), (m,), blk.dtype)
+    spmv(blk, xfull, out=s, ws=ws)
+    y[rows] = s
+
+
+def _result_buffer(P, out, ws):
+    if out is not None:
+        return out
+    if ws is not None:
+        return ws.get("part.spmv.y", (P.nlocal,), P.dtype)
+    return np.empty(P.nlocal, dtype=P.dtype)
+
+
+@register("spmv_interior", fmt="partitioned")
+def spmv_interior_partitioned(P, xfull, out=None, ws=None):
+    """Interior-rows half of the product (no ghost columns touched)."""
+    y = _result_buffer(P, out, ws)
+    _block_spmv_into(P, "interior", xfull, y, ws)
+    return y
+
+
+@register("spmv_boundary", fmt="partitioned")
+def spmv_boundary_partitioned(P, xfull, out=None, ws=None):
+    """Boundary-rows half of the product (requires landed ghosts)."""
+    y = _result_buffer(P, out, ws)
+    _block_spmv_into(P, "boundary", xfull, y, ws)
+    return y
+
+
+@register("spmv", fmt="partitioned")
+def spmv_partitioned(P, xfull, out=None, ws=None):
+    """Full product: the two region kernels back to back."""
+    if xfull.shape[0] != P.ncols:
+        raise ValueError(
+            f"x has {xfull.shape[0]} entries, matrix has {P.ncols} columns"
+        )
+    y = _result_buffer(P, out, ws)
+    _block_spmv_into(P, "interior", xfull, y, ws)
+    _block_spmv_into(P, "boundary", xfull, y, ws)
+    return y

@@ -60,6 +60,35 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--max-iters", type=int, default=40, help="iterations per solve")
     p.add_argument("--num-solves", type=int, default=1)
     p.add_argument("--validation-max-iters", type=int, default=500)
+    p.add_argument(
+        "--no-overlap",
+        action="store_true",
+        help="disable the interior/boundary halo-compute overlap",
+    )
+    p.add_argument(
+        "--distributed",
+        type=str,
+        default=None,
+        metavar="PXxPYxPZ",
+        help="also run the distributed phase on this SPMD process grid "
+        "(weak-scaling-shaped: the same local box per rank) under a "
+        "wall-clock budget",
+    )
+    p.add_argument(
+        "--distributed-budget",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="wall-clock budget for the distributed phase",
+    )
+    p.add_argument(
+        "--bench-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the distributed-phase benchmark record (JSON) here "
+        "for benchmarks/check_regression.py",
+    )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.add_argument("--save", type=str, default=None,
                    help="write the official-style results document here")
@@ -75,6 +104,9 @@ def cmd_run(args) -> int:
         save_results_document,
     )
 
+    if args.bench_out and not args.distributed:
+        print("--bench-out requires --distributed", file=sys.stderr)
+        return 2
     config = BenchmarkConfig(
         local_nx=args.local_nx,
         nranks=args.nranks,
@@ -86,6 +118,9 @@ def cmd_run(args) -> int:
         max_iters_per_solve=args.max_iters,
         num_solves=args.num_solves,
         validation_max_iters=args.validation_max_iters,
+        overlap=False if args.no_overlap else "auto",
+        distributed_grid=args.distributed,
+        distributed_budget_seconds=args.distributed_budget,
     )
     result = run_benchmark(config)
     if args.json:
@@ -96,6 +131,22 @@ def cmd_run(args) -> int:
     if args.save:
         save_results_document(result, args.save)
         print(f"\nwrote results document to {args.save}")
+    if args.bench_out:
+        record = {
+            "config": {
+                "local_dims": list(config.local_dims),
+                "grid": args.distributed,
+                "impl": config.impl,
+                "matrix_format": config.matrix_format,
+                "precision_ladder": config.precision_ladder,
+                "restart": config.restart,
+                "max_iters_per_solve": config.max_iters_per_solve,
+            },
+            **result.distributed.to_dict(),
+        }
+        with open(args.bench_out, "w") as f:
+            json.dump(record, f, indent=1)
+        print(f"wrote benchmark record to {args.bench_out}")
     return 0
 
 

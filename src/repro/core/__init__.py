@@ -5,8 +5,18 @@ implementation with both validation modes, plus the HPCG driver used
 for the cross-benchmark comparison in §4.1.
 """
 
-from repro.core.config import BenchmarkConfig, OFFICIAL_TABLE1
-from repro.core.benchmark import BenchmarkResult, HPGMxPBenchmark, run_benchmark
+from repro.core.config import (
+    BenchmarkConfig,
+    OFFICIAL_TABLE1,
+    parse_process_grid,
+)
+from repro.core.benchmark import (
+    BenchmarkResult,
+    DistributedPhaseMetrics,
+    HPGMxPBenchmark,
+    run_benchmark,
+    run_distributed_phase,
+)
 from repro.core.validation import ValidationResult, run_validation
 from repro.core.metrics import PhaseMetrics, motif_speedups, penalty_factor
 from repro.core.hpcg import HPCGBenchmark, HPCGConfig, HPCGResult, run_hpcg
@@ -36,9 +46,12 @@ from repro.core.compliance import (
 __all__ = [
     "BenchmarkConfig",
     "OFFICIAL_TABLE1",
+    "parse_process_grid",
     "BenchmarkResult",
+    "DistributedPhaseMetrics",
     "HPGMxPBenchmark",
     "run_benchmark",
+    "run_distributed_phase",
     "ValidationResult",
     "run_validation",
     "PhaseMetrics",

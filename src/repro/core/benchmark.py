@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.core.config import BenchmarkConfig
+from repro.core.config import BenchmarkConfig, parse_process_grid
 from repro.core.flops import (
     flops_gmres_solve,
     hierarchy_dims,
@@ -36,6 +36,49 @@ from repro.util.timers import MotifTimers
 
 
 @dataclass
+class DistributedPhaseMetrics:
+    """Outcome of the wall-clock-budget distributed (SPMD) phase.
+
+    ``comm_bytes_per_iteration`` is *measured* (the slowest rank's halo
+    + collective traffic divided by inner iterations) and
+    ``model_bytes_per_cycle`` is the byte model's per-restart-cycle
+    total (HBM + halo at rung widths) — the two quantities the CI
+    regression gate tracks, next to the noisy per-solve wall clock.
+    """
+
+    grid: tuple[int, int, int]
+    nranks: int
+    wall_seconds: float
+    solves: int
+    iterations: int
+    seconds_by_motif: dict[str, float]
+    send_bytes: int
+    allreduce_bytes: int
+    comm_bytes_per_iteration: float
+    model_bytes_per_cycle: float
+    overlap: bool = True
+
+    @property
+    def seconds_per_solve(self) -> float:
+        return self.wall_seconds / self.solves if self.solves else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "grid": list(self.grid),
+            "nranks": self.nranks,
+            "wall_seconds": self.wall_seconds,
+            "solves": self.solves,
+            "iterations": self.iterations,
+            "seconds_per_solve": self.seconds_per_solve,
+            "send_bytes": self.send_bytes,
+            "allreduce_bytes": self.allreduce_bytes,
+            "comm_bytes_per_iteration": self.comm_bytes_per_iteration,
+            "model_bytes_per_cycle": self.model_bytes_per_cycle,
+            "overlap": self.overlap,
+        }
+
+
+@dataclass
 class BenchmarkResult:
     """Everything a benchmark run produces."""
 
@@ -45,6 +88,7 @@ class BenchmarkResult:
     double: PhaseMetrics
     setup_seconds: float = 0.0
     speedups: dict[str, float] = field(default_factory=dict)
+    distributed: DistributedPhaseMetrics | None = None
 
     @property
     def speedup(self) -> float:
@@ -74,6 +118,7 @@ def _phase_worker(
         timers=timers,
         matrix_format=config.matrix_format,
         escalation=config.escalation_config(),
+        overlap=config.overlap,
     )
     setup_seconds = time.perf_counter() - t_setup0
 
@@ -148,6 +193,121 @@ def _merge_phase(
     return metrics, setup
 
 
+def _distributed_worker(
+    comm: Communicator,
+    config: BenchmarkConfig,
+    policy: PrecisionPolicy,
+    proc_shape: tuple[int, int, int],
+) -> dict:
+    """One rank of the distributed phase: overlapped solves on a budget."""
+    proc = ProcessGrid(*proc_shape)
+    sub = Subdomain(BoxGrid(*config.local_dims), proc, comm.rank)
+    problem = generate_problem(sub, spec=ProblemSpec(kind=config.matrix_kind))
+    timers = MotifTimers()
+    solver = GMRESIRSolver(
+        problem,
+        comm,
+        policy=policy,
+        mg_config=config.mg_config(),
+        restart=config.restart,
+        ortho=config.ortho,
+        timers=timers,
+        matrix_format=config.matrix_format,
+        escalation=config.escalation_config(),
+        overlap=config.overlap,
+    )
+    # Warmup solve: populates every workspace buffer and transport
+    # freelist, so the timed loop below runs allocation-free.  Both the
+    # comm counters and the motif timers restart afterwards, so every
+    # reported quantity covers exactly the timed window.
+    solver.solve(problem.b, tol=0.0, maxiter=min(config.restart, 10))
+    comm.stats.reset()
+    timers.reset()
+    comm.barrier()
+    t0 = time.perf_counter()
+    iterations = 0
+    solves = 0
+    while True:
+        _, stats = solver.solve(
+            problem.b, tol=0.0, maxiter=config.max_iters_per_solve
+        )
+        iterations += stats.iterations
+        solves += 1
+        # All ranks agree on the budget via the rank-0 clock (the
+        # official wall-clock-budget semantics).
+        elapsed = comm.bcast(time.perf_counter() - t0, root=0)
+        if elapsed >= config.distributed_budget_seconds:
+            break
+    comm.barrier()
+    wall = time.perf_counter() - t0
+    return {
+        "wall": wall,
+        "iterations": iterations,
+        "solves": solves,
+        "seconds_by_motif": dict(timers.seconds),
+        "send_bytes": comm.stats.send_bytes,
+        "allreduce_bytes": comm.stats.allreduce_bytes,
+        "overlap": solver.overlap,
+    }
+
+
+def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
+    """Run the weak-scaling-shaped distributed phase (``--distributed``).
+
+    Launches the configured ``PXxPYxPZ`` process grid on the
+    thread-SPMD runtime — every rank owning the same local box, the
+    zero-allocation halo pipeline overlapped per ``config.overlap``
+    (``"auto"``, the default, overlaps whenever ranks > 1) — and
+    repeats whole mxp solves until the wall-clock budget is spent.
+    """
+    if config.distributed_grid is None:
+        raise ValueError("config.distributed_grid is not set")
+    shape = parse_process_grid(config.distributed_grid)
+    nranks = shape[0] * shape[1] * shape[2]
+    policy = config.mixed_policy()
+    if nranks == 1:
+        records = [_distributed_worker(SerialComm(), config, policy, shape)]
+    else:
+        records = run_spmd(nranks, _distributed_worker, config, policy, shape)
+
+    motifs: dict[str, float] = {}
+    for rec in records:
+        for m, s in rec["seconds_by_motif"].items():
+            motifs[m] = max(motifs.get(m, 0.0), s)
+    wall = max(rec["wall"] for rec in records)
+    send_bytes = max(rec["send_bytes"] for rec in records)
+    allreduce_bytes = max(rec["allreduce_bytes"] for rec in records)
+    iterations = records[0]["iterations"]
+    comm_per_iter = (
+        (send_bytes + allreduce_bytes) / iterations if iterations else 0.0
+    )
+
+    from repro.perf.scaling import ScalingModel
+
+    model = ScalingModel(
+        local_dims=config.local_dims,
+        impl=config.impl,
+        restart=config.restart,
+        nlevels=config.nlevels,
+        matrix_format=config.matrix_format,
+    )
+    model_bytes = model.cycle_traffic_bytes(policy)["total"]
+
+    return DistributedPhaseMetrics(
+        grid=shape,
+        nranks=nranks,
+        wall_seconds=wall,
+        solves=records[0]["solves"],
+        iterations=iterations,
+        seconds_by_motif=motifs,
+        send_bytes=send_bytes,
+        allreduce_bytes=allreduce_bytes,
+        comm_bytes_per_iteration=comm_per_iter,
+        model_bytes_per_cycle=model_bytes,
+        overlap=records[0]["overlap"],
+    )
+
+
 class HPGMxPBenchmark:
     """Top-level benchmark: validation + timed mxp + timed double."""
 
@@ -173,6 +333,9 @@ class HPGMxPBenchmark:
         double, setup_dbl = _merge_phase("double", cfg, dbl_records, 1.0)
 
         speedups = motif_speedups(mxp, double)
+        distributed = (
+            run_distributed_phase(cfg) if cfg.distributed_grid else None
+        )
         return BenchmarkResult(
             config=cfg,
             validation=validation,
@@ -180,6 +343,7 @@ class HPGMxPBenchmark:
             double=double,
             setup_seconds=max(setup_mxp, setup_dbl),
             speedups=speedups,
+            distributed=distributed,
         )
 
 

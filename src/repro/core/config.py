@@ -15,6 +15,25 @@ from repro.fp.policy import DOUBLE_POLICY, PrecisionPolicy
 from repro.fp.precision import Precision
 from repro.mg.multigrid import MGConfig
 
+
+def parse_process_grid(spec: str) -> tuple[int, int, int]:
+    """Parse a ``"PXxPYxPZ"`` process-grid spec (e.g. ``"2x2x1"``)."""
+    parts = spec.lower().split("x")
+    if len(parts) != 3:
+        raise ValueError(
+            f"bad process grid {spec!r}; expected PXxPYxPZ (e.g. 2x2x1)"
+        )
+    try:
+        dims = tuple(int(p) for p in parts)
+    except ValueError:
+        raise ValueError(
+            f"bad process grid {spec!r}; dims must be integers"
+        ) from None
+    if min(dims) < 1:
+        raise ValueError(f"bad process grid {spec!r}; dims must be >= 1")
+    return dims
+
+
 #: Official parameter values from Table 1 of the paper.
 OFFICIAL_TABLE1 = {
     "Restart length": 30,
@@ -89,6 +108,18 @@ class BenchmarkConfig:
     #: reference -> csr).  Resolved to a concrete format name at
     #: construction.
     matrix_format: str = "auto"
+    #: Overlap interior SpMV with the halo exchange through the
+    #: ghost-aware partitioned layout.  ``"auto"`` enables the overlap
+    #: whenever a phase runs on more than one rank; ``True``/``False``
+    #: force it (the single-rank ``True`` case exercises the schedule
+    #: with an empty boundary, useful for validation).
+    overlap: "bool | str" = "auto"
+    #: Optional ``"PXxPYxPZ"`` process grid for the distributed phase:
+    #: a weak-scaling-shaped run (same local box per rank) on the
+    #: thread-SPMD runtime with the overlapped halo pipeline, repeated
+    #: until ``distributed_budget_seconds`` of wall clock is spent.
+    distributed_grid: str | None = None
+    distributed_budget_seconds: float = 1.0
 
     @staticmethod
     def _auto_format(impl: str) -> str:
@@ -120,6 +151,14 @@ class BenchmarkConfig:
             )
         if self.precision_ladder is not None:
             parse_ladder(self.precision_ladder)  # fail fast on bad specs
+        if self.overlap not in (True, False, "auto"):
+            raise ValueError(
+                f"overlap must be True, False or 'auto', got {self.overlap!r}"
+            )
+        if self.distributed_grid is not None:
+            parse_process_grid(self.distributed_grid)  # fail fast
+            if self.distributed_budget_seconds <= 0:
+                raise ValueError("distributed_budget_seconds must be positive")
 
     # ------------------------------------------------------------------
     @property
@@ -141,6 +180,18 @@ class BenchmarkConfig:
     def nodes(self) -> float:
         """Node count implied by nranks (GCDs) and gcds_per_node."""
         return self.nranks / self.gcds_per_node
+
+    @property
+    def distributed_shape(self) -> tuple[int, int, int] | None:
+        """Parsed distributed-phase process grid, or None."""
+        if self.distributed_grid is None:
+            return None
+        return parse_process_grid(self.distributed_grid)
+
+    @property
+    def distributed_ranks(self) -> int:
+        shape = self.distributed_shape
+        return shape[0] * shape[1] * shape[2] if shape else 0
 
     def mg_config(self) -> MGConfig:
         """Multigrid configuration implied by the impl choice."""

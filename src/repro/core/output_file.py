@@ -120,7 +120,11 @@ def parse_results_document(text: str) -> dict:
             stack.append((indent, child))
         else:
             try:
-                parent[key] = float(value) if "." in value or "e" in value.lower() else int(value)
+                parent[key] = (
+                    float(value)
+                    if "." in value or "e" in value.lower()
+                    else int(value)
+                )
             except ValueError:
                 parent[key] = value
     return root

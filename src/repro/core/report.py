@@ -27,7 +27,10 @@ def format_report(result: BenchmarkResult) -> str:
     add(f"  double GMRES iterations (n_d): {val.n_d}")
     add(f"  GMRES-IR iterations (n_ir):    {val.n_ir}")
     add(f"  ratio n_d/n_ir: {val.ratio:.4f}   penalty applied: {val.penalty:.4f}")
-    add(f"  double relres: {val.double_relres:.3e}  (converged: {val.double_converged})")
+    add(
+        f"  double relres: {val.double_relres:.3e}  "
+        f"(converged: {val.double_converged})"
+    )
     add(f"  mxp relres:    {val.ir_relres:.3e}  (converged: {val.ir_converged})")
     if val.target_residual is not None:
         add(f"  fullscale target residual: {val.target_residual:.3e}")
@@ -49,6 +52,20 @@ def format_report(result: BenchmarkResult) -> str:
     add("[Speedups mxp vs double]  (penalized GFLOP/s ratio)")
     for m, v in sorted(result.speedups.items()):
         add(f"  {m:<9} {v:.3f}x")
+    if result.distributed is not None:
+        d = result.distributed
+        add("")
+        pipeline = "overlapped" if d.overlap else "sequential"
+        add(
+            f"[Phase: distributed]  grid {d.grid[0]}x{d.grid[1]}x{d.grid[2]}"
+            f" ({d.nranks} rank(s)), {pipeline} halo pipeline"
+        )
+        add(
+            f"  wall seconds: {d.wall_seconds:.3f}  "
+            f"({d.solves} solve(s), {d.iterations} iterations)"
+        )
+        add(f"  comm bytes/iteration (measured): {d.comm_bytes_per_iteration:.0f}")
+        add(f"  model bytes/cycle (HBM+halo):    {d.model_bytes_per_cycle:.0f}")
     return "\n".join(lines)
 
 
@@ -86,4 +103,7 @@ def result_to_dict(result: BenchmarkResult) -> dict:
             "iterations": result.double.iterations,
         },
         "speedups": dict(result.speedups),
+        "distributed": (
+            result.distributed.to_dict() if result.distributed else None
+        ),
     }

@@ -113,7 +113,9 @@ class HaloPattern:
         """Total points packed per exchange (equals total received)."""
         return sum(len(ix) for ix in self.send_indices.values())
 
-    def ghost_columns(self, lx: np.ndarray, ly: np.ndarray, lz: np.ndarray) -> np.ndarray:
+    def ghost_columns(
+        self, lx: np.ndarray, ly: np.ndarray, lz: np.ndarray
+    ) -> np.ndarray:
         """Vectorized local-column lookup for out-of-box neighbor coords.
 
         Inputs are local coordinates that may lie one layer outside the

@@ -194,7 +194,9 @@ class Subdomain:
         )
 
     @classmethod
-    def serial(cls, nx: int, ny: int | None = None, nz: int | None = None) -> "Subdomain":
+    def serial(
+        cls, nx: int, ny: int | None = None, nz: int | None = None
+    ) -> "Subdomain":
         """Single-rank subdomain covering the whole grid (convenience)."""
         ny = nx if ny is None else ny
         nz = nx if nz is None else nz

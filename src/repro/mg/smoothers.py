@@ -80,7 +80,9 @@ class MulticolorGS(Smoother):
     Works with any matrix format that registers a ``spmv_rows`` kernel.
     """
 
-    def __init__(self, A, diag: np.ndarray, sets: list[np.ndarray], ws: Workspace | None = None):
+    def __init__(
+        self, A, diag: np.ndarray, sets: list[np.ndarray], ws: Workspace | None = None
+    ):
         self.A = A
         self.diag = diag
         self.sets = sets

@@ -24,6 +24,7 @@ from repro.parallel.collectives import (
     allreduce_rabenseifner,
     allreduce_recursive_doubling,
     allreduce_ring,
+    software_allreduce,
 )
 
 __all__ = [
@@ -43,4 +44,5 @@ __all__ = [
     "allreduce_rabenseifner",
     "allreduce_recursive_doubling",
     "allreduce_ring",
+    "software_allreduce",
 ]

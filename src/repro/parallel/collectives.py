@@ -158,6 +158,36 @@ ALLREDUCE_ALGORITHMS = {
     "rabenseifner": allreduce_rabenseifner,
 }
 
+#: Algorithms whose classic formulation requires power-of-two ranks.
+POWER_OF_TWO_ONLY = frozenset({"recursive_doubling", "rabenseifner"})
+
+
+def software_allreduce(
+    comm: Communicator, value: np.ndarray, algorithm: str = "recursive_doubling"
+) -> np.ndarray:
+    """Dispatch a software all-reduce with a rendezvous fallback.
+
+    The classic recursive-doubling and Rabenseifner formulations only
+    exist for power-of-two rank counts; a real MPI switches algorithms
+    in that case rather than failing.  This dispatcher does the same:
+    on a non-power-of-two communicator those algorithms fall back to
+    the built-in rendezvous all-reduce (which handles any ``p``),
+    instead of raising.  The ring algorithm runs at any rank count and
+    never falls back.
+    """
+    fn = ALLREDUCE_ALGORITHMS.get(algorithm)
+    if fn is None:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; "
+            f"known: {sorted(ALLREDUCE_ALGORITHMS)}"
+        )
+    p = comm.size
+    if p & (p - 1) and algorithm in POWER_OF_TWO_ONLY:
+        return comm.allreduce(
+            np.array(value, dtype=np.float64, copy=True), op="sum"
+        )
+    return fn(comm, value)
+
 
 def message_counts(algorithm: str, p: int) -> dict[str, float]:
     """Messages and relative volume per rank, for the cost model.

@@ -92,6 +92,24 @@ class Communicator(abc.ABC):
     def recv(self, source: int, tag: int) -> np.ndarray:
         """Receive the matching array from ``source``."""
 
+    def recv_into(self, source: int, tag: int, out: np.ndarray) -> None:
+        """Receive the matching message directly into ``out``.
+
+        ``out`` is typically a view of a larger vector (the halo path
+        hands the ghost-tail segment, so receives land in place with
+        zero unpack copies).  The default implementation receives and
+        copies; transports that pool their message buffers override it
+        to recycle them, making repeated exchanges allocation-free
+        after warmup.
+        """
+        data = self.recv(source, tag)
+        if data.shape != out.shape:
+            raise RuntimeError(
+                f"recv_into size mismatch from rank {source}: "
+                f"got {data.shape}, expected {out.shape}"
+            )
+        np.copyto(out, data)
+
     def isend(self, array: np.ndarray, dest: int, tag: int) -> "Request":
         """Nonblocking send.  The default implementation buffers the
         message eagerly (sends here never block), so the request is

@@ -1,11 +1,13 @@
 """Halo exchange over a communicator.
 
 Packs boundary values into per-neighbor messages, ships them, and
-unpacks incoming messages into the ghost segment of the full vector.
-With the queue-backed runtime sends are buffered and never block, so
-the exchange posts all sends first and then drains receives — the same
-structure as the paper's asynchronous scheme, where buffer packing and
-host-device copies run on a dedicated stream (§3.2.3).
+receives incoming messages *directly into* the ghost tail of the full
+vector (the ghost-column layout contract makes the vector segment the
+receive buffer — no unpack copy).  With the queue-backed runtime sends
+are buffered and never block, so the exchange posts all sends first
+and then drains receives — the same structure as the paper's
+asynchronous scheme, where buffer packing and host-device copies run
+on a dedicated stream (§3.2.3).
 
 The class also exposes the interior/boundary row split so callers can
 mirror the overlap pattern: compute interior rows, exchange, compute
@@ -79,37 +81,39 @@ class HaloExchange:
         self.exchange_finish(self.exchange_begin(xfull), xfull)
 
     def exchange_begin(self, xfull: np.ndarray) -> list:
-        """Post all receives and sends; return pending requests.
+        """Pack and post every send; return the pending receive plan.
 
         This is the paper's asynchronous structure (§3.2.3): the halo
         is put in flight, the caller computes interior rows, and
         :meth:`exchange_finish` lands the ghosts before boundary rows.
+        Sends are buffered (the transport copies into a recycled
+        message buffer before returning), so the pooled staging buffers
+        are immediately reusable and the whole begin/finish pair
+        allocates nothing after warmup.
         """
         if not self._plan:
             return []
         comm = self.comm
         pending = []
-        # Post receives first (classic nonblocking ordering) ...
-        for nb, _, _, recv_tag, ghost_slice in self._plan:
-            pending.append((comm.irecv(nb, recv_tag), nb, ghost_slice))
-        # ... then pack and post every send (buffered, non-blocking).
-        for i, (nb, send_idx, send_tag, _, _) in enumerate(self._plan):
+        for i, (nb, send_idx, send_tag, recv_tag, ghost_slice) in enumerate(
+            self._plan
+        ):
             buf = self.ws.get(("halo.send", i), (len(send_idx),), xfull.dtype)
             np.take(xfull, send_idx, out=buf, mode="clip")
             comm.isend(buf, nb, send_tag)
+            pending.append((nb, recv_tag, ghost_slice))
         return pending
 
     def exchange_finish(self, pending: list, xfull: np.ndarray) -> None:
-        """Wait for the posted receives and unpack the ghost blocks."""
-        for req, nb, ghost_slice in pending:
-            data = req.wait()
-            expected = ghost_slice.stop - ghost_slice.start
-            if data.shape[0] != expected:
-                raise RuntimeError(
-                    f"halo size mismatch from rank {nb}: "
-                    f"got {data.shape[0]}, expected {expected}"
-                )
-            xfull[ghost_slice] = data
+        """Land each neighbor's message directly in the ghost tail.
+
+        The ghost-tail layout *is* the receive buffer: each message is
+        received straight into its ``xfull`` segment (``recv_into``),
+        with no unpack staging.
+        """
+        comm = self.comm
+        for nb, recv_tag, ghost_slice in pending:
+            comm.recv_into(nb, recv_tag, xfull[ghost_slice])
 
     # Overlap split ---------------------------------------------------
     @property

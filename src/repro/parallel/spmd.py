@@ -33,6 +33,7 @@ class _SPMDContext:
         self.slots: list[Any] = [None] * size
         self._mail_lock = threading.Lock()
         self._mailboxes: dict[tuple[int, int, int], queue.Queue] = {}
+        self._freelists: dict[tuple, queue.Queue] = {}
         self.abort = threading.Event()
 
     def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
@@ -42,6 +43,30 @@ class _SPMDContext:
             if q is None:
                 q = queue.Queue()
                 self._mailboxes[key] = q
+            return q
+
+    def freelist(
+        self, src: int, dst: int, tag: int, shape: tuple, dtype
+    ) -> queue.Queue:
+        """Recycled transport buffers for one message species.
+
+        Keyed by shape and dtype as well as the channel (like
+        :class:`~repro.backends.workspace.Workspace` keys), because
+        several ``HaloExchange`` instances — the fp64 outer operator,
+        the fp16/fp32 inner one, every MG level — legitimately share
+        the same (src, dst, tag) with different message sizes; a
+        channel-only key would make them evict each other's buffer
+        every send.  Receivers that consume a message with
+        ``recv_into`` return its transport buffer here; the next
+        matching ``send`` reuses it instead of allocating — the steady
+        state of the halo path is then allocation-free.
+        """
+        key = (src, dst, tag, shape, dtype)
+        with self._mail_lock:
+            q = self._freelists.get(key)
+            if q is None:
+                q = queue.Queue()
+                self._freelists[key] = q
             return q
 
     def wait_barrier(self) -> None:
@@ -109,23 +134,53 @@ class ThreadComm(Communicator):
         self.stats.sends += 1
         self.stats.send_bytes += array.nbytes
         # Copy: the sender may overwrite its buffer immediately after,
-        # matching MPI's buffered-send semantics.
-        self._ctx.mailbox(self._rank, dest, tag).put(np.array(array, copy=True))
+        # matching MPI's buffered-send semantics.  The copy lands in a
+        # recycled transport buffer when the channel has one (put back
+        # by a matching ``recv_into``); otherwise a fresh buffer is
+        # allocated, as before.
+        free = self._ctx.freelist(
+            self._rank, dest, tag, array.shape, array.dtype
+        )
+        try:
+            buf = free.get_nowait()
+        except queue.Empty:
+            buf = np.empty(array.shape, dtype=array.dtype)
+        np.copyto(buf, array)
+        self._ctx.mailbox(self._rank, dest, tag).put((buf, free))
 
-    def recv(self, source: int, tag: int) -> np.ndarray:
-        if not 0 <= source < self.size or source == self._rank:
-            raise ValueError(f"bad source rank {source}")
+    def _pop_message(self, source: int, tag: int) -> tuple:
         q = self._ctx.mailbox(source, self._rank, tag)
         try:
-            array = q.get(timeout=self._ctx.timeout)
+            return q.get(timeout=self._ctx.timeout)
         except queue.Empty:
             raise RuntimeError(
                 f"rank {self._rank}: recv(src={source}, tag={tag}) timed out "
                 f"after {self._ctx.timeout}s — likely deadlock"
             ) from None
+
+    def recv(self, source: int, tag: int) -> np.ndarray:
+        if not 0 <= source < self.size or source == self._rank:
+            raise ValueError(f"bad source rank {source}")
+        array, _free = self._pop_message(source, tag)
+        # Ownership of the buffer transfers to the caller, so it cannot
+        # be recycled; the channel's next send allocates afresh.
         self.stats.recvs += 1
         self.stats.recv_bytes += array.nbytes
         return array
+
+    def recv_into(self, source: int, tag: int, out: np.ndarray) -> None:
+        if not 0 <= source < self.size or source == self._rank:
+            raise ValueError(f"bad source rank {source}")
+        array, free = self._pop_message(source, tag)
+        if array.shape != out.shape:
+            raise RuntimeError(
+                f"recv_into size mismatch from rank {source}: "
+                f"got {array.shape}, expected {out.shape}"
+            )
+        self.stats.recvs += 1
+        self.stats.recv_bytes += array.nbytes
+        np.copyto(out, array)
+        free.put(array)  # recycle the transport buffer
 
 
 def _reduce_in_order(contributions: list, op: str):

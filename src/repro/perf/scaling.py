@@ -137,7 +137,11 @@ class ScalingModel:
         self.levelsched_wavefront_bw_eff = levelsched_wavefront_bw_eff
         self.levelsched_sync_multiplier = levelsched_sync_multiplier
         # Per-optimization flags (default bound to impl).
-        self.fmt = matrix_format if matrix_format is not None else ("ell" if opt else "csr")
+        self.fmt = (
+            matrix_format
+            if matrix_format is not None
+            else ("ell" if opt else "csr")
+        )
         self.smoother = smoother if smoother is not None else (
             "multicolor" if opt else "levelsched"
         )
@@ -248,17 +252,22 @@ class ScalingModel:
         n = self.level_nlocal(lvl)
         cost = self.km.spmv(n, prec, fmt=self.fmt)
         bw_eff = m.csr_bw_efficiency if self.fmt == "csr" else 1.0
-        t_kernel = (
-            m.kernel_time(cost.nbytes, cost.flops, prec, launches=cost.launches, bw_efficiency=bw_eff)
-            * imbalance_factor(m, nodes)
-        )
+        t_kernel = m.kernel_time(
+            cost.nbytes,
+            cost.flops,
+            prec,
+            launches=cost.launches,
+            bw_efficiency=bw_eff,
+        ) * imbalance_factor(m, nodes)
         t_comm = self._halo_time(lvl, prec, nranks)
         if self.overlap:
             t_interior = t_kernel * self._interior_fraction(self.level_local_dims(lvl))
             return t_kernel + max(0.0, t_comm - t_interior)
         return t_kernel + t_comm
 
-    def _restrict_time(self, lvl: int, prec: Precision, nranks: int, nodes: float) -> float:
+    def _restrict_time(
+        self, lvl: int, prec: Precision, nranks: int, nodes: float
+    ) -> float:
         """Residual+restriction from level ``lvl`` to ``lvl+1``."""
         m = self.machine
         imb = imbalance_factor(m, nodes)
@@ -357,6 +366,41 @@ class ScalingModel:
             total += self.km.prolong_correct(n_c, prec).nbytes
         return total
 
+    def halo_traffic_bytes(self, policy) -> float:
+        """Modeled network bytes of one restart cycle, per GCD.
+
+        Each exchange ships one value per surface point at the width of
+        the level's ladder rung — ghost regions are stored (and
+        therefore exchanged) at the rung, so an ``fp16:fp32:fp64``
+        schedule moves measurably fewer bytes over the wire than an
+        all-fp32 one, exactly as it does through HBM.  Exchanges per
+        cycle: one per smoother sweep and one per restriction at every
+        V-cycle level, one per inner SpMV at ``policy.matrix``, and the
+        outer fp64 residual's exchange.
+        """
+        from repro.perf.network import halo_message_counts
+
+        cfg = self.mg_config
+        sweep_mult = 2 if cfg.sweep == "symmetric" else 1
+        vcycle = 0.0
+        for lvl in range(self.nlevels):
+            pts = halo_message_counts(self.level_local_dims(lvl))["points"]
+            width = policy.mg_level(lvl).bytes
+            sweeps = (
+                cfg.coarse_sweeps
+                if lvl == self.nlevels - 1
+                else cfg.npre + cfg.npost
+            )
+            vcycle += sweeps * sweep_mult * pts * width
+            if lvl != self.nlevels - 1:
+                vcycle += pts * width  # the restriction's residual SpMV
+        m = self.restart
+        fine_pts = halo_message_counts(self.level_local_dims(0))["points"]
+        total = (m + 1) * vcycle  # m inner + 1 solution-update cycle
+        total += m * fine_pts * policy.matrix.bytes
+        total += fine_pts * Precision.DOUBLE.bytes  # outer residual
+        return total
+
     def cycle_traffic_bytes(self, policy) -> dict[str, float]:
         """Modeled bytes of one full restart cycle under a policy.
 
@@ -364,8 +408,10 @@ class ScalingModel:
         consumes a :class:`~repro.fp.policy.PrecisionPolicy` directly:
         the inner SpMV streams at ``policy.matrix``, each V-cycle level
         at its ``mg_levels`` rung, the CGS2 BLAS-2 at
-        ``policy.krylov_basis``, and the pinned outer pieces at fp64.
-        Returns motif bytes plus ``"total"``.
+        ``policy.krylov_basis``, the pinned outer pieces at fp64, and
+        the ``"halo"`` entry charges every exchange's network bytes at
+        the exchanging level's rung width.  Returns motif bytes plus
+        ``"total"``.
         """
         m = self.restart
         n = self.level_nlocal(0)
@@ -374,6 +420,7 @@ class ScalingModel:
         vcycle = self.mg_vcycle_bytes(policy)
         by["mg"] = (m + 1) * vcycle  # m inner + 1 solution-update cycle
         by["spmv"] = m * km.spmv(n, policy.matrix, fmt=self.fmt).nbytes
+        by["halo"] = self.halo_traffic_bytes(policy)
         by["ortho"] = sum(
             km.ortho_cgs2_step(n, k, policy.krylov_basis).nbytes
             for k in range(1, m + 1)

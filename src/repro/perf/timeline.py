@@ -79,11 +79,19 @@ def gs_operation_timeline(
     # Halo stream.
     events.append(TraceEvent(rank, "halo", "pack_boundary", t, t + t_pack))
     t_pack_end = t + t_pack
-    events.append(TraceEvent(rank, "copy", "D2H send buffer", t_pack_end, t_pack_end + t_d2h))
+    events.append(
+        TraceEvent(rank, "copy", "D2H send buffer", t_pack_end, t_pack_end + t_d2h)
+    )
     t_d2h_end = t_pack_end + t_d2h
-    events.append(TraceEvent(rank, "halo", "MPI neighbor exchange", t_d2h_end, t_d2h_end + t_comm))
+    events.append(
+        TraceEvent(
+            rank, "halo", "MPI neighbor exchange", t_d2h_end, t_d2h_end + t_comm
+        )
+    )
     t_comm_end = t_d2h_end + t_comm
-    events.append(TraceEvent(rank, "copy", "H2D recv buffer", t_comm_end, t_comm_end + t_h2d))
+    events.append(
+        TraceEvent(rank, "copy", "H2D recv buffer", t_comm_end, t_comm_end + t_h2d)
+    )
     halo_done = t_comm_end + t_h2d
 
     # Compute stream: interior kernels begin after the pack (the event
@@ -150,7 +158,11 @@ def spmv_operation_timeline(
         TraceEvent(rank, "halo", "pack_boundary", 0.0, t_pack),
         TraceEvent(rank, "copy", "D2H send buffer", t_pack, t_pack + t_d2h),
         TraceEvent(
-            rank, "halo", "MPI neighbor exchange", t_pack + t_d2h, t_pack + t_d2h + t_comm
+            rank,
+            "halo",
+            "MPI neighbor exchange",
+            t_pack + t_d2h,
+            t_pack + t_d2h + t_comm,
         ),
         TraceEvent(
             rank,
@@ -171,7 +183,9 @@ def spmv_operation_timeline(
     interior_done = machine.launch_latency + t_interior
     boundary_start = max(halo_done, interior_done) + machine.launch_latency
     events.append(
-        TraceEvent(rank, "gpu", "SpMV boundary", boundary_start, boundary_start + t_boundary)
+        TraceEvent(
+            rank, "gpu", "SpMV boundary", boundary_start, boundary_start + t_boundary
+        )
     )
     return OverlapTimeline(
         op="spmv",

@@ -129,6 +129,7 @@ class GMRESIRSolver:
         precond: MultigridPreconditioner | None = None,
         matrix_format: str = "ell",
         escalation: "EscalationConfig | bool | None" = None,
+        overlap: "bool | str" = "auto",
     ) -> None:
         if ortho not in ORTHO_METHODS:
             raise ValueError(f"unknown orthogonalization {ortho!r}")
@@ -142,6 +143,15 @@ class GMRESIRSolver:
         self.restart = restart
         self.ortho_name = ortho
         self.matrix_format = matrix_format
+        # Overlap interior SpMV with the halo exchange through the
+        # ghost-aware partitioned layout.  "auto": on whenever there
+        # are neighbor ranks to exchange with (the partition is pure
+        # overhead on a serial communicator, but remains selectable
+        # for tests and single-rank validation of the schedule).
+        if overlap == "auto":
+            self.overlap = comm.size > 1
+        else:
+            self.overlap = bool(overlap)
         self._orthogonalize = ORTHO_METHODS[ortho]
         self.timers = timers if timers is not None else NullTimers()
         self.ws = Workspace("gmres-ir")
@@ -168,7 +178,7 @@ class GMRESIRSolver:
         # residual buffer — both policy-independent (always fp64), so
         # they survive ladder promotions unchanged.
         self.op64 = DistributedOperator(
-            self.A64, problem.halo, comm, workspace=self.ws
+            self.A64, problem.halo, comm, workspace=self.ws, overlap=self.overlap
         )
         self._r64 = np.zeros(problem.nlocal, dtype=np.float64)
 
@@ -197,7 +207,11 @@ class GMRESIRSolver:
         else:
             self.A_low = to_precision(self.A64, policy.matrix)
             self.op_inner = DistributedOperator(
-                self.A_low, self.problem.halo, self.comm, workspace=self.ws
+                self.A_low,
+                self.problem.halo,
+                self.comm,
+                workspace=self.ws,
+                overlap=self.overlap,
             )
 
         # Multigrid preconditioner on the policy's per-level schedule.

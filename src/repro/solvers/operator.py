@@ -3,25 +3,38 @@
 Wraps a local matrix (any registered format) with its halo-exchange
 plan and a persistent full-vector workspace, so every matvec is: copy
 owned part, exchange ghosts, local SpMV through the kernel registry.
-``matvec_split`` mirrors the optimized implementation's
-interior/boundary decomposition (§3.2.3) — identical numerics,
-exercised by tests, and the shape the performance model's overlap
-timeline assumes.
+
+With ``overlap=True`` the operator partitions the matrix into
+interior/boundary row blocks (:mod:`repro.sparse.partitioned`) and
+every ``matvec`` runs the paper's two-stream schedule (§3.2.3): halo
+in flight while the interior block computes, boundary block after the
+ghosts land in the vector tail.  The overlapped and sequential
+schedules execute identical block kernels in identical order, so they
+are bitwise-equal — only the communication timing differs.
+``matvec_split`` remains as the row-subset-kernel variant of the same
+decomposition (identical numerics through a different kernel path).
 
 The operator owns (or shares) a :class:`~repro.backends.workspace.Workspace`
 arena; with ``out=`` buffers supplied by the caller, ``matvec`` and
-``residual`` are allocation-free after warmup.
+``residual`` are allocation-free after warmup — including the halo
+path, whose pack buffers and transport messages are pooled.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.backends.dispatch import spmv, spmv_rows
+from repro.backends.dispatch import (
+    spmv,
+    spmv_boundary,
+    spmv_interior,
+    spmv_rows,
+)
 from repro.backends.workspace import Workspace
 from repro.geometry.halo import HaloPattern
 from repro.parallel.comm import Communicator
 from repro.parallel.halo_exchange import HaloExchange
+from repro.sparse.partitioned import partition_matrix
 
 
 class DistributedOperator:
@@ -33,12 +46,18 @@ class DistributedOperator:
         halo_pattern: HaloPattern,
         comm: Communicator,
         workspace: Workspace | None = None,
+        overlap: bool = False,
     ) -> None:
         self.A = A
         self.comm = comm
         self.ws = workspace if workspace is not None else Workspace("operator")
         self.halo_ex = HaloExchange(halo_pattern, comm, workspace=self.ws)
         self.nlocal = halo_pattern.nlocal
+        self.overlap = overlap
+        # Ghost-aware partitioned layout for the overlap schedule; the
+        # partition is built once at setup (HPCG's SetupHalo moment),
+        # not on the hot path.
+        self.P = partition_matrix(A, halo_pattern) if overlap else None
         self._xfull = np.zeros(
             self.nlocal + halo_pattern.n_ghost, dtype=A.dtype
         )
@@ -48,20 +67,61 @@ class DistributedOperator:
         return self._xfull.dtype
 
     def matvec(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Exchange ghosts and apply the local matrix."""
+        """Apply the operator; overlapped when the layout allows it."""
+        if self.P is not None:
+            return self.matvec_overlapped(x, out=out)
         xf = self._xfull
         xf[: self.nlocal] = x
         self.halo_ex.exchange(xf)
         return spmv(self.A, xf, out=out, ws=self.ws)
 
-    def matvec_split(self, x: np.ndarray) -> np.ndarray:
-        """Overlapped SpMV: halo in flight while interior rows compute.
+    def matvec_overlapped(
+        self, x: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Two-stream schedule: interior block SpMV hides the halo.
 
-        Receives and sends are posted first (nonblocking), the interior
-        kernel — which touches no ghost value — runs while messages are
-        in transit, and the boundary rows run after the ghosts land:
-        exactly the two-stream schedule of §3.2.3.  Bitwise-comparable
-        to :meth:`matvec`, which tests assert.
+        Requires ``overlap=True`` construction.  Bitwise-equal to
+        :meth:`matvec_sequential` (same block kernels, same order).
+        """
+        P = self._require_partition()
+        xf = self._xfull
+        xf[: self.nlocal] = x
+        y = out if out is not None else np.empty(self.nlocal, dtype=self.dtype)
+        pending = self.halo_ex.exchange_begin(xf)
+        # Interior block computes while messages are in transit ...
+        spmv_interior(P, xf, out=y, ws=self.ws)
+        # ... land the ghosts in the vector tail, then the boundary block.
+        self.halo_ex.exchange_finish(pending, xf)
+        spmv_boundary(P, xf, out=y, ws=self.ws)
+        return y
+
+    def matvec_sequential(
+        self, x: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Non-overlapped reference: full exchange, then both blocks."""
+        P = self._require_partition()
+        xf = self._xfull
+        xf[: self.nlocal] = x
+        self.halo_ex.exchange(xf)
+        return spmv(P, xf, out=out, ws=self.ws)
+
+    def _require_partition(self):
+        if self.P is None:
+            raise RuntimeError(
+                "operator was built without overlap=True; no partitioned "
+                "layout available"
+            )
+        return self.P
+
+    def matvec_split(self, x: np.ndarray) -> np.ndarray:
+        """Overlapped SpMV through the row-subset kernels.
+
+        The original (pre-partitioned-format) overlap path: receives
+        and sends are posted first, ``spmv_rows`` computes the interior
+        subset while messages are in transit, and the boundary subset
+        runs after the ghosts land.  Kept as an independent
+        implementation of the same schedule — tests cross-check it
+        against :meth:`matvec`.
         """
         xf = self._xfull
         xf[: self.nlocal] = x

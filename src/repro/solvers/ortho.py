@@ -40,14 +40,18 @@ def _project_out(Q: np.ndarray, k: int, w: np.ndarray, h: np.ndarray, ws) -> Non
     np.subtract(w, t, out=w)
 
 
-def cgs(comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray, ws=None) -> np.ndarray:
+def cgs(
+    comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray, ws=None
+) -> np.ndarray:
     """Classical Gram-Schmidt: single projection pass (GEMVT + GEMV)."""
     h = dmatvec_block(comm, Q[:, :k], w)
     _project_out(Q, k, w, h, ws)
     return np.asarray(h, dtype=np.float64)
 
 
-def cgs2(comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray, ws=None) -> np.ndarray:
+def cgs2(
+    comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray, ws=None
+) -> np.ndarray:
     """CGS with reorthogonalization (Algorithm 3 lines 20-27).
 
     Two GEMVT/GEMV pairs; the returned coefficients are the sum of both
@@ -60,7 +64,9 @@ def cgs2(comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray, ws=None) -> n
     return np.asarray(h1, dtype=np.float64) + np.asarray(h2, dtype=np.float64)
 
 
-def mgs(comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray, ws=None) -> np.ndarray:
+def mgs(
+    comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray, ws=None
+) -> np.ndarray:
     """Modified Gram-Schmidt: k sequential projections (k all-reduces)."""
     h = np.zeros(k, dtype=np.float64)
     for i in range(k):

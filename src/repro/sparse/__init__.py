@@ -27,6 +27,10 @@ from repro.sparse.scaled import (
     row_equilibration_scales,
     to_precision,
 )
+from repro.sparse.partitioned import (
+    PartitionedMatrix,
+    partition_matrix,
+)
 from repro.sparse.coloring import (
     greedy_coloring,
     jpl_coloring,
@@ -58,6 +62,8 @@ __all__ = [
     "equilibrated_half",
     "row_equilibration_scales",
     "to_precision",
+    "PartitionedMatrix",
+    "partition_matrix",
     "greedy_coloring",
     "jpl_coloring",
     "structured_coloring8",

@@ -109,7 +109,17 @@ class CSRMatrix:
         """Value-precision cast (keeps structure arrays shared)."""
         dtype = Precision.from_any(prec).dtype
         data = self.data if dtype == self.data.dtype else self.data.astype(dtype)
-        return CSRMatrix(self.indptr, self.indices, data.copy() if data is self.data else data, self.ncols)
+        return CSRMatrix(
+            self.indptr,
+            self.indices,
+            data.copy() if data is self.data else data,
+            self.ncols,
+        )
+
+    def to_csr(self) -> "CSRMatrix":
+        """Identity conversion (CSR is the interchange format), so
+        format-generic code can call ``to_csr`` on any matrix."""
+        return self
 
     def to_ell(self):
         """Convert to ELL."""

@@ -1,0 +1,220 @@
+"""Ghost-column-aware partitioned matrix (distributed storage layout).
+
+At 75k GCDs the benchmark is decided by how few bytes cross the memory
+bus *and* the network per iteration, and by whether the halo exchange
+hides behind interior compute (§3.2.3).  Both properties are layout
+properties, so this module makes them explicit in the storage format
+instead of recovering them per call with row-subset kernels:
+
+**Partitioning contract.**  A rank's local column space is
+``[0, nlocal)`` for owned points followed by ``[nlocal, nlocal+n_ghost)``
+for ghost points, grouped in per-neighbor blocks in canonical direction
+order — exactly the enumeration :class:`~repro.geometry.halo.HaloPattern`
+builds.  Because the ghost columns are packed contiguously at the tail,
+a halo receive lands *directly* in the tail of the full vector
+(``xfull[nlocal + offset : ...]``) with zero unpack copies; the receive
+buffer *is* the vector segment.
+
+**Interior/boundary row blocks.**  Rows are split by whether their
+stencil touches a ghost column.  Each side becomes its own block matrix
+(same storage format as the source, full local column space), so the
+two halves of the overlap schedule — interior SpMV while the halo is in
+flight, boundary SpMV after it lands — are plain full-matrix kernels on
+dense blocks.  No per-call row-subset index arithmetic remains on the
+hot path, which is what makes the distributed loop allocation-free
+after warmup.
+
+**SELL-C-σ seam discipline.**  When the blocks are SELL-C-σ, the σ-sort
+runs *within* each region independently (each block is chunked on its
+own), so chunk membership never crosses the interior/boundary seam and
+the overlap split never has to break a chunk apart.
+
+**Precision.**  Row-equilibrated fp16 storage
+(:class:`~repro.sparse.scaled.ScaledELLMatrix`) partitions with its
+``row_scale`` sliced per block, so ghost regions are stored and
+exchanged at the level's ladder rung while the equilibration scales are
+carried across the partition unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fp.precision import Precision
+from repro.geometry.halo import HaloPattern
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ell import ELLMatrix
+from repro.sparse.scaled import ScaledELLMatrix
+from repro.sparse.sellcs import SELLCSMatrix
+
+
+class PartitionedMatrix:
+    """A local matrix split into interior/boundary row blocks.
+
+    The blocks share the source matrix's storage format and its full
+    local column space (owned + ghost-tail columns), so both consume
+    the same full vector.  Kernels resolve through the registry ops
+    ``spmv_interior`` / ``spmv_boundary`` (and ``spmv`` for the
+    non-overlapped product, which is the same two block kernels run
+    back to back — bitwise-identical to the overlapped schedule).
+    """
+
+    format_name = "partitioned"
+
+    def __init__(
+        self,
+        interior,
+        boundary,
+        interior_rows: np.ndarray,
+        boundary_rows: np.ndarray,
+        nlocal: int,
+        ncols: int,
+        block_format: str,
+    ) -> None:
+        self.interior = interior
+        self.boundary = boundary
+        self.interior_rows = np.ascontiguousarray(interior_rows, dtype=np.int64)
+        self.boundary_rows = np.ascontiguousarray(boundary_rows, dtype=np.int64)
+        self.nlocal = nlocal
+        self.ncols = ncols
+        self.block_format = block_format
+
+    # ------------------------------------------------------------------
+    # Shape and metadata
+    # ------------------------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return self.nlocal
+
+    @property
+    def n_ghost(self) -> int:
+        return self.ncols - self.nlocal
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.interior.dtype if len(self.interior_rows) else self.boundary.dtype
+
+    @property
+    def precision(self) -> Precision:
+        return Precision.from_any(self.dtype)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.interior.nnz) + int(self.boundary.nnz)
+
+    @property
+    def interior_fraction(self) -> float:
+        """Share of rows computable before the halo lands."""
+        return len(self.interior_rows) / self.nlocal if self.nlocal else 0.0
+
+    # ------------------------------------------------------------------
+    # Kernels (dispatch through the registry)
+    # ------------------------------------------------------------------
+    def spmv(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        from repro.backends.dispatch import spmv
+
+        return spmv(self, x, out=out)
+
+    def spmv_interior(self, x, out=None, ws=None) -> np.ndarray:
+        from repro.backends.dispatch import spmv_interior
+
+        return spmv_interior(self, x, out=out, ws=ws)
+
+    def spmv_boundary(self, x, out=None, ws=None) -> np.ndarray:
+        from repro.backends.dispatch import spmv_boundary
+
+        return spmv_boundary(self, x, out=out, ws=ws)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def memory_bytes(self, index_bytes: int = 4) -> int:
+        """Block storage plus the two row-index maps (int64)."""
+        total = 8 * (len(self.interior_rows) + len(self.boundary_rows))
+        for blk in (self.interior, self.boundary):
+            total += blk.memory_bytes(index_bytes)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<PartitionedMatrix {self.block_format} "
+            f"{len(self.interior_rows)}i+{len(self.boundary_rows)}b rows, "
+            f"{self.n_ghost} ghost cols, {self.precision.short_name}>"
+        )
+
+
+def _csr_rows(csr: CSRMatrix, rows: np.ndarray) -> CSRMatrix:
+    """Row-subset CSR preserving within-row entry order and dtype."""
+    lens = (csr.indptr[rows + 1] - csr.indptr[rows]).astype(np.int64)
+    indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(lens, out=indptr[1:])
+    total = int(indptr[-1])
+    if total:
+        flat = np.repeat(csr.indptr[rows], lens) + (
+            np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+        )
+        indices = csr.indices[flat]
+        data = csr.data[flat]
+    else:
+        indices = np.zeros(0, dtype=csr.indices.dtype)
+        data = np.zeros(0, dtype=csr.data.dtype)
+    return CSRMatrix(indptr=indptr, indices=indices, data=data, ncols=csr.ncols)
+
+
+def _extract_rows(A, rows: np.ndarray):
+    """Row-subset block in A's own format, values and scales preserved.
+
+    ELL-family matrices slice their dense arrays directly (each row's
+    slot layout is preserved, so block row sums are bitwise-identical
+    to the unpartitioned kernel's); CSR slices its ranges; SELL-C-σ
+    re-chunks the region on its own, which is exactly the
+    region-confined σ-sort the distributed layout requires.
+    """
+    if isinstance(A, ScaledELLMatrix):
+        return ScaledELLMatrix(
+            cols=A.cols[rows],
+            vals=A.vals[rows],
+            ncols=A.ncols,
+            row_scale=A.row_scale[rows],
+        )
+    if isinstance(A, ELLMatrix):
+        return ELLMatrix(cols=A.cols[rows], vals=A.vals[rows], ncols=A.ncols)
+    if isinstance(A, CSRMatrix):
+        return _csr_rows(A, rows)
+    if isinstance(A, SELLCSMatrix):
+        # Dtype-preserving CSR detour, then region-local chunking with
+        # the source matrix's (C, σ) parameters.
+        csr = A.to_csr()
+        return SELLCSMatrix.from_csr(_csr_rows(csr, rows), chunk=A.C, sigma=A.sigma)
+    raise TypeError(
+        f"cannot partition {type(A).__name__}; expected a CSR/ELL/SELL-C-σ "
+        "local matrix"
+    )
+
+
+def partition_matrix(A, halo: HaloPattern) -> PartitionedMatrix:
+    """Split a local matrix into interior/boundary blocks along ``halo``.
+
+    ``A`` must follow the partitioning contract already (owned columns
+    first, ghost columns packed at the tail in the halo pattern's block
+    order) — which every matrix built by
+    :func:`repro.stencil.poisson27.generate_problem` does.
+    """
+    from repro.backends.dispatch import matrix_format
+
+    if A.nrows != halo.nlocal or A.ncols != halo.ncols:
+        raise ValueError(
+            f"matrix shape ({A.nrows} rows, {A.ncols} cols) does not match "
+            f"the halo pattern ({halo.nlocal} owned + {halo.n_ghost} ghost)"
+        )
+    interior_rows = halo.interior_rows
+    boundary_rows = halo.boundary_rows
+    return PartitionedMatrix(
+        interior=_extract_rows(A, interior_rows),
+        boundary=_extract_rows(A, boundary_rows),
+        interior_rows=interior_rows,
+        boundary_rows=boundary_rows,
+        nlocal=halo.nlocal,
+        ncols=halo.ncols,
+        block_format=matrix_format(A),
+    )

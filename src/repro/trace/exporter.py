@@ -14,7 +14,9 @@ import json
 from repro.trace.events import Timeline
 
 
-def to_chrome_json(timeline: "Timeline | list[TraceEvent]", time_unit: float = 1e6) -> str:
+def to_chrome_json(
+    timeline: "Timeline | list[TraceEvent]", time_unit: float = 1e6
+) -> str:
     """Serialize to Chrome Trace Event Format (complete events, 'X').
 
     ``time_unit`` converts seconds to the microseconds Chrome expects.

@@ -1,0 +1,18 @@
+"""Shared helpers for the partitioned-format / overlap test suites."""
+
+import numpy as np
+
+#: Rung-appropriate comparison tolerances (relative, absolute) for
+#: checking low-precision distributed SpMV against the fp64 reference.
+RUNG_TOLS = {
+    "fp64": (1e-13, 1e-13),
+    "fp32": (1e-5, 1e-5),
+    "fp16": (2e-2, 5e-2),
+}
+
+
+def smooth_vector(sub) -> np.ndarray:
+    """An fp16-representable test vector keyed to global coordinates."""
+    gx, gy, gz = sub.global_coords()
+    gg = sub.global_grid
+    return 0.5 + (gx + 2.0 * gy + 3.0 * gz) / (gg.nx + 2 * gg.ny + 3 * gg.nz)

@@ -115,3 +115,67 @@ class TestInnerLoopAllocations:
             op.matvec(x, out=out)
             op.residual(problem16.b, x, out=out)
         assert op.ws.misses == misses0
+
+
+#: One fp64 vector at 8^3 (the per-rank size of the distributed test).
+VECTOR_BYTES_8 = 512 * 8
+
+
+class TestDistributedLoopAllocations:
+    """PR 3: the PR 1 zero-allocation property extended to the
+    distributed loop — halo packing, transport and receives included.
+
+    A per-iteration transport leak (e.g. a message buffer that stops
+    recycling) would grow by hundreds of KB over the measured solve;
+    the threshold admits only a few vectors' worth of noise.
+    """
+
+    def test_distributed_halo_loop_no_vector_growth(self):
+        """tracemalloc across a 2-rank overlapped solve: no allocation
+        site grows beyond a few vectors after warmup (all rank threads
+        are inside the measurement window)."""
+        from repro.fp import MIXED_DS_POLICY
+        from repro.geometry import BoxGrid, ProcessGrid, Subdomain
+        from repro.mg import MGConfig
+        from repro.parallel import run_spmd
+        from repro.solvers import GMRESIRSolver
+        from repro.stencil import generate_problem
+
+        def fn(comm):
+            pg = ProcessGrid.from_size(comm.size)
+            sub = Subdomain(BoxGrid(8, 8, 8), pg, comm.rank)
+            prob = generate_problem(sub)
+            solver = GMRESIRSolver(
+                prob,
+                comm,
+                policy=MIXED_DS_POLICY,
+                mg_config=MGConfig(nlevels=2),
+                overlap=True,
+            )
+            solver.solve(prob.b, tol=0.0, maxiter=10)  # warmup
+            comm.barrier()
+            snap1 = None
+            if comm.rank == 0:
+                gc.collect()
+                tracemalloc.start(10)
+                snap1 = tracemalloc.take_snapshot()
+            comm.barrier()
+            solver.solve(prob.b, tol=0.0, maxiter=32)
+            comm.barrier()
+            if comm.rank != 0:
+                return []
+            snap2 = tracemalloc.take_snapshot()
+            tracemalloc.stop()
+            diff = snap2.compare_to(snap1, "traceback")
+            return [
+                f"{d.size_diff / 1024:.1f} KB (+{d.count_diff}) at "
+                + " <- ".join(d.traceback.format()[-2:])
+                for d in diff
+                if d.size_diff > 4 * VECTOR_BYTES_8
+            ]
+
+        offenders = run_spmd(2, fn)[0]
+        assert not offenders, (
+            "distributed loop grew vector-sized allocation sites:\n"
+            + "\n".join(offenders)
+        )

@@ -11,6 +11,7 @@ from repro.parallel.collectives import (
     allreduce_recursive_doubling,
     allreduce_ring,
     message_counts,
+    software_allreduce,
 )
 from repro.sparse.coloring import color_sets, structured_coloring8
 
@@ -57,6 +58,44 @@ class TestSoftwareAllreduce:
 
         with pytest.raises(RuntimeError, match="power-of-two"):
             run_spmd(3, worker)
+
+    @pytest.mark.parametrize("algorithm", sorted(ALLREDUCE_ALGORITHMS))
+    def test_dispatcher_falls_back_at_p3(self, algorithm):
+        """The dispatcher serves non-power-of-two rank counts via the
+        rendezvous all-reduce instead of erroring (a real MPI switches
+        algorithms; it never fails the collective)."""
+
+        def worker(comm):
+            rng = np.random.default_rng(comm.rank)
+            local = rng.standard_normal(24)
+            soft = software_allreduce(comm, local, algorithm=algorithm)
+            hard = comm.allreduce(local)
+            return float(np.abs(soft - hard).max())
+
+        errs = run_spmd(3, worker)
+        assert max(errs) < 1e-12
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_dispatcher_uses_algorithm_at_powers_of_two(self, p):
+        """At power-of-two counts the dispatcher runs the requested
+        algorithm (same pairing order => identical result)."""
+
+        def worker(comm):
+            rng = np.random.default_rng(comm.rank)
+            local = rng.standard_normal(16)
+            via_dispatch = software_allreduce(
+                comm, local, algorithm="recursive_doubling"
+            )
+            direct = allreduce_recursive_doubling(comm, local)
+            return bool(np.array_equal(via_dispatch, direct))
+
+        assert all(run_spmd(p, worker))
+
+    def test_dispatcher_unknown_algorithm(self):
+        from repro.parallel import SerialComm
+
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            software_allreduce(SerialComm(), np.ones(4), algorithm="nope")
 
     def test_all_ranks_identical_result(self):
         def worker(comm):

@@ -130,7 +130,9 @@ class TestPermutation:
         x = rng.standard_normal(n)
         y_ref = A.spmv(x)
         y_perm = B.spmv(permute_vector(x, new_of_old))
-        np.testing.assert_allclose(unpermute_vector(y_perm, new_of_old), y_ref, rtol=1e-13)
+        np.testing.assert_allclose(
+            unpermute_vector(y_perm, new_of_old), y_ref, rtol=1e-13
+        )
 
     def test_permute_vector_roundtrip(self, rng):
         x = rng.standard_normal(20)

@@ -47,7 +47,9 @@ class TestGivensQR:
             e1[0] = beta
             _, res, *_ = np.linalg.lstsq(H[: j + 2, : j + 1], e1, rcond=None)
             expected = np.sqrt(res[0]) if len(res) else np.linalg.norm(
-                e1 - H[: j + 2, : j + 1] @ np.linalg.lstsq(H[: j + 2, : j + 1], e1, rcond=None)[0]
+                e1
+                - H[: j + 2, : j + 1]
+                @ np.linalg.lstsq(H[: j + 2, : j + 1], e1, rcond=None)[0]
             )
             assert rho == pytest.approx(expected, rel=1e-10, abs=1e-12)
 

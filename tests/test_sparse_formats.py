@@ -21,7 +21,9 @@ class TestCSR:
         np.testing.assert_allclose(A.spmv(x), A.to_scipy() @ x, rtol=1e-13)
 
     def test_spmv_empty_rows(self):
-        m = sp.csr_matrix((np.array([1.0]), np.array([0]), np.array([0, 0, 1, 1])), shape=(3, 2))
+        m = sp.csr_matrix(
+            (np.array([1.0]), np.array([0]), np.array([0, 0, 1, 1])), shape=(3, 2)
+        )
         A = CSRMatrix.from_scipy(m)
         y = A.spmv(np.array([2.0, 3.0]))
         np.testing.assert_allclose(y, [0.0, 2.0, 0.0])

@@ -153,7 +153,9 @@ class TestRoofline:
         from repro.perf import roofline_ceiling, roofline_points
 
         for p in roofline_points():
-            ceiling = roofline_ceiling(FRONTIER_GCD, p.arithmetic_intensity, p.precision)
+            ceiling = roofline_ceiling(
+                FRONTIER_GCD, p.arithmetic_intensity, p.precision
+            )
             assert p.gflops <= ceiling * 1.0001
 
     def test_ceiling_shape(self):
