@@ -16,6 +16,12 @@ metric regresses by more than the threshold:
   runners, hence the generous default threshold; the byte metrics are
   the precise tripwires, the wall clock catches order-of-magnitude
   slips (an accidentally-quadratic setup, a lost overlap).
+- ``motif_seconds_per_solve`` — per-motif wall clock (spmv / symgs /
+  ortho / halo).  Even noisier than the total (each motif is a slice
+  of an already-noisy measurement), so motifs gate only on
+  catastrophic regressions (``--motif-threshold``, default 4.0 = a
+  5x slowdown) — the tripwire for a single motif silently losing its
+  overlap or format fast path while the total hides it.
 
 Usage::
 
@@ -41,9 +47,45 @@ TRACKED_METRICS = {
     "seconds_per_solve": True,
 }
 
+#: Key of the per-motif wall-clock breakdown in the gated record, and
+#: the motifs tracked within it.
+MOTIF_KEY = "motif_seconds_per_solve"
+TRACKED_MOTIFS = ("spmv", "symgs", "ortho", "halo")
+
+
+def _compare_one(
+    key: str,
+    cur: float,
+    base: float,
+    threshold: float,
+    failures: list[str],
+    notes: list[str],
+    noisy: bool = False,
+) -> None:
+    if base <= 0:
+        notes.append(f"{key}: baseline {base} not positive; skipped")
+        return
+    ratio = cur / base
+    tag = " (noisy)" if noisy else ""
+    if ratio > 1.0 + threshold:
+        failures.append(
+            f"{key}: {cur:.6g} vs baseline {base:.6g} "
+            f"(+{(ratio - 1) * 100:.1f}% > {threshold * 100:.0f}%){tag}"
+        )
+    elif ratio < 1.0 - threshold:
+        notes.append(
+            f"{key}: improved {(1 - ratio) * 100:.1f}% "
+            f"({cur:.6g} vs {base:.6g}) — consider refreshing the baseline"
+        )
+    else:
+        notes.append(f"{key}: {cur:.6g} vs {base:.6g} (ok)")
+
 
 def compare(
-    current: dict, baseline: dict, threshold: float
+    current: dict,
+    baseline: dict,
+    threshold: float,
+    motif_threshold: float = 4.0,
 ) -> tuple[list[str], list[str]]:
     """Return (failures, notes) comparing tracked metrics."""
     failures: list[str] = []
@@ -55,25 +97,35 @@ def compare(
         if key not in current:
             failures.append(f"current record is missing {key!r}")
             continue
-        base = float(baseline[key])
-        cur = float(current[key])
-        if base <= 0:
-            notes.append(f"{key}: baseline {base} not positive; skipped")
+        _compare_one(
+            key,
+            float(current[key]),
+            float(baseline[key]),
+            threshold,
+            failures,
+            notes,
+            noisy=noisy,
+        )
+    # Per-motif wall-clock breakdown: generous threshold (each motif is
+    # a noisy slice), catching a single motif's catastrophic slip.
+    base_motifs = baseline.get(MOTIF_KEY) or {}
+    cur_motifs = current.get(MOTIF_KEY) or {}
+    for motif in TRACKED_MOTIFS:
+        if motif not in base_motifs:
+            notes.append(f"baseline has no motif {motif!r}; skipped")
             continue
-        ratio = cur / base
-        tag = " (noisy)" if noisy else ""
-        if ratio > 1.0 + threshold:
-            failures.append(
-                f"{key}: {cur:.6g} vs baseline {base:.6g} "
-                f"(+{(ratio - 1) * 100:.1f}% > {threshold * 100:.0f}%){tag}"
-            )
-        elif ratio < 1.0 - threshold:
-            notes.append(
-                f"{key}: improved {(1 - ratio) * 100:.1f}% "
-                f"({cur:.6g} vs {base:.6g}) — consider refreshing the baseline"
-            )
-        else:
-            notes.append(f"{key}: {cur:.6g} vs {base:.6g} (ok)")
+        if motif not in cur_motifs:
+            failures.append(f"current record is missing motif {motif!r}")
+            continue
+        _compare_one(
+            f"{MOTIF_KEY}.{motif}",
+            float(cur_motifs[motif]),
+            float(base_motifs[motif]),
+            motif_threshold,
+            failures,
+            notes,
+            noisy=True,
+        )
     return failures, notes
 
 
@@ -91,6 +143,14 @@ def main(argv: list[str] | None = None) -> int:
         default=0.2,
         help="allowed relative regression (0.2 = 20%%)",
     )
+    parser.add_argument(
+        "--motif-threshold",
+        type=float,
+        default=4.0,
+        help="allowed relative regression per motif wall-clock slice "
+        "(4.0 = a 5x slowdown; motifs are noisy, so only "
+        "catastrophic slips gate)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.current) as f:
@@ -102,7 +162,9 @@ def main(argv: list[str] | None = None) -> int:
     if bcfg and ccfg and bcfg != ccfg:
         print(f"warning: config mismatch\n  baseline: {bcfg}\n  current:  {ccfg}")
 
-    failures, notes = compare(current, baseline, args.threshold)
+    failures, notes = compare(
+        current, baseline, args.threshold, motif_threshold=args.motif_threshold
+    )
     for n in notes:
         print(f"  {n}")
     if failures:

@@ -87,17 +87,30 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
 
         return kernel
 
-    def _probe_fp16_ell():
+    def _make_csr_spmv_fp16():
+        """JIT CSR SpMV streaming fp16 values with an fp32 accumulator.
+
+        Same contract as the NumPy backend's fp16 CSR kernel: products
+        and sums in fp32 so per-ingredient fp16 schedules hitting the
+        CSR format don't silently fall back off the JIT leg.
+        """
+
+        @numba.njit(parallel=True, fastmath=False, cache=True)
+        def kernel(indptr, indices, data, x, y):
+            for i in numba.prange(len(indptr) - 1):
+                acc = np.float32(0.0)
+                for j in range(indptr[i], indptr[i + 1]):
+                    acc += np.float32(data[j]) * np.float32(x[indices[j]])
+                y[i] = acc
+
+        return kernel
+
+    def _probe_fp16(make_kernel, args):
         """Compile-and-run probe: CPU float16 support varies by numba
-        version, so the fp16 kernel registers only where it works."""
+        version, so each fp16 kernel registers only where it works."""
         try:  # pragma: no cover - depends on the installed numba
-            kernel = _make_ell_spmv_fp16()
-            kernel(
-                np.zeros((1, 1), dtype=np.int32),
-                np.ones((1, 1), dtype=np.float16),
-                np.ones(1, dtype=np.float16),
-                np.zeros(1, dtype=np.float32),
-            )
+            kernel = make_kernel()
+            kernel(*args)
             return kernel
         except Exception:  # pragma: no cover
             return None
@@ -135,7 +148,36 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
     for _prec in ("fp32", "fp64"):
         _register_numba(_prec)
 
-    _ELL_FP16 = _probe_fp16_ell()
+    _ELL_FP16 = _probe_fp16(
+        _make_ell_spmv_fp16,
+        (
+            np.zeros((1, 1), dtype=np.int32),
+            np.ones((1, 1), dtype=np.float16),
+            np.ones(1, dtype=np.float16),
+            np.zeros(1, dtype=np.float32),
+        ),
+    )
+    _CSR_FP16 = _probe_fp16(
+        _make_csr_spmv_fp16,
+        (
+            np.zeros(2, dtype=np.int64),
+            np.zeros(0, dtype=np.int32),
+            np.zeros(0, dtype=np.float16),
+            np.ones(1, dtype=np.float16),
+            np.zeros(1, dtype=np.float32),
+        ),
+    )
+
+    def _finish_fp16(A, y, out):
+        """Shared epilogue: fold the row scale back, cast to storage."""
+        scale = getattr(A, "row_scale", None)
+        if scale is not None:
+            np.multiply(y, scale, out=y)
+        if out is None:
+            return y.astype(np.float16)
+        out[:] = y
+        return out
+
     if _ELL_FP16 is not None:  # pragma: no cover - numba-with-fp16 only
 
         @register("spmv", fmt="ell", precision="fp16", backend="numba")
@@ -150,10 +192,20 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
                 else np.empty(A.nrows, dtype=np.float32)
             )
             _ELL_FP16(A.cols, A.vals, x, y)
-            scale = getattr(A, "row_scale", None)
-            if scale is not None:
-                np.multiply(y, scale, out=y)
-            if out is None:
-                return y.astype(A.vals.dtype)
-            out[:] = y
-            return out
+            return _finish_fp16(A, y, out)
+
+    if _CSR_FP16 is not None:  # pragma: no cover - numba-with-fp16 only
+
+        @register("spmv", fmt="csr", precision="fp16", backend="numba")
+        def spmv_csr_numba_fp16(A, x, out=None, ws=None):
+            if x.shape[0] != A.ncols:
+                raise ValueError(
+                    f"x has {x.shape[0]} entries, matrix has {A.ncols} columns"
+                )
+            y = (
+                ws.get("numba.csr.spmv16", (A.nrows,), np.float32)
+                if ws is not None
+                else np.empty(A.nrows, dtype=np.float32)
+            )
+            _CSR_FP16(A.indptr, A.indices, A.data, x, y)
+            return _finish_fp16(A, y, out)

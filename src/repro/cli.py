@@ -57,6 +57,26 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="pin the ladder policy (disable adaptive rung promotion)",
     )
+    p.add_argument(
+        "--precision-control",
+        choices=["auto", "per-ingredient", "policy", "off"],
+        default="auto",
+        help="precision control plane granularity: 'policy' promotes "
+        "the whole policy on stagnation (historical behaviour), "
+        "'per-ingredient' gives each (ingredient, MG level) its own "
+        "controller with de-escalation; 'auto' follows "
+        "REPRO_PRECISION_CONTROL, defaulting to 'policy'",
+    )
+    p.add_argument(
+        "--precision-budget",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="Carson-style per-cycle roundoff budget (e.g. 1e-4): "
+        "derive the initial per-ingredient rungs from the matrix's "
+        "norm/condition estimates instead of the flat ladder "
+        "(per-ingredient control only)",
+    )
     p.add_argument("--max-iters", type=int, default=40, help="iterations per solve")
     p.add_argument("--num-solves", type=int, default=1)
     p.add_argument("--validation-max-iters", type=int, default=500)
@@ -115,6 +135,8 @@ def cmd_run(args) -> int:
         validation_mode=args.validation_mode,
         precision_ladder=args.precision_ladder,
         escalation=not args.no_escalation,
+        precision_control=args.precision_control,
+        precision_budget=args.precision_budget,
         max_iters_per_solve=args.max_iters,
         num_solves=args.num_solves,
         validation_max_iters=args.validation_max_iters,
@@ -144,6 +166,26 @@ def cmd_run(args) -> int:
             },
             **result.distributed.to_dict(),
         }
+        # Fold the measured halo counters into the alpha-beta network
+        # fit: the recorded per-byte cost (and, with multiple samples,
+        # per-message latency) this machine's transport actually
+        # showed, next to the model's prediction.
+        from repro.perf.calibrate import fit_alpha_beta, halo_samples_from_records
+
+        samples = halo_samples_from_records([record])
+        if samples:
+            fit = fit_alpha_beta(samples)
+            record["network_fit"] = {
+                "alpha_seconds_per_message": fit.alpha,
+                "beta_seconds_per_byte": fit.beta,
+                "effective_bandwidth": fit.bandwidth,
+                "nsamples": fit.nsamples,
+            }
+            print(
+                f"measured halo transport: "
+                f"{fit.bandwidth / 1e6:.1f} MB/s effective "
+                f"({record['halo_model_ratio']:.2f}x of modeled bytes)"
+            )
         with open(args.bench_out, "w") as f:
             json.dump(record, f, indent=1)
         print(f"wrote benchmark record to {args.bench_out}")

@@ -42,8 +42,17 @@ class DistributedPhaseMetrics:
     ``comm_bytes_per_iteration`` is *measured* (the slowest rank's halo
     + collective traffic divided by inner iterations) and
     ``model_bytes_per_cycle`` is the byte model's per-restart-cycle
-    total (HBM + halo at rung widths) — the two quantities the CI
-    regression gate tracks, next to the noisy per-solve wall clock.
+    total (HBM + halo at rung widths, charged at the solver's *live*
+    per-ingredient schedule) — the two quantities the CI regression
+    gate tracks, next to the noisy per-solve wall clock.
+
+    The halo pipeline additionally reports its measured wire bytes and
+    wall clock next to the network model's prediction
+    (``halo_bytes_measured/modeled_per_iteration``) — the
+    modeled-vs-measured pair :mod:`repro.perf.calibrate` folds into
+    the alpha-beta network fit — and the per-motif wall-clock
+    breakdown the gate records (``motif_seconds_per_solve``; halo
+    seconds nest inside the spmv/symgs sections that triggered them).
     """
 
     grid: tuple[int, int, int]
@@ -57,10 +66,42 @@ class DistributedPhaseMetrics:
     comm_bytes_per_iteration: float
     model_bytes_per_cycle: float
     overlap: bool = True
+    send_messages: int = 0
+    halo_seconds: float = 0.0
+    halo_exchanges: int = 0
+    halo_bytes_measured_per_iteration: float = 0.0
+    halo_bytes_modeled_per_iteration: float = 0.0
 
     @property
     def seconds_per_solve(self) -> float:
         return self.wall_seconds / self.solves if self.solves else 0.0
+
+    @property
+    def halo_model_ratio(self) -> float:
+        """Measured / modeled halo bytes per iteration (0 when serial)."""
+        if self.halo_bytes_modeled_per_iteration <= 0:
+            return 0.0
+        return (
+            self.halo_bytes_measured_per_iteration
+            / self.halo_bytes_modeled_per_iteration
+        )
+
+    def motif_seconds_per_solve(self) -> dict[str, float]:
+        """Per-motif wall clock per solve (paper motif names).
+
+        ``halo`` is measured inside the halo-exchange plans and *also*
+        contributes to the motif whose kernel triggered the exchange
+        (spmv/symgs) — it is reported to expose lost overlap, not to
+        sum with the others.
+        """
+        solves = self.solves or 1
+        motifs = self.seconds_by_motif
+        return {
+            "spmv": motifs.get("spmv", 0.0) / solves,
+            "symgs": motifs.get("gs", 0.0) / solves,
+            "ortho": motifs.get("ortho", 0.0) / solves,
+            "halo": self.halo_seconds / solves,
+        }
 
     def to_dict(self) -> dict:
         return {
@@ -71,9 +112,21 @@ class DistributedPhaseMetrics:
             "iterations": self.iterations,
             "seconds_per_solve": self.seconds_per_solve,
             "send_bytes": self.send_bytes,
+            "send_messages": self.send_messages,
             "allreduce_bytes": self.allreduce_bytes,
             "comm_bytes_per_iteration": self.comm_bytes_per_iteration,
             "model_bytes_per_cycle": self.model_bytes_per_cycle,
+            "halo_seconds": self.halo_seconds,
+            "halo_exchanges": self.halo_exchanges,
+            "halo_bytes_measured_per_iteration": (
+                self.halo_bytes_measured_per_iteration
+            ),
+            "halo_bytes_modeled_per_iteration": (
+                self.halo_bytes_modeled_per_iteration
+            ),
+            "halo_model_ratio": self.halo_model_ratio,
+            "seconds_by_motif": dict(self.seconds_by_motif),
+            "motif_seconds_per_solve": self.motif_seconds_per_solve(),
             "overlap": self.overlap,
         }
 
@@ -119,6 +172,7 @@ def _phase_worker(
         matrix_format=config.matrix_format,
         escalation=config.escalation_config(),
         overlap=config.overlap,
+        control=config.control_config(),
     )
     setup_seconds = time.perf_counter() - t_setup0
 
@@ -215,6 +269,7 @@ def _distributed_worker(
         matrix_format=config.matrix_format,
         escalation=config.escalation_config(),
         overlap=config.overlap,
+        control=config.control_config(),
     )
     # Warmup solve: populates every workspace buffer and transport
     # freelist, so the timed loop below runs allocation-free.  Both the
@@ -223,6 +278,7 @@ def _distributed_worker(
     solver.solve(problem.b, tol=0.0, maxiter=min(config.restart, 10))
     comm.stats.reset()
     timers.reset()
+    solver.reset_halo_counters()
     comm.barrier()
     t0 = time.perf_counter()
     iterations = 0
@@ -246,8 +302,16 @@ def _distributed_worker(
         "solves": solves,
         "seconds_by_motif": dict(timers.seconds),
         "send_bytes": comm.stats.send_bytes,
+        "send_messages": comm.stats.sends,
         "allreduce_bytes": comm.stats.allreduce_bytes,
+        "halo_seconds": solver.halo_seconds(),
+        "halo_exchanges": solver.halo_exchange_count(),
         "overlap": solver.overlap,
+        # The live per-ingredient schedule at the end of the timed
+        # window — the byte model charges each ingredient at its
+        # *current* rung (a plain policy when the plane ran in
+        # whole-policy mode).
+        "live_schedule": solver.plane.snapshot(),
     }
 
 
@@ -276,7 +340,10 @@ def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
             motifs[m] = max(motifs.get(m, 0.0), s)
     wall = max(rec["wall"] for rec in records)
     send_bytes = max(rec["send_bytes"] for rec in records)
+    send_messages = max(rec["send_messages"] for rec in records)
     allreduce_bytes = max(rec["allreduce_bytes"] for rec in records)
+    halo_seconds = max(rec["halo_seconds"] for rec in records)
+    halo_exchanges = max(rec["halo_exchanges"] for rec in records)
     iterations = records[0]["iterations"]
     comm_per_iter = (
         (send_bytes + allreduce_bytes) / iterations if iterations else 0.0
@@ -291,7 +358,19 @@ def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
         nlevels=config.nlevels,
         matrix_format=config.matrix_format,
     )
-    model_bytes = model.cycle_traffic_bytes(policy)["total"]
+    # Charge the byte model at the *live* schedule the solver ended on
+    # (identical to the configured policy unless the control plane
+    # moved a rung mid-run).
+    schedule = records[0].get("live_schedule", policy)
+    model_bytes = model.cycle_traffic_bytes(schedule)["total"]
+    # The network model's prediction for this rank's wire traffic: the
+    # per-cycle halo total spread over the cycle's inner iterations.
+    halo_modeled_per_iter = (
+        model.halo_traffic_bytes(schedule) / config.restart
+        if nranks > 1
+        else 0.0
+    )
+    halo_measured_per_iter = send_bytes / iterations if iterations else 0.0
 
     return DistributedPhaseMetrics(
         grid=shape,
@@ -305,6 +384,11 @@ def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
         comm_bytes_per_iteration=comm_per_iter,
         model_bytes_per_cycle=model_bytes,
         overlap=records[0]["overlap"],
+        send_messages=send_messages,
+        halo_seconds=halo_seconds,
+        halo_exchanges=halo_exchanges,
+        halo_bytes_measured_per_iteration=halo_measured_per_iter,
+        halo_bytes_modeled_per_iteration=halo_modeled_per_iter,
     )
 
 

@@ -8,12 +8,24 @@ official value visible via :meth:`BenchmarkConfig.table1`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 
-from repro.fp.ladder import EscalationConfig, NO_ESCALATION, parse_ladder
+from repro.fp.controller import CONTROL_MODES, ControlConfig
+from repro.fp.ladder import (
+    EscalationConfig,
+    NO_ESCALATION,
+    parse_ascending_ladder,
+    parse_ladder,
+)
 from repro.fp.policy import DOUBLE_POLICY, PrecisionPolicy
 from repro.fp.precision import Precision
 from repro.mg.multigrid import MGConfig
+
+#: Environment override for ``precision_control="auto"`` — the CI
+#: matrix leg sets ``REPRO_PRECISION_CONTROL=per-ingredient`` to run
+#: the whole suite's config-driven solves through the control plane.
+PRECISION_CONTROL_ENV = "REPRO_PRECISION_CONTROL"
 
 
 def parse_process_grid(spec: str) -> tuple[int, int, int]:
@@ -99,6 +111,19 @@ class BenchmarkConfig:
     #: inner-stage stagnation).  Only ladder configurations escalate;
     #: the classic fp32 mxp phase keeps the paper's fixed policy.
     escalation: bool = True
+    #: Precision control plane granularity: ``"policy"`` (the
+    #: whole-policy escalator, bit-identical to the historical
+    #: behaviour), ``"per-ingredient"`` (independent controllers per
+    #: (ingredient, MG level) with de-escalation), ``"off"``, or
+    #: ``"auto"`` — the ``REPRO_PRECISION_CONTROL`` environment
+    #: variable when set, else ``"policy"``.
+    precision_control: str = "auto"
+    #: Optional Carson-style roundoff budget (per-cycle relative
+    #: allowance, e.g. ``1e-4``) for the *initial* per-ingredient rung
+    #: assignment — derived from the matrix's norm/condition estimates
+    #: instead of the flat ladder string.  Requires (and implies
+    #: meaning only with) per-ingredient control.
+    precision_budget: float | None = None
     matrix_kind: str = "symmetric"
     ortho: str = "cgs2"
     nlevels: int = 4
@@ -150,7 +175,16 @@ class BenchmarkConfig:
                 f"(and at least {2 * div}) for a {self.nlevels}-level hierarchy"
             )
         if self.precision_ladder is not None:
-            parse_ladder(self.precision_ladder)  # fail fast on bad specs
+            # Fail fast on bad specs; ladders must climb strictly
+            # (duplicate/descending rungs are rejected by name).
+            parse_ascending_ladder(self.precision_ladder)
+        if self.precision_control not in ("auto", *CONTROL_MODES):
+            raise ValueError(
+                f"unknown precision control {self.precision_control!r}; "
+                f"valid: 'auto', {', '.join(repr(m) for m in CONTROL_MODES)}"
+            )
+        if self.precision_budget is not None and self.precision_budget <= 0:
+            raise ValueError("precision_budget must be positive")
         if self.overlap not in (True, False, "auto"):
             raise ValueError(
                 f"overlap must be True, False or 'auto', got {self.overlap!r}"
@@ -231,6 +265,52 @@ class BenchmarkConfig:
             return NO_ESCALATION
         has_fp16 = Precision.HALF in parse_ladder(self.precision_ladder)
         return EscalationConfig(enabled=has_fp16)
+
+    @property
+    def effective_precision_control(self) -> str:
+        """The resolved control-plane mode (``"auto"`` consults the
+        ``REPRO_PRECISION_CONTROL`` environment variable, defaulting to
+        the historical whole-policy escalator)."""
+        if self.precision_control != "auto":
+            return self.precision_control
+        env = os.environ.get(PRECISION_CONTROL_ENV, "").strip()
+        if env:
+            if env not in CONTROL_MODES:
+                raise ValueError(
+                    f"bad {PRECISION_CONTROL_ENV}={env!r}; valid: "
+                    f"{', '.join(repr(m) for m in CONTROL_MODES)}"
+                )
+            return env
+        return "policy"
+
+    def control_config(self) -> ControlConfig:
+        """Precision-control-plane settings handed to the solvers.
+
+        The detector settings come from :meth:`escalation_config`, so
+        ``"policy"`` mode reproduces the historical whole-policy
+        escalation decision-for-decision; ``"per-ingredient"`` adds
+        independent controllers and de-escalation on top of the same
+        detector.  A ``precision_budget`` rides along for the initial
+        rung assignment — and implies an *enabled* detector (unless
+        ``escalation=False`` pins everything): the chooser may seed
+        rungs below the configured ladder (e.g. fp16 coarse levels
+        under an fp16-free ladder), and a frozen detector could never
+        climb back out of them.
+        """
+        mode = self.effective_precision_control
+        escalation = self.escalation_config()
+        if (
+            mode == "per-ingredient"
+            and self.precision_budget is not None
+            and self.escalation
+            and not escalation.enabled
+        ):
+            escalation = EscalationConfig(enabled=True)
+        return ControlConfig(
+            mode=mode,
+            escalation=escalation,
+            budget=self.precision_budget,
+        )
 
     def with_updates(self, **kwargs) -> "BenchmarkConfig":
         """Functional update helper.

@@ -80,6 +80,7 @@ def _validation_solve(
         ortho=config.ortho,
         matrix_format=config.matrix_format,
         escalation=config.escalation_config(),
+        control=config.control_config(),
     )
     _, stats = solver.solve(
         problem.b,

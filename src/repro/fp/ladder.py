@@ -44,6 +44,18 @@ def next_rung(prec: "Precision | str") -> Precision:
     return LADDER[min(i + 1, len(LADDER) - 1)]
 
 
+def prev_rung(prec: "Precision | str") -> Precision:
+    """The next-lower rung (fp64 -> fp32 -> fp16; fp16 is a fixpoint).
+
+    The de-escalation move: like :func:`next_rung` at the top, the
+    bottom of the ladder is an explicit no-op rather than an error, so
+    controllers never need a bounds check before demoting.
+    """
+    p = Precision.from_any(prec)
+    i = LADDER.index(p)
+    return LADDER[max(i - 1, 0)]
+
+
 def parse_ladder(spec: "str | Precision | Iterable") -> tuple[Precision, ...]:
     """Parse a ladder/schedule spec into a tuple of rungs.
 
@@ -66,6 +78,35 @@ def parse_ladder(spec: "str | Precision | Iterable") -> tuple[Precision, ...]:
 def format_ladder(schedule: Iterable[Precision]) -> str:
     """Inverse of :func:`parse_ladder`: ``"fp16:fp32:fp64"``."""
     return LADDER_SEP.join(p.short_name for p in schedule)
+
+
+def parse_ascending_ladder(
+    spec: "str | Precision | Iterable",
+) -> tuple[Precision, ...]:
+    """Parse a *ladder* spec: rungs must be strictly ascending.
+
+    Per-level MG schedules may legitimately run coarse levels higher
+    (or, experimentally, lower) than their neighbors, so
+    :func:`parse_ladder` accepts any ordering; a *ladder* — the
+    escalation path fed to :meth:`PrecisionPolicy.from_ladder` — must
+    climb strictly, or promotion would revisit (duplicate rung) or
+    descend (non-ascending) and the controller could loop.  The error
+    names the offending rung.
+    """
+    rungs = parse_ladder(spec)
+    for prev, cur in zip(rungs, rungs[1:]):
+        if cur.bytes == prev.bytes:
+            raise ValueError(
+                f"duplicate rung {cur.short_name!r} in ladder "
+                f"{format_ladder(rungs)!r}; each rung may appear once"
+            )
+        if cur.bytes < prev.bytes:
+            raise ValueError(
+                f"rung {cur.short_name!r} after {prev.short_name!r} in "
+                f"ladder {format_ladder(rungs)!r}; ladder rungs must "
+                f"ascend (fp16 < fp32 < fp64)"
+            )
+    return rungs
 
 
 def schedule_for_levels(

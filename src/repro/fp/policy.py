@@ -21,7 +21,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from repro.fp.ladder import format_ladder, next_rung, parse_ladder
+from repro.fp.ladder import (
+    format_ladder,
+    next_rung,
+    parse_ascending_ladder,
+    parse_ladder,
+)
 from repro.fp.precision import Precision
 
 
@@ -148,8 +153,14 @@ class PrecisionPolicy:
         and MG level 0; the remaining rungs are the coarser MG levels.
         The host-side least-squares and the pinned outer updates stay
         double, per the benchmark specification.
+
+        A ladder must climb strictly (fp16 < fp32 < fp64): duplicate or
+        descending rungs are rejected with an error naming the
+        offending rung (:func:`repro.fp.ladder.parse_ascending_ladder`).
+        Use the :class:`PrecisionPolicy` constructor directly for
+        arbitrary per-level schedules.
         """
-        rungs = parse_ladder(spec)
+        rungs = parse_ascending_ladder(spec)
         return cls(
             matrix=rungs[0],
             mg_levels=rungs,

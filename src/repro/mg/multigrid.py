@@ -85,6 +85,12 @@ class MGLevel:
     smoother: Smoother
     f_c: np.ndarray | None  # map to next-coarser level (None on coarsest)
     precision: Precision = Precision.DOUBLE  # this level's ladder rung
+    #: Rung of the grid transfer *out of* this level: the coarse-defect
+    #: vector crossing the boundary to ``lvl+1`` is stored at this
+    #: precision (``None`` on the coarsest level).  Defaults to the
+    #: coarser level's rung — the historical behaviour — unless the
+    #: precision control plane schedules the transfer ingredient apart.
+    transfer_precision: Precision | None = None
     zfull: np.ndarray = field(repr=False, default=None)  # iterate workspace
     r_c: np.ndarray = field(repr=False, default=None)  # coarse-defect buffer
 
@@ -124,6 +130,15 @@ class MultigridPreconditioner:
         """The per-level precision schedule, finest first."""
         return tuple(lv.precision for lv in self.levels)
 
+    @property
+    def transfer_schedule(self) -> tuple[Precision, ...]:
+        """Rung of each level boundary's grid transfer, finest first."""
+        return tuple(
+            lv.transfer_precision
+            for lv in self.levels
+            if lv.transfer_precision is not None
+        )
+
     def describe_schedule(self) -> str:
         """Compact ladder spec of this hierarchy (``"fp16:fp32:..."``)."""
         return format_ladder(self.schedule)
@@ -142,6 +157,7 @@ class MultigridPreconditioner:
         fine_matrix=None,
         matrix_format: str = "ell",
         workspace: Workspace | None = None,
+        transfer_precision: "str | Precision | tuple | None" = None,
     ) -> "MultigridPreconditioner":
         """Build the hierarchy under ``problem``'s fine grid.
 
@@ -166,9 +182,24 @@ class MultigridPreconditioner:
         level-scheduled smoother operates on ELL triangular blocks, so
         a ``levelsched`` hierarchy is stored in ELL outright rather
         than keeping a duplicate ELL conversion beside each level.
+
+        ``transfer_precision`` optionally schedules the grid-transfer
+        *ingredient* apart from the levels: entry ``l`` is the rung of
+        the coarse-defect vector crossing the ``l -> l+1`` boundary
+        (the fused restriction casts once on the store into it, the
+        coarse level consumes it as its rhs).  ``None`` keeps the
+        historical coupling — each boundary at the coarser level's
+        rung.  This is the seam the per-ingredient precision control
+        plane drives.
         """
         config = config or MGConfig()
         schedule = schedule_for_levels(precision, config.nlevels)
+        if transfer_precision is None:
+            transfers = tuple(schedule[lvl + 1] for lvl in range(config.nlevels - 1))
+        elif config.nlevels < 2:
+            transfers = ()
+        else:
+            transfers = schedule_for_levels(transfer_precision, config.nlevels - 1)
         ws = workspace if workspace is not None else Workspace("mg")
         spec = problem.spec
         if config.smoother == "levelsched":
@@ -214,16 +245,19 @@ class MultigridPreconditioner:
                 smoother=smoother,
                 f_c=f_c,
                 precision=prec,
+                transfer_precision=(
+                    transfers[lvl] if lvl < len(transfers) else None
+                ),
             )
             level.zfull = np.zeros(
                 level.nlocal + level.halo_ex.n_ghost, dtype=prec.dtype
             )
             if coarse_sub is not None:
-                # The defect buffer belongs to the *coarser* level and
-                # lives on its rung; the fused restriction casts on the
-                # store into it.
+                # The defect buffer crosses the boundary at the
+                # transfer rung (historically the coarser level's
+                # rung); the fused restriction casts on the store.
                 level.r_c = np.zeros(
-                    coarse_sub.nlocal, dtype=schedule[lvl + 1].dtype
+                    coarse_sub.nlocal, dtype=level.transfer_precision.dtype
                 )
             levels.append(level)
             if f_c is not None:
@@ -324,6 +358,11 @@ class MultigridPreconditioner:
                 "n_ghost": lv.halo_ex.n_ghost,
                 "precision": lv.precision.short_name,
                 "value_bytes": lv.precision.bytes,
+                "transfer_precision": (
+                    lv.transfer_precision.short_name
+                    if lv.transfer_precision is not None
+                    else None
+                ),
             }
             for lv in self.levels
         ]

@@ -16,6 +16,8 @@ boundary rows.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.backends.workspace import Workspace
@@ -49,6 +51,14 @@ class HaloExchange:
         self.ws = workspace if workspace is not None else Workspace("halo")
         self.nlocal = pattern.nlocal
         self.n_ghost = pattern.n_ghost
+        #: Accumulated wall-clock seconds spent packing/posting and
+        #: landing halo messages, and the number of exchanges — the
+        #: measured counters the benchmark record reports next to the
+        #: network model's prediction.  Note these seconds nest inside
+        #: the caller's motif sections (an SpMV's halo time is also
+        #: SpMV time).
+        self.seconds = 0.0
+        self.exchanges = 0
         # Precompute (neighbor, send-indices, send-tag, recv-tag,
         # ghost-slice) tuples in canonical direction order.
         self._plan: list[tuple[int, np.ndarray, int, int, slice]] = []
@@ -93,6 +103,7 @@ class HaloExchange:
         """
         if not self._plan:
             return []
+        t0 = time.perf_counter()
         comm = self.comm
         pending = []
         for i, (nb, send_idx, send_tag, recv_tag, ghost_slice) in enumerate(
@@ -102,6 +113,8 @@ class HaloExchange:
             np.take(xfull, send_idx, out=buf, mode="clip")
             comm.isend(buf, nb, send_tag)
             pending.append((nb, recv_tag, ghost_slice))
+        self.seconds += time.perf_counter() - t0
+        self.exchanges += 1
         return pending
 
     def exchange_finish(self, pending: list, xfull: np.ndarray) -> None:
@@ -111,9 +124,18 @@ class HaloExchange:
         received straight into its ``xfull`` segment (``recv_into``),
         with no unpack staging.
         """
+        if not pending:
+            return
+        t0 = time.perf_counter()
         comm = self.comm
         for nb, recv_tag, ghost_slice in pending:
             comm.recv_into(nb, recv_tag, xfull[ghost_slice])
+        self.seconds += time.perf_counter() - t0
+
+    def reset_counters(self) -> None:
+        """Restart the measured seconds/exchange counters."""
+        self.seconds = 0.0
+        self.exchanges = 0
 
     # Overlap split ---------------------------------------------------
     @property

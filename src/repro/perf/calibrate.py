@@ -1,6 +1,6 @@
 """Calibration utilities.
 
-Two calibration targets exist:
+Three calibration targets exist:
 
 1. **Paper anchors** — check (and tune) the Frontier model against the
    numbers the paper reports: ~294 GF/s per GCD of mixed-precision
@@ -9,12 +9,18 @@ Two calibration targets exist:
 2. **This host** — measure NumPy streaming bandwidth and per-call
    dispatch overhead so the same byte/flop model can predict the *real*
    laptop-scale runs, closing the loop between model and measurement.
+3. **The network** — fold the distributed phase's *measured* halo
+   counters (messages, wire bytes, wall clock inside the exchange
+   plans) into a least-squares alpha-beta fit, so the network model's
+   per-message latency and per-byte cost come from this machine's
+   actual transport rather than the Frontier datasheet.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -123,6 +129,106 @@ def measure_dispatch_latency(repeats: int = 2000) -> float:
     for _ in range(repeats):
         np.add(a, 1.0, out=a)
     return (time.perf_counter() - t0) / repeats
+
+
+@dataclass(frozen=True)
+class NetworkFit:
+    """Alpha-beta model fitted from measured halo counters.
+
+    ``seconds ~ alpha * messages + beta * bytes`` — alpha is the
+    per-message latency, beta the inverse effective wire bandwidth.
+    """
+
+    alpha: float  # seconds per message
+    beta: float  # seconds per byte
+    residual: float  # RMS of the least-squares fit (seconds)
+    nsamples: int
+
+    def time(self, messages: float, nbytes: float) -> float:
+        """Predicted exchange seconds for one (messages, bytes) load."""
+        return self.alpha * messages + self.beta * nbytes
+
+    @property
+    def bandwidth(self) -> float:
+        """Effective wire bandwidth implied by the fit (bytes/s)."""
+        return 1.0 / self.beta if self.beta > 0 else np.inf
+
+
+def fit_alpha_beta(
+    samples: "Iterable[tuple[float, float, float]]",
+) -> NetworkFit:
+    """Least-squares alpha-beta fit over measured exchange windows.
+
+    Each sample is ``(messages, bytes, seconds)`` — e.g. one
+    distributed-phase run's halo counters
+    (:func:`halo_samples_from_records`).  A single sample cannot
+    separate latency from bandwidth, so alpha collapses to zero and
+    beta to ``seconds / bytes`` (the aggregate cost-per-byte); two or
+    more samples with different message/byte mixes resolve both.
+    Negative solutions are clamped to zero (a latency below zero is
+    measurement noise, not physics).
+    """
+    rows = [(float(m), float(b), float(s)) for m, b, s in samples]
+    if not rows:
+        raise ValueError("fit_alpha_beta needs at least one sample")
+    if len(rows) == 1:
+        m, b, s = rows[0]
+        beta = s / b if b > 0 else 0.0
+        return NetworkFit(alpha=0.0, beta=beta, residual=0.0, nsamples=1)
+    A = np.array([[m, b] for m, b, _ in rows])
+    y = np.array([s for _, _, s in rows])
+    sol, *_ = np.linalg.lstsq(A, y, rcond=None)
+    alpha, beta = (max(float(v), 0.0) for v in sol)
+    resid = float(np.sqrt(np.mean((A @ [alpha, beta] - y) ** 2)))
+    return NetworkFit(alpha=alpha, beta=beta, residual=resid, nsamples=len(rows))
+
+
+def halo_samples_from_records(
+    records: Iterable,
+) -> list[tuple[float, float, float]]:
+    """Measured (messages, bytes, seconds) halo samples per record.
+
+    Accepts :class:`~repro.core.benchmark.DistributedPhaseMetrics`
+    objects or their ``to_dict`` dictionaries (the benchmark JSON the
+    CI gate stores), skipping serial records with no traffic.
+    """
+    samples = []
+    for rec in records:
+        if not isinstance(rec, dict):
+            rec = {
+                k: getattr(rec, k, None)
+                for k in ("send_messages", "send_bytes", "halo_seconds")
+            }
+        messages = rec.get("send_messages") or 0
+        nbytes = rec.get("send_bytes") or 0
+        seconds = rec.get("halo_seconds") or 0.0
+        if messages > 0 and nbytes > 0 and seconds > 0:
+            samples.append((float(messages), float(nbytes), float(seconds)))
+    return samples
+
+
+def fit_network_from_records(records: Iterable) -> NetworkFit:
+    """Alpha-beta fit straight from distributed-phase records."""
+    samples = halo_samples_from_records(records)
+    if not samples:
+        raise ValueError("no usable halo samples (serial runs carry no wire traffic)")
+    return fit_alpha_beta(samples)
+
+
+def machine_with_network_fit(machine: MachineSpec, fit: NetworkFit) -> MachineSpec:
+    """The machine spec with its network knobs replaced by the fit.
+
+    ``net_latency`` takes the fitted per-message alpha and ``nic_bw``
+    the fitted effective bandwidth, so the scaling model's halo times
+    are grounded in this machine's measured transport.  A degenerate
+    single-sample fit (alpha 0) keeps the spec's latency.
+    """
+    updates = {}
+    if fit.alpha > 0:
+        updates["net_latency"] = fit.alpha
+    if fit.beta > 0:
+        updates["nic_bw"] = fit.bandwidth
+    return machine.with_updates(**updates) if updates else machine
 
 
 def calibrate_host(name: str = "this-host-numpy") -> MachineSpec:

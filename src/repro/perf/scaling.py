@@ -339,9 +339,18 @@ class ScalingModel:
         (``policy.mg_level``), so an ``fp16:fp32:fp64`` schedule
         streams measurably less than an all-fp32 hierarchy — the
         memory-wall argument for the ladder, level by level.
+
+        When the schedule exposes a separate grid-transfer rung
+        (``transfer_level``, the per-ingredient control plane's
+        :class:`~repro.fp.controller.IngredientSchedule`), the coarse
+        defect written by the restriction is charged at *that* rung
+        instead of the level's — the transfer ingredient's live width.
+        A plain :class:`~repro.fp.policy.PrecisionPolicy` carries no
+        transfer axis and is charged exactly as before.
         """
         cfg = self.mg_config
         sweep_mult = 2 if cfg.sweep == "symmetric" else 1
+        transfer_of = getattr(policy, "transfer_level", None)
         total = 0.0
         for lvl in range(self.nlevels):
             prec = policy.mg_level(lvl)
@@ -364,6 +373,11 @@ class ScalingModel:
                     n, n_c, prec, fmt=self.fmt
                 ).nbytes
             total += self.km.prolong_correct(n_c, prec).nbytes
+            if transfer_of is not None:
+                # Re-charge the restriction's coarse-defect store at
+                # the live transfer rung (the kernel models above
+                # charged it at the level rung).
+                total += n_c * (transfer_of(lvl).bytes - prec.bytes)
         return total
 
     def halo_traffic_bytes(self, policy) -> float:
@@ -412,6 +426,14 @@ class ScalingModel:
         the ``"halo"`` entry charges every exchange's network bytes at
         the exchanging level's rung width.  Returns motif bytes plus
         ``"total"``.
+
+        The precision control plane's live schedule plugs in directly:
+        pass ``solver.plane.snapshot()`` (an
+        :class:`~repro.fp.controller.IngredientSchedule` in
+        per-ingredient mode) and every ingredient — SpMV, ortho, each
+        smoother level, each transfer — is charged at its *current*
+        rung, so modeled traffic tracks run-time promotions and
+        demotions rather than the static configuration.
         """
         m = self.restart
         n = self.level_nlocal(0)

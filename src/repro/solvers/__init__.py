@@ -6,9 +6,12 @@ with CGS2 reorthogonalization, low-precision inner steps, double outer
 updates) and ``DOUBLE_POLICY`` reduces it to plain restarted GMRES —
 mathematically Algorithm 2 with iterative-refinement restarts.  Ladder
 policies (``PrecisionPolicy.from_ladder("fp16:fp32:fp64")``) start the
-inner stage as low as fp16; the solver's adaptive escalation controller
-climbs one rung whenever a restart cycle stalls at the active
-precision's floor, recording each :class:`Promotion`.
+inner stage as low as fp16; the precision control plane
+(:mod:`repro.fp.controller`) adapts the rungs at run time — whole
+policy in ``"policy"`` mode, one controller per (ingredient, MG level)
+with de-escalation in ``"per-ingredient"`` mode — recording each
+promotion/demotion as a :class:`Promotion`
+(:class:`~repro.fp.controller.PrecisionEvent`).
 """
 
 from repro.solvers.givens import GivensQR, givens_coefficients

@@ -12,13 +12,17 @@ One implementation serves both benchmark phases:
   the benchmark's "double" reference phase;
 - with a ladder policy (:meth:`PrecisionPolicy.from_ladder`, e.g.
   ``"fp16:fp32:fp64"``) the inner stage starts as low as fp16 and the
-  **adaptive escalation controller** climbs the ladder at run time:
-  when a restart cycle fails to shrink the true residual past the
-  configured stall ratio — the inner stage has hit its precision's
-  roundoff floor — the whole policy is promoted one rung
-  (fp16 -> fp32 -> fp64) and the low-precision operator, hierarchy and
-  basis are rebuilt.  Promotions are recorded in :class:`SolverStats`
-  and exportable as timeline events (:mod:`repro.trace`).
+  **precision control plane** (:mod:`repro.fp.controller`) adapts the
+  rungs at run time.  In ``"policy"`` mode (the default, bit-identical
+  to the PR 2 escalator) a stalling restart cycle promotes the whole
+  policy one rung; in ``"per-ingredient"`` mode each (ingredient, MG
+  level) pair — smoother per level, SpMV, grid transfers,
+  orthogonalization — owns its rung: only the controllers on the
+  binding (lowest) rung promote, and sustained recovery of the outer
+  residual demotes promoted controllers back down after a hysteresis
+  window.  Every rung change rebuilds the affected low-precision
+  state and is recorded in :class:`SolverStats` (with its ingredient
+  and level) and exportable as timeline events (:mod:`repro.trace`).
 
 Convergence checking follows the benchmark: the implicit residual from
 the Givens-transformed rhs (``|t_{k+1}|``) is monitored every inner
@@ -40,6 +44,11 @@ import numpy as np
 
 from repro.backends.dispatch import gemv
 from repro.backends.workspace import Workspace
+from repro.fp.controller import (
+    ControlConfig,
+    PrecisionControlPlane,
+    PrecisionEvent,
+)
 from repro.fp.ladder import EscalationConfig
 from repro.fp.policy import DOUBLE_POLICY, PrecisionPolicy
 from repro.fp.precision import Precision
@@ -55,23 +64,10 @@ from repro.stencil.poisson27 import Problem
 from repro.util.timers import NullTimers
 
 
-@dataclass(frozen=True)
-class Promotion:
-    """One ladder-escalation event during a solve."""
-
-    iteration: int  # inner-iteration count when the promotion fired
-    restart: int  # restart cycles completed at that point
-    relres: float  # outer relative residual that triggered it
-    reason: str  # "stall" | "floor" | "breakdown"
-    from_low: Precision  # lowest precision before the promotion
-    to_low: Precision  # lowest precision after
-
-    def describe(self) -> str:
-        return (
-            f"iter {self.iteration}: {self.from_low.short_name}->"
-            f"{self.to_low.short_name} ({self.reason}, "
-            f"relres={self.relres:.2e})"
-        )
+#: Backward-compatible alias: a "promotion" record is now one
+#: :class:`~repro.fp.controller.PrecisionEvent` (a superset — it also
+#: covers demotions and carries the ingredient + MG level).
+Promotion = PrecisionEvent
 
 
 @dataclass
@@ -86,13 +82,23 @@ class SolverStats:
     implicit_history: list[float] = field(default_factory=list)
     cycle_lengths: list[int] = field(default_factory=list)
     breakdown: bool = False  # "happy breakdown" (exact solution in span)
-    promotions: list[Promotion] = field(default_factory=list)
+    #: Per-ingredient precision event log: every promotion *and*
+    #: demotion, in firing order, with its ingredient and MG level
+    #: (whole-policy events carry ``ingredient="policy"``).
+    promotions: list[PrecisionEvent] = field(default_factory=list)
+
+    @property
+    def demotions(self) -> list[PrecisionEvent]:
+        """The de-escalation subset of the event log."""
+        return [p for p in self.promotions if p.direction == "demote"]
 
     def summary(self) -> str:
         state = "converged" if self.converged else "NOT converged"
-        promo = (
-            f", {len(self.promotions)} promotion(s)" if self.promotions else ""
-        )
+        n_demote = len(self.demotions)
+        n_promote = len(self.promotions) - n_demote
+        promo = f", {n_promote} promotion(s)" if n_promote else ""
+        if n_demote:
+            promo += f", {n_demote} demotion(s)"
         return (
             f"{state} in {self.iterations} iterations "
             f"({self.restarts} restarts{promo}), "
@@ -110,11 +116,19 @@ class GMRESIRSolver:
     in.  ``solve`` may then be called repeatedly (the timed benchmark
     phase re-solves from a zero guess until its time budget is spent).
 
-    ``escalation`` configures the adaptive ladder controller; pass
-    ``False`` (or :data:`repro.fp.ladder.NO_ESCALATION`) to pin the
-    policy for the whole solve.  After a promotion the solver *stays*
-    on the higher rung for subsequent ``solve`` calls — rebuilding per
-    solve would repay the setup cost the promotion already bought.
+    ``escalation`` configures the stall/floor detector; pass ``False``
+    (or :data:`repro.fp.ladder.NO_ESCALATION`) to pin the policy for
+    the whole solve.  ``control`` selects the precision control plane's
+    granularity: ``"policy"`` (default — the whole-policy escalator,
+    bit-identical to PR 2), ``"per-ingredient"`` (independent
+    controllers per ingredient and MG level, with de-escalation), or
+    ``"off"``; a full :class:`~repro.fp.controller.ControlConfig` may
+    be passed instead, optionally carrying a roundoff ``budget`` that
+    derives the *initial* per-ingredient rungs from the matrix
+    (:mod:`repro.fp.budget`) rather than the flat policy.  After a
+    rung change the solver *stays* on the new schedule for subsequent
+    ``solve`` calls — rebuilding per solve would repay the setup cost
+    the change already bought.
     """
 
     def __init__(
@@ -130,6 +144,7 @@ class GMRESIRSolver:
         matrix_format: str = "ell",
         escalation: "EscalationConfig | bool | None" = None,
         overlap: "bool | str" = "auto",
+        control: "ControlConfig | str | None" = None,
     ) -> None:
         if ortho not in ORTHO_METHODS:
             raise ValueError(f"unknown orthogonalization {ortho!r}")
@@ -167,7 +182,23 @@ class GMRESIRSolver:
             escalation = EscalationConfig()
         elif escalation is False:
             escalation = EscalationConfig(enabled=False)
+        # The control plane: a ControlConfig wins outright (it carries
+        # its own detector settings); a bare mode string combines with
+        # the escalation resolution above; None is the historical
+        # whole-policy escalator.
+        if isinstance(control, ControlConfig):
+            escalation = control.escalation
+        elif isinstance(control, str):
+            control = ControlConfig(mode=control, escalation=escalation)
+        elif control is None:
+            control = ControlConfig(mode="policy", escalation=escalation)
+        else:
+            raise TypeError(
+                f"control must be a ControlConfig, a mode string or "
+                f"None, got {control!r}"
+            )
         self.escalation = escalation
+        self.control = control
 
         # Krylov-loop matrix in the requested storage format (the
         # reference implementation uses CSR, the optimized one ELL;
@@ -184,7 +215,17 @@ class GMRESIRSolver:
 
         self.mg_config = mg_config or MGConfig()
         self._shared_precond = precond
-        self._bind_policy(policy)
+        nlevels = self.mg_config.nlevels
+        if control.mode == "per-ingredient" and control.budget is not None:
+            # Carson-style chooser: the initial per-ingredient rungs
+            # come from the matrix's norm/condition estimates, not the
+            # flat policy spec.
+            self.plane = PrecisionControlPlane.from_budget(
+                control, policy, nlevels, self.A64, restart=restart
+            )
+        else:
+            self.plane = PrecisionControlPlane(control, policy, nlevels)
+        self._bind_policy(self.plane.live_policy())
 
     # ------------------------------------------------------------------
     def _bind_policy(self, policy: PrecisionPolicy) -> None:
@@ -234,6 +275,11 @@ class GMRESIRSolver:
                 fine_matrix=shared,
                 matrix_format=self.matrix_format,
                 workspace=self.ws,
+                # Per-ingredient mode schedules the grid transfers
+                # apart from the levels; None preserves the historical
+                # coarse-rung coupling (the "policy"-mode bitwise
+                # guarantee).
+                transfer_precision=self.plane.transfer_schedule(),
             )
 
         # Krylov basis and hot-loop vector buffers, preallocated once
@@ -256,58 +302,48 @@ class GMRESIRSolver:
             self._z_op = None  # preconditioner output feeds SpMV directly
 
     # ------------------------------------------------------------------
-    def _stagnation_reason(
-        self, rho: float, prev_rho: float | None, cycles_at_rung: int
-    ) -> str | None:
-        """Classify the outer residual's progress at a restart boundary.
+    def _halo_exchanges(self) -> list:
+        """Every distinct halo-exchange plan the solver drives."""
+        plans = [self.op64.halo_ex]
+        if self.op_inner is not self.op64:
+            plans.append(self.op_inner.halo_ex)
+        for lv in self.M.levels:
+            if all(lv.halo_ex is not p for p in plans):
+                plans.append(lv.halo_ex)
+        return plans
 
-        Returns ``None`` while the ladder is making progress.  An inner
-        stage at unit roundoff ``u`` cannot shrink the outer residual by
-        much more than ``u * kappa(A)`` per cycle; once the measured
-        per-cycle reduction degrades past ``stall_ratio`` the stage has
-        hit that wall.  ``"floor"`` labels the case where the relative
-        residual sits at the active precision's roundoff floor,
-        ``"stall"`` the general insufficient-decrease case (e.g. basis
-        ill-conditioning before the floor is reached).
+    def halo_seconds(self) -> float:
+        """Measured wall-clock seconds inside halo exchanges.
+
+        Summed over the outer/inner operators and every MG level;
+        counters restart on :meth:`reset_halo_counters` (a rung-change
+        rebuild also restarts the rebuilt components' counters).
         """
-        esc = self.escalation
-        if (
-            not esc.enabled
-            or not self.policy.can_promote
-            or prev_rho is None
-            or cycles_at_rung < esc.min_cycles
-        ):
-            return None
-        if rho <= esc.stall_ratio * prev_rho:
-            return None
-        if self._relres(rho) <= esc.floor_factor * self.policy.low.eps:
-            return "floor"
-        return "stall"
+        return sum(ex.seconds for ex in self._halo_exchanges())
 
+    def halo_exchange_count(self) -> int:
+        """Measured number of halo exchanges (same scope as above)."""
+        return sum(ex.exchanges for ex in self._halo_exchanges())
+
+    def reset_halo_counters(self) -> None:
+        for ex in self._halo_exchanges():
+            ex.reset_counters()
+
+    # ------------------------------------------------------------------
     def _relres(self, rho: float) -> float:
         return rho / self._rho0 if self._rho0 else np.inf
 
-    def _promote(self, stats: SolverStats, rho: float, reason: str) -> None:
-        """Climb one rung: record the event and rebuild the inner stage.
+    def _apply_events(self, stats: SolverStats, events: list[PrecisionEvent]) -> None:
+        """Record the plane's rung changes and rebuild the inner stage.
 
         A caller-supplied preconditioner is abandoned here: it sits on
-        the old rung — often the very component whose roundoff floor
-        triggered the promotion — so the rebuild constructs a fresh
-        hierarchy on the promoted schedule instead.
+        the old schedule — often containing the very component whose
+        roundoff floor triggered the change — so the rebuild constructs
+        a fresh hierarchy on the plane's live schedule instead.
         """
-        old_low = self.policy.low
+        stats.promotions.extend(events)
         self._shared_precond = None
-        self._bind_policy(self.policy.promote())
-        stats.promotions.append(
-            Promotion(
-                iteration=stats.iterations,
-                restart=stats.restarts,
-                relres=self._relres(rho),
-                reason=reason,
-                from_low=old_low,
-                to_low=self.policy.low,
-            )
-        )
+        self._bind_policy(self.plane.live_policy())
 
     # ------------------------------------------------------------------
     def solve(
@@ -337,6 +373,7 @@ class GMRESIRSolver:
 
         x = np.zeros(n, dtype=np.float64) if x0 is None else x0.astype(np.float64)
         stats = SolverStats()
+        self.plane.reset_observation()
 
         with timers.section("dot"):
             rho0 = dnorm2(comm, b)
@@ -350,8 +387,6 @@ class GMRESIRSolver:
 
         r64 = self._r64
         qr = GivensQR(m)
-        prev_rho: float | None = None
-        cycles_at_rung = 0
 
         while stats.iterations < maxiter:
             # --- outer (iterative-refinement) step: double precision ---
@@ -364,12 +399,16 @@ class GMRESIRSolver:
                 stats.converged = True
                 return x, stats
 
-            # --- adaptive escalation: climb the ladder on stagnation ---
-            reason = self._stagnation_reason(rho, prev_rho, cycles_at_rung)
-            if reason is not None:
-                self._promote(stats, rho, reason)
-                cycles_at_rung = 0
-            prev_rho = rho
+            # --- precision control plane: judge the restart boundary ---
+            # Stagnation promotes the binding rung (whole policy in
+            # "policy" mode, the lowest-rung controllers otherwise);
+            # sustained recovery demotes per-ingredient controllers
+            # after the hysteresis window.
+            events = self.plane.observe_restart(
+                rho, self._relres(rho), stats.iterations, stats.restarts
+            )
+            if events:
+                self._apply_events(stats, events)
 
             # Per-rung bindings (a promotion above replaces these).
             Q = self.Q
@@ -422,7 +461,7 @@ class GMRESIRSolver:
                 stats.implicit_history.append(rho_implicit / rho0)
                 if rho_implicit <= abs_tol:
                     break  # lines 15-17: implicit convergence
-            cycles_at_rung += 1
+            self.plane.cycle_completed()
 
             stats.cycle_lengths.append(k)
             if k > 0:
@@ -439,11 +478,12 @@ class GMRESIRSolver:
                 # extend the basis at all.  With rungs left on the
                 # ladder, promote and retry; otherwise further restarts
                 # would spin.
-                if self.escalation.enabled and self.policy.can_promote:
-                    self._promote(stats, rho, "breakdown")
+                events = self.plane.observe_breakdown(
+                    rho, self._relres(rho), stats.iterations, stats.restarts
+                )
+                if events:
+                    self._apply_events(stats, events)
                     stats.breakdown = False
-                    cycles_at_rung = 0
-                    prev_rho = None
                     continue
                 break
 
@@ -468,6 +508,7 @@ def gmres_solve(
     maxiter: int = 300,
     ortho: str = "cgs2",
     escalation: "EscalationConfig | bool | None" = None,
+    control: "ControlConfig | str | None" = None,
 ) -> tuple[np.ndarray, SolverStats]:
     """One-shot convenience wrapper around :class:`GMRESIRSolver`."""
     solver = GMRESIRSolver(
@@ -478,6 +519,7 @@ def gmres_solve(
         restart=restart,
         ortho=ortho,
         escalation=escalation,
+        control=control,
     )
     rhs = problem.b if b is None else b
     return solver.solve(rhs, tol=tol, maxiter=maxiter)

@@ -86,12 +86,18 @@ class Timeline:
 def promotions_to_timeline(
     promotions, rank: int = 0, stream: str = "precision"
 ) -> Timeline:
-    """Ladder promotions as instant (zero-duration) timeline markers.
+    """Precision events as instant (zero-duration) timeline markers.
 
-    ``promotions`` is any iterable of promotion records exposing
+    ``promotions`` is any iterable of precision-event records exposing
     ``iteration``, ``reason``, ``from_low`` and ``to_low`` (what
     :class:`repro.solvers.gmres_ir.SolverStats` collects — duck-typed
-    here so the trace layer keeps no solver import).  The time axis is
+    here so the trace layer keeps no solver import).  Per-ingredient
+    events additionally expose ``ingredient``, ``level`` and
+    ``direction``; the marker name then attributes the move, e.g.
+    ``"promote[stall] smoother@L0 fp16->fp32"`` or
+    ``"demote[recovered] smoother@L0 fp32->fp16"``.  Whole-policy
+    records (no ingredient attribute, or ``"policy"``) keep the
+    historical ``"promote[reason] fp16->fp32"`` form.  The time axis is
     the inner-iteration count, matching the convergence-history plots
     these markers annotate; the exporters render zero-width spans as
     instant events.
@@ -99,12 +105,20 @@ def promotions_to_timeline(
     tl = Timeline()
     for p in promotions:
         t = float(p.iteration)
+        direction = getattr(p, "direction", "promote")
+        ingredient = getattr(p, "ingredient", "policy")
+        level = getattr(p, "level", None)
+        where = ""
+        if ingredient != "policy":
+            where = f" {ingredient}"
+            if level is not None:
+                where += f"@L{level}"
         tl.add(
             TraceEvent(
                 rank=rank,
                 stream=stream,
                 name=(
-                    f"promote[{p.reason}] "
+                    f"{direction}[{p.reason}]{where} "
                     f"{p.from_low.short_name}->{p.to_low.short_name}"
                 ),
                 start=t,

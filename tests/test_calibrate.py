@@ -57,3 +57,87 @@ class TestHostCalibration:
         # The host spec must be usable by the kernel-time model.
         t = spec.kernel_time(1e6, 1e3, "fp64")
         assert t > 0
+
+
+class TestNetworkFit:
+    """PR 4: alpha-beta fit folded from measured halo counters."""
+
+    def test_recovers_synthetic_alpha_beta(self):
+        from repro.perf.calibrate import fit_alpha_beta
+
+        alpha, beta = 5e-6, 1e-9  # 5 us/message, 1 GB/s
+        samples = [
+            (m, b, alpha * m + beta * b)
+            for m, b in [(100, 1e6), (1000, 2e6), (50, 8e6), (400, 5e5)]
+        ]
+        fit = fit_alpha_beta(samples)
+        assert fit.alpha == pytest.approx(alpha, rel=1e-6)
+        assert fit.beta == pytest.approx(beta, rel=1e-6)
+        assert fit.bandwidth == pytest.approx(1e9, rel=1e-6)
+        assert fit.residual < 1e-9
+        assert fit.nsamples == 4
+        assert fit.time(100, 1e6) == pytest.approx(alpha * 100 + beta * 1e6)
+
+    def test_single_sample_degenerates_to_bandwidth(self):
+        from repro.perf.calibrate import fit_alpha_beta
+
+        fit = fit_alpha_beta([(10, 1e6, 2e-3)])
+        assert fit.alpha == 0.0
+        assert fit.beta == pytest.approx(2e-9)
+
+    def test_empty_samples_rejected(self):
+        from repro.perf.calibrate import fit_alpha_beta
+
+        with pytest.raises(ValueError, match="sample"):
+            fit_alpha_beta([])
+
+    def test_samples_from_benchmark_records(self):
+        from repro.perf.calibrate import (
+            fit_network_from_records,
+            halo_samples_from_records,
+        )
+
+        records = [
+            {"send_messages": 100, "send_bytes": 1e6, "halo_seconds": 2e-3},
+            {"send_messages": 0, "send_bytes": 0, "halo_seconds": 0.0},
+            {"send_messages": 400, "send_bytes": 8e6, "halo_seconds": 1e-2},
+        ]
+        samples = halo_samples_from_records(records)
+        assert len(samples) == 2  # the serial record is skipped
+        fit = fit_network_from_records(records)
+        assert fit.nsamples == 2
+        with pytest.raises(ValueError, match="halo"):
+            fit_network_from_records([records[1]])
+
+    def test_measured_phase_record_feeds_the_fit(self):
+        """End-to-end: a real distributed run's counters fit."""
+        from repro.core import BenchmarkConfig, run_distributed_phase
+        from repro.perf.calibrate import fit_network_from_records
+
+        phase = run_distributed_phase(
+            BenchmarkConfig(
+                local_nx=16,
+                distributed_grid="2x1x1",
+                distributed_budget_seconds=0.1,
+                max_iters_per_solve=5,
+            )
+        )
+        fit = fit_network_from_records([phase, phase.to_dict()])
+        assert fit.beta > 0
+        assert fit.bandwidth > 0
+
+    def test_machine_with_network_fit(self):
+        from repro.perf.calibrate import (
+            NetworkFit,
+            machine_with_network_fit,
+        )
+        from repro.perf.machine import FRONTIER_GCD
+
+        fit = NetworkFit(alpha=3e-6, beta=2e-9, residual=0.0, nsamples=4)
+        spec = machine_with_network_fit(FRONTIER_GCD, fit)
+        assert spec.net_latency == pytest.approx(3e-6)
+        assert spec.nic_bw == pytest.approx(5e8)
+        # Degenerate fit keeps the spec's latency.
+        lone = NetworkFit(alpha=0.0, beta=2e-9, residual=0.0, nsamples=1)
+        spec2 = machine_with_network_fit(FRONTIER_GCD, lone)
+        assert spec2.net_latency == FRONTIER_GCD.net_latency

@@ -231,3 +231,86 @@ class TestHaloByteModel:
         assert phase.comm_bytes_per_iteration > face * 4
         # Upper bound sanity: well below shipping the whole local box.
         assert phase.comm_bytes_per_iteration < 16**3 * 8 * np.float64(4)
+
+
+class TestHaloMeasurement:
+    """PR 4: measured halo counters and modeled-vs-measured reporting."""
+
+    @pytest.fixture(scope="class")
+    def phase(self):
+        cfg = BenchmarkConfig(
+            local_nx=16,
+            distributed_grid="2x1x1",
+            distributed_budget_seconds=0.2,
+            max_iters_per_solve=10,
+        )
+        return run_distributed_phase(cfg)
+
+    def test_halo_counters_recorded(self, phase):
+        assert phase.halo_seconds > 0
+        assert phase.halo_exchanges > 0
+        assert phase.send_messages > 0
+
+    def test_modeled_vs_measured_halo_bytes(self, phase):
+        assert phase.halo_bytes_measured_per_iteration > 0
+        assert phase.halo_bytes_modeled_per_iteration > 0
+        # The model assumes a 26-neighbor middle rank; a 2x1x1 face
+        # exchange ships a fraction of that, never more.
+        assert 0 < phase.halo_model_ratio < 1.5
+
+    def test_motif_breakdown_in_record(self, phase):
+        rec = phase.to_dict()
+        motifs = rec["motif_seconds_per_solve"]
+        assert set(motifs) == {"spmv", "symgs", "ortho", "halo"}
+        assert motifs["spmv"] > 0
+        assert motifs["halo"] > 0
+        assert rec["halo_bytes_modeled_per_iteration"] == pytest.approx(
+            phase.halo_bytes_modeled_per_iteration
+        )
+
+    def test_serial_grid_has_no_halo(self):
+        cfg = BenchmarkConfig(
+            local_nx=16,
+            distributed_grid="1x1x1",
+            distributed_budget_seconds=0.05,
+            max_iters_per_solve=5,
+        )
+        phase = run_distributed_phase(cfg)
+        assert phase.halo_bytes_measured_per_iteration == 0
+        assert phase.halo_bytes_modeled_per_iteration == 0
+        assert phase.halo_model_ratio == 0
+
+
+class TestMotifGate:
+    @pytest.fixture()
+    def gate(self):
+        sys.path.insert(0, "benchmarks")
+        try:
+            import check_regression
+        finally:
+            sys.path.pop(0)
+        return check_regression
+
+    def test_motif_within_threshold_passes(self, gate):
+        base = {"motif_seconds_per_solve": {"spmv": 0.1, "symgs": 0.2}}
+        cur = {"motif_seconds_per_solve": {"spmv": 0.3, "symgs": 0.2}}
+        failures, notes = gate.compare(cur, base, 0.2, motif_threshold=4.0)
+        assert failures == []  # 3x is under the 5x motif gate
+
+    def test_motif_catastrophe_fails(self, gate):
+        base = {"motif_seconds_per_solve": {"halo": 0.01}}
+        cur = {"motif_seconds_per_solve": {"halo": 0.2}}
+        failures, _ = gate.compare(cur, base, 0.2, motif_threshold=4.0)
+        assert len(failures) == 1
+        assert "halo" in failures[0]
+
+    def test_missing_motif_in_current_fails(self, gate):
+        base = {"motif_seconds_per_solve": {"spmv": 0.1}}
+        failures, _ = gate.compare({}, base, 0.2)
+        assert any("spmv" in f for f in failures)
+
+    def test_baseline_without_motifs_skips(self, gate):
+        cur = {"motif_seconds_per_solve": {"spmv": 0.1}}
+        failures, notes = gate.compare(cur, {}, 0.2)
+        assert failures == []
+        assert any("skipped" in n for n in notes)
