@@ -12,10 +12,22 @@ metric regresses by more than the threshold:
   re-ships ghost values, or an extra exchange on the hot path).
 - ``model_bytes_per_cycle`` — the byte model's per-restart-cycle total
   (HBM streams plus halo at rung widths).  Also deterministic.
+- ``model_symgs_bytes_per_cycle`` — the dominant motif's modeled HBM
+  stream on its own (deterministic): a smoother that silently falls
+  off the color-partitioned layout re-grows its indirection traffic
+  here even when the total hides it.
 - ``seconds_per_solve`` — wall clock per solve.  Noisy on shared CI
   runners, hence the generous default threshold; the byte metrics are
   the precise tripwires, the wall clock catches order-of-magnitude
   slips (an accidentally-quadratic setup, a lost overlap).
+- ``exposed_comm_fraction`` — measured exposed / total halo seconds.
+  Scale-free (a slow runner inflates numerator and denominator
+  together) and tightly bounded in practice: overlap-on runs measure
+  ~0.96 on this config, overlap-off ~0.99, so it gates at its own
+  1.5% override — enough headroom over run-to-run noise (<0.5%) while
+  a lost SymGS/SpMV overlap (>= +2.5%) still trips it.  The metric is
+  bounded at 1.0, so the baseline must stay close below it for the
+  gate to have room to fire.
 - ``motif_seconds_per_solve`` — per-motif wall clock (spmv / symgs /
   ortho / halo).  Even noisier than the total (each motif is a slice
   of an already-noisy measurement), so motifs gate only on
@@ -40,11 +52,18 @@ import argparse
 import json
 import sys
 
-#: Metric -> whether CI noise is expected (affects only the message).
+#: Metric -> (noisy?, threshold override).  Byte metrics are
+#: deterministic for a given configuration, so they gate at a tight
+#: 2% regardless of the CLI threshold (a smoother silently falling
+#: back off the color-partitioned layout costs ~5% symgs bytes —
+#: under the default 20% but well over 2%); wall-clock and fraction
+#: metrics ride the generous CLI threshold.
 TRACKED_METRICS = {
-    "comm_bytes_per_iteration": False,
-    "model_bytes_per_cycle": False,
-    "seconds_per_solve": True,
+    "comm_bytes_per_iteration": (False, 0.02),
+    "model_bytes_per_cycle": (False, 0.02),
+    "model_symgs_bytes_per_cycle": (False, 0.02),
+    "seconds_per_solve": (True, None),
+    "exposed_comm_fraction": (True, 0.015),
 }
 
 #: Key of the per-motif wall-clock breakdown in the gated record, and
@@ -90,7 +109,7 @@ def compare(
     """Return (failures, notes) comparing tracked metrics."""
     failures: list[str] = []
     notes: list[str] = []
-    for key, noisy in TRACKED_METRICS.items():
+    for key, (noisy, override) in TRACKED_METRICS.items():
         if key not in baseline:
             notes.append(f"baseline has no {key!r}; skipped")
             continue
@@ -101,7 +120,7 @@ def compare(
             key,
             float(current[key]),
             float(baseline[key]),
-            threshold,
+            override if override is not None else threshold,
             failures,
             notes,
             noisy=noisy,

@@ -79,6 +79,26 @@ def symgs_sweep(
     return fn(A, r, xfull, sets, diag_sets, direction=direction, ws=ws)
 
 
+def symgs_interior(
+    P, r: np.ndarray, xfull: np.ndarray, direction: str = "forward", ws=None
+) -> None:
+    """Interior half of the overlapped multicolor GS sweep.
+
+    ``P`` is a color-partitioned matrix; every color's dependency-closed
+    interior block runs (in sweep order) while the halo is in flight.
+    """
+    fn = registry.lookup("symgs_interior", matrix_format(P), _prec(P.dtype))
+    return fn(P, r, xfull, direction=direction, ws=ws)
+
+
+def symgs_boundary(
+    P, r: np.ndarray, xfull: np.ndarray, direction: str = "forward", ws=None
+) -> None:
+    """Boundary half of the overlapped sweep (after the ghosts land)."""
+    fn = registry.lookup("symgs_boundary", matrix_format(P), _prec(P.dtype))
+    return fn(P, r, xfull, direction=direction, ws=ws)
+
+
 def fused_restrict(A, r, xfull, f_c, out=None, ws=None):
     """Fused residual + injection restriction (eq. 6)."""
     fn = registry.lookup("fused_restrict", matrix_format(A), _prec(A.dtype))
@@ -89,6 +109,34 @@ def prolong(xfull: np.ndarray, z_c: np.ndarray, f_c: np.ndarray, ws=None):
     """Transpose-injection prolongation ``x[f_c] += z_c``."""
     fn = registry.lookup("prolong", None, _prec(xfull.dtype))
     return fn(xfull, z_c, f_c, ws=ws)
+
+
+# ----------------------------------------------------------------------
+# Fused motifs (one memory pass where the backend registers one)
+# ----------------------------------------------------------------------
+def spmv_dot(A, x: np.ndarray, b: np.ndarray, out=None, ws=None):
+    """``r = b - A x`` plus the *local* ``r . r``, fused.
+
+    Returns ``(r, local_sq)``.  Backends that register a fused kernel
+    (Numba) evaluate the residual in the SpMV's matrix pass; every
+    other (format, precision) resolves to the NumPy wildcard
+    registration, which composes the registry's ``spmv``/``dot``
+    kernels operation-for-operation — bitwise-identical to the
+    unfused call sequence.
+    """
+    fn = registry.lookup("spmv_dot", matrix_format(A), _prec(A.dtype))
+    return fn(A, x, b, out=out, ws=ws)
+
+
+def waxpby_dot(alpha, x, beta, y, out=None, ws=None):
+    """``w = alpha x + beta y`` plus the *local* ``w . w``, fused.
+
+    Returns ``(w, local_sq)``; same wildcard-fallback contract as
+    :func:`spmv_dot` (the composition is bitwise-identical to the
+    separate ``waxpby`` + ``dot`` calls).
+    """
+    fn = registry.lookup("waxpby_dot", None, _prec(y.dtype))
+    return fn(alpha, x, beta, y, out=out, ws=ws)
 
 
 # ----------------------------------------------------------------------

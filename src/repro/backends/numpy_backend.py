@@ -302,6 +302,49 @@ def symgs_sweep(A, r, xfull, sets, diag_sets, direction="forward", ws=None):
 
 
 # ----------------------------------------------------------------------
+# Fused motifs
+# ----------------------------------------------------------------------
+# NumPy cannot truly fuse two passes into one loop, so these reference
+# registrations compose the registry's own kernels operation for
+# operation — bitwise-identical to the historical unfused call
+# sequences (the property the solver's golden tests pin), with every
+# temporary pooled.  Their value is the *seam*: the byte model charges
+# the fused pass once, and a JIT backend (Numba here, a GPU later)
+# registers a genuinely single-pass kernel against the same key.
+
+
+@register("spmv_dot")
+def spmv_dot(A, x, b, out=None, ws=None):
+    """``r = b - A x`` and local ``r . r`` (GMRES-IR's residual check).
+
+    The inner ``spmv``/``dot`` lookups re-dispatch on (format,
+    precision), so every storage layout and ladder rung — including
+    the partitioned distributed format — is served by this one
+    registration.
+    """
+    from repro.backends import dispatch
+
+    r = out if out is not None else np.empty(A.nrows, dtype=b.dtype)
+    ax = (
+        ws.get("spmv_dot.ax", (A.nrows,), A.dtype)
+        if ws is not None
+        else np.empty(A.nrows, dtype=A.dtype)
+    )
+    dispatch.spmv(A, x, out=ax, ws=ws)
+    np.subtract(b, ax, out=r)
+    return r, dispatch.dot(r, r)
+
+
+@register("waxpby_dot")
+def waxpby_dot(alpha, x, beta, y, out=None, ws=None):
+    """``w = alpha x + beta y`` and local ``w . w`` in one seam."""
+    from repro.backends import dispatch
+
+    w = dispatch.waxpby(alpha, x, beta, y, out=out, ws=ws)
+    return w, dispatch.dot(w, w)
+
+
+# ----------------------------------------------------------------------
 # Dense / vector motifs
 # ----------------------------------------------------------------------
 @register("dot")

@@ -81,3 +81,134 @@ def spmv_partitioned(P, xfull, out=None, ws=None):
     _block_spmv_into(P, "interior", xfull, y, ws)
     _block_spmv_into(P, "boundary", xfull, y, ws)
     return y
+
+
+# ----------------------------------------------------------------------
+# Color-partitioned SymGS: the overlapped smoother's two halves
+# ----------------------------------------------------------------------
+# ``symgs_interior`` sweeps every color's dependency-closed interior
+# block (in sweep order) while the halo is in flight; ``symgs_boundary``
+# finishes every color's boundary block after the ghosts land.  Each
+# block relaxation is ``x[rows] += (r[rows] - (A_blk x)) / diag_blk``
+# through a *full-matrix* block kernel, so the inner ``spmv`` lookup
+# re-dispatches on the block's own (format, precision) key — every
+# storage layout, every ladder rung and every backend (NumPy, Numba)
+# is served by these registrations without per-format code.
+#
+# The interleaved ``symgs_sweep`` (interior block, then boundary block,
+# per color) and the overlapped split (all interiors, then all
+# boundaries) execute identical reads and writes thanks to the
+# dependency closure (see ``repro.sparse.partitioned``), and both are
+# bitwise-equal at fp64 to the historical index-set sweep.
+
+
+def _relax_block(blk, r, xfull, ws, key) -> None:
+    """One block's relaxation pass, fp32/fp64 arithmetic."""
+    from repro.backends.dispatch import spmv
+
+    rows = blk.rows
+    m = len(rows)
+    if m == 0:
+        return
+    if ws is None:
+        ax = spmv(blk.A, xfull)
+        xfull[rows] += (r[rows] - ax) / blk.diag
+        return
+    ax = ws.get(("cgs.ax", key), (m,), blk.A.dtype)
+    spmv(blk.A, xfull, out=ax, ws=ws)
+    rb = ws.get(("cgs.rhs", key), (m,), r.dtype)
+    np.take(r, rows, out=rb, mode="clip")
+    np.subtract(rb, ax, out=rb)
+    np.divide(rb, blk.diag, out=rb)
+    xb = ws.get(("cgs.x", key), (m,), xfull.dtype)
+    np.take(xfull, rows, out=xb, mode="clip")
+    np.add(xb, rb, out=xb)
+    xfull[rows] = xb
+
+
+def _relax_block_fp16(blk, r, xfull, ws, key) -> None:
+    """One block's relaxation pass at fp16 storage, fp32 arithmetic.
+
+    Mirrors the fp16 ``symgs_sweep`` kernel: the block SpMV already
+    accumulates in fp32 (and folds the row-equilibration scale), the
+    near-cancelling update runs in fp32, and only the scatter back
+    into the fp16 iterate rounds.
+    """
+    from repro.backends.dispatch import spmv
+
+    rows = blk.rows
+    m = len(rows)
+    if m == 0:
+        return
+    if ws is None:
+        ax = np.empty(m, dtype=np.float32)
+        spmv(blk.A, xfull, out=ax)
+        upd = (r[rows] - ax) / np.asarray(blk.diag, dtype=np.float32)
+        xfull[rows] = xfull[rows] + upd.astype(np.float32)
+        return
+    ax = ws.get(("cgs16.ax", key), (m,), np.float32)
+    spmv(blk.A, xfull, out=ax, ws=ws)
+    rb = ws.get(("cgs16.r", key), (m,), r.dtype)
+    np.take(r, rows, out=rb, mode="clip")
+    acc = ws.get(("cgs16.acc", key), (m,), np.float32)
+    np.subtract(rb, ax, out=acc)
+    np.divide(acc, blk.diag, out=acc)
+    xb = ws.get(("cgs16.x", key), (m,), xfull.dtype)
+    np.take(xfull, rows, out=xb, mode="clip")
+    np.add(acc, xb, out=acc)
+    xfull[rows] = acc
+
+
+def _sweep_region(P, r, xfull, direction, region, ws, relax) -> None:
+    sched = P.schedule(direction)
+    idx = 0 if region == "interior" else 1
+    for p, blocks in enumerate(sched.passes):
+        relax(blocks[idx], r, xfull, ws, (direction, region, p))
+
+
+@register("symgs_interior", fmt="color_partitioned")
+def symgs_interior_cp(P, r, xfull, direction="forward", ws=None):
+    """Interior half of the overlapped sweep (no ghost columns read)."""
+    _sweep_region(P, r, xfull, direction, "interior", ws, _relax_block)
+
+
+@register("symgs_boundary", fmt="color_partitioned")
+def symgs_boundary_cp(P, r, xfull, direction="forward", ws=None):
+    """Boundary half of the overlapped sweep (requires landed ghosts)."""
+    _sweep_region(P, r, xfull, direction, "boundary", ws, _relax_block)
+
+
+@register("symgs_interior", fmt="color_partitioned", precision="fp16")
+def symgs_interior_cp_fp16(P, r, xfull, direction="forward", ws=None):
+    """fp16 interior half: fp32 relaxation arithmetic per block."""
+    _sweep_region(P, r, xfull, direction, "interior", ws, _relax_block_fp16)
+
+
+@register("symgs_boundary", fmt="color_partitioned", precision="fp16")
+def symgs_boundary_cp_fp16(P, r, xfull, direction="forward", ws=None):
+    """fp16 boundary half: fp32 relaxation arithmetic per block."""
+    _sweep_region(P, r, xfull, direction, "boundary", ws, _relax_block_fp16)
+
+
+def _symgs_sweep_cp(P, r, xfull, direction, ws, relax) -> None:
+    """Interleaved non-overlapped schedule on the same blocks."""
+    sched = P.schedule(direction)
+    for p, (interior, boundary) in enumerate(sched.passes):
+        relax(interior, r, xfull, ws, (direction, "interior", p))
+        relax(boundary, r, xfull, ws, (direction, "boundary", p))
+
+
+@register("symgs_sweep", fmt="color_partitioned")
+def symgs_sweep_cp(
+    P, r, xfull, sets=None, diag_sets=None, direction="forward", ws=None
+):
+    """Sequential reference on the partitioned layout (block order)."""
+    _symgs_sweep_cp(P, r, xfull, direction, ws, _relax_block)
+
+
+@register("symgs_sweep", fmt="color_partitioned", precision="fp16")
+def symgs_sweep_cp_fp16(
+    P, r, xfull, sets=None, diag_sets=None, direction="forward", ws=None
+):
+    """fp16 sequential reference on the partitioned layout."""
+    _symgs_sweep_cp(P, r, xfull, direction, ws, _relax_block_fp16)

@@ -86,6 +86,20 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
         help="disable the interior/boundary halo-compute overlap",
     )
     p.add_argument(
+        "--no-overlap-symgs",
+        action="store_true",
+        help="disable the smoother's color-partitioned halo-compute "
+        "overlap (SymGS keeps the blocking exchange; SpMV overlap "
+        "is unaffected)",
+    )
+    p.add_argument(
+        "--no-fusion",
+        action="store_true",
+        help="disable the fused-motif kernels (spmv_dot / waxpby_dot); "
+        "the residual check runs as separate SpMV, waxpby and dot "
+        "passes",
+    )
+    p.add_argument(
         "--distributed",
         type=str,
         default=None,
@@ -141,6 +155,8 @@ def cmd_run(args) -> int:
         num_solves=args.num_solves,
         validation_max_iters=args.validation_max_iters,
         overlap=False if args.no_overlap else "auto",
+        overlap_symgs=False if args.no_overlap_symgs else "auto",
+        fusion=not args.no_fusion,
         distributed_grid=args.distributed,
         distributed_budget_seconds=args.distributed_budget,
     )
@@ -163,6 +179,8 @@ def cmd_run(args) -> int:
                 "precision_ladder": config.precision_ladder,
                 "restart": config.restart,
                 "max_iters_per_solve": config.max_iters_per_solve,
+                "overlap_symgs": config.overlap_symgs,
+                "fusion": config.fusion,
             },
             **result.distributed.to_dict(),
         }

@@ -71,10 +71,36 @@ class DistributedPhaseMetrics:
     halo_exchanges: int = 0
     halo_bytes_measured_per_iteration: float = 0.0
     halo_bytes_modeled_per_iteration: float = 0.0
+    #: PR 5: the overlap-health metrics.  ``halo_exposed_seconds`` is
+    #: the measured wall clock in halo communication no compute hid
+    #: (blocking exchanges + landing waits); per-level it localizes
+    #: the Fig. 9b coarse-level exposure.  The modeled wire bytes are
+    #: split the same way (``ScalingModel.halo_traffic_split``), and
+    #: ``model_symgs_bytes_per_cycle`` isolates the dominant motif's
+    #: modeled HBM stream — both gated by ``check_regression.py``.
+    overlap_symgs: bool = True
+    fusion: bool = True
+    halo_exposed_seconds: float = 0.0
+    exposed_seconds_per_level: list[float] = field(default_factory=list)
+    model_symgs_bytes_per_cycle: float = 0.0
+    model_halo_overlapped_bytes_per_cycle: float = 0.0
+    model_halo_exposed_bytes_per_cycle: float = 0.0
 
     @property
     def seconds_per_solve(self) -> float:
         return self.wall_seconds / self.solves if self.solves else 0.0
+
+    @property
+    def exposed_comm_fraction(self) -> float:
+        """Share of measured halo wall clock that was exposed.
+
+        1.0 means every communication second sat on the critical path
+        (no overlap); the overlapped SpMV + SymGS schedules drive it
+        down.  0 when no halo time was measured at all (serial).
+        """
+        if self.halo_seconds <= 0:
+            return 0.0
+        return self.halo_exposed_seconds / self.halo_seconds
 
     @property
     def halo_model_ratio(self) -> float:
@@ -125,9 +151,21 @@ class DistributedPhaseMetrics:
                 self.halo_bytes_modeled_per_iteration
             ),
             "halo_model_ratio": self.halo_model_ratio,
+            "halo_exposed_seconds": self.halo_exposed_seconds,
+            "exposed_comm_fraction": self.exposed_comm_fraction,
+            "exposed_seconds_per_level": list(self.exposed_seconds_per_level),
+            "model_symgs_bytes_per_cycle": self.model_symgs_bytes_per_cycle,
+            "model_halo_overlapped_bytes_per_cycle": (
+                self.model_halo_overlapped_bytes_per_cycle
+            ),
+            "model_halo_exposed_bytes_per_cycle": (
+                self.model_halo_exposed_bytes_per_cycle
+            ),
             "seconds_by_motif": dict(self.seconds_by_motif),
             "motif_seconds_per_solve": self.motif_seconds_per_solve(),
             "overlap": self.overlap,
+            "overlap_symgs": self.overlap_symgs,
+            "fusion": self.fusion,
         }
 
 
@@ -173,6 +211,8 @@ def _phase_worker(
         escalation=config.escalation_config(),
         overlap=config.overlap,
         control=config.control_config(),
+        overlap_symgs=config.overlap_symgs,
+        fusion=config.fusion,
     )
     setup_seconds = time.perf_counter() - t_setup0
 
@@ -270,6 +310,8 @@ def _distributed_worker(
         escalation=config.escalation_config(),
         overlap=config.overlap,
         control=config.control_config(),
+        overlap_symgs=config.overlap_symgs,
+        fusion=config.fusion,
     )
     # Warmup solve: populates every workspace buffer and transport
     # freelist, so the timed loop below runs allocation-free.  Both the
@@ -306,7 +348,11 @@ def _distributed_worker(
         "allreduce_bytes": comm.stats.allreduce_bytes,
         "halo_seconds": solver.halo_seconds(),
         "halo_exchanges": solver.halo_exchange_count(),
+        "halo_exposed_seconds": solver.halo_exposed_seconds(),
+        "exposed_seconds_per_level": solver.exposed_comm_seconds_by_level(),
         "overlap": solver.overlap,
+        "overlap_symgs": solver.overlap_symgs,
+        "fusion": solver.fusion,
         # The live per-ingredient schedule at the end of the timed
         # window — the byte model charges each ingredient at its
         # *current* rung (a plain policy when the plane ran in
@@ -344,6 +390,12 @@ def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
     allreduce_bytes = max(rec["allreduce_bytes"] for rec in records)
     halo_seconds = max(rec["halo_seconds"] for rec in records)
     halo_exchanges = max(rec["halo_exchanges"] for rec in records)
+    halo_exposed = max(rec["halo_exposed_seconds"] for rec in records)
+    # Slowest rank per level: exposure localizes per level (Fig. 9b).
+    exposed_per_level = [
+        max(rec["exposed_seconds_per_level"][i] for rec in records)
+        for i in range(len(records[0]["exposed_seconds_per_level"]))
+    ]
     iterations = records[0]["iterations"]
     comm_per_iter = (
         (send_bytes + allreduce_bytes) / iterations if iterations else 0.0
@@ -357,6 +409,12 @@ def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
         restart=config.restart,
         nlevels=config.nlevels,
         matrix_format=config.matrix_format,
+        # "auto" resolves to the solver's actual decisions at this
+        # rank count, so the modeled schedules (and the halo
+        # overlapped/exposed split) match what was measured.
+        overlap=records[0]["overlap"],
+        overlap_symgs=records[0]["overlap_symgs"],
+        fusion=config.fusion,
     )
     # Charge the byte model at the *live* schedule the solver ended on
     # (identical to the configured policy unless the control plane
@@ -371,6 +429,11 @@ def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
         else 0.0
     )
     halo_measured_per_iter = send_bytes / iterations if iterations else 0.0
+    halo_split = (
+        model.halo_traffic_split(schedule)
+        if nranks > 1
+        else {"overlapped": 0.0, "exposed": 0.0}
+    )
 
     return DistributedPhaseMetrics(
         grid=shape,
@@ -389,6 +452,13 @@ def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
         halo_exchanges=halo_exchanges,
         halo_bytes_measured_per_iteration=halo_measured_per_iter,
         halo_bytes_modeled_per_iteration=halo_modeled_per_iter,
+        overlap_symgs=records[0]["overlap_symgs"],
+        fusion=records[0]["fusion"],
+        halo_exposed_seconds=halo_exposed,
+        exposed_seconds_per_level=exposed_per_level,
+        model_symgs_bytes_per_cycle=model.cycle_symgs_bytes(schedule),
+        model_halo_overlapped_bytes_per_cycle=halo_split["overlapped"],
+        model_halo_exposed_bytes_per_cycle=halo_split["exposed"],
     )
 
 

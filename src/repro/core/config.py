@@ -139,6 +139,17 @@ class BenchmarkConfig:
     #: force it (the single-rank ``True`` case exercises the schedule
     #: with an empty boundary, useful for validation).
     overlap: "bool | str" = "auto"
+    #: Overlap the *smoother's* halo exchange with its interior color
+    #: blocks (the PR 5 color-partitioned SymGS schedule, bitwise-equal
+    #: to the sequential sweep).  ``"auto"`` follows ``overlap``; an
+    #: explicit bool decouples the two for ablation
+    #: (``--no-overlap-symgs``).
+    overlap_symgs: "bool | str" = "auto"
+    #: Fused-motif kernels (``spmv_dot`` / ``waxpby_dot``): the
+    #: residual check's subtraction and dot ride the SpMV's memory
+    #: pass.  Numerically identical to the unfused sequence; off for
+    #: ablation (``--no-fusion``).
+    fusion: bool = True
     #: Optional ``"PXxPYxPZ"`` process grid for the distributed phase:
     #: a weak-scaling-shaped run (same local box per rank) on the
     #: thread-SPMD runtime with the overlapped halo pipeline, repeated
@@ -188,6 +199,11 @@ class BenchmarkConfig:
         if self.overlap not in (True, False, "auto"):
             raise ValueError(
                 f"overlap must be True, False or 'auto', got {self.overlap!r}"
+            )
+        if self.overlap_symgs not in (True, False, "auto"):
+            raise ValueError(
+                f"overlap_symgs must be True, False or 'auto', "
+                f"got {self.overlap_symgs!r}"
             )
         if self.distributed_grid is not None:
             parse_process_grid(self.distributed_grid)  # fail fast

@@ -66,6 +66,20 @@ def format_report(result: BenchmarkResult) -> str:
         )
         add(f"  comm bytes/iteration (measured): {d.comm_bytes_per_iteration:.0f}")
         add(f"  model bytes/cycle (HBM+halo):    {d.model_bytes_per_cycle:.0f}")
+        add(f"  model symgs bytes/cycle:         {d.model_symgs_bytes_per_cycle:.0f}")
+        if d.halo_seconds > 0:
+            smoother = "overlapped" if d.overlap_symgs else "blocking"
+            per_level = "  ".join(
+                f"L{i}={s * 1e3:.1f}ms"
+                for i, s in enumerate(d.exposed_seconds_per_level)
+            )
+            add(
+                f"  exposed comm: {d.halo_exposed_seconds:.3f} s of "
+                f"{d.halo_seconds:.3f} s halo "
+                f"({100 * d.exposed_comm_fraction:.1f}%, "
+                f"{smoother} smoother)"
+            )
+            add(f"    per level: {per_level}")
     return "\n".join(lines)
 
 

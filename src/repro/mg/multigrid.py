@@ -117,6 +117,7 @@ class MultigridPreconditioner:
         precision: Precision,
         timers=None,
         workspace: Workspace | None = None,
+        overlap: bool = False,
     ) -> None:
         self.levels = levels
         self.config = config
@@ -124,6 +125,10 @@ class MultigridPreconditioner:
         self.precision = precision
         self.timers = timers if timers is not None else NullTimers()
         self.ws = workspace if workspace is not None else Workspace("mg")
+        #: Overlap each smoother sweep's halo exchange with its
+        #: interior color blocks (requires color-partitioned
+        #: smoothers, built by :meth:`build` with ``overlap=True``).
+        self.overlap = overlap
 
     @property
     def schedule(self) -> tuple[Precision, ...]:
@@ -158,6 +163,7 @@ class MultigridPreconditioner:
         matrix_format: str = "ell",
         workspace: Workspace | None = None,
         transfer_precision: "str | Precision | tuple | None" = None,
+        overlap: bool = False,
     ) -> "MultigridPreconditioner":
         """Build the hierarchy under ``problem``'s fine grid.
 
@@ -191,6 +197,14 @@ class MultigridPreconditioner:
         historical coupling — each boundary at the coarser level's
         rung.  This is the seam the per-ingredient precision control
         plane drives.
+
+        ``overlap=True`` builds each multicolor smoother on a
+        color-partitioned layout
+        (:func:`repro.sparse.partitioned.partition_colors`) so every
+        sweep posts its halo exchange first and hides it behind the
+        dependency-closed interior color blocks — bitwise-equal to the
+        sequential schedule at fp64.  The level-scheduled smoother has
+        no split and silently keeps the blocking exchange.
         """
         config = config or MGConfig()
         schedule = schedule_for_levels(precision, config.nlevels)
@@ -231,7 +245,9 @@ class MultigridPreconditioner:
                 )
             halo_ex = HaloExchange(level_problem.halo, comm, workspace=ws)
             diag = A.diagonal()
-            smoother = cls._build_smoother(A, diag, sub, config, ws)
+            smoother = cls._build_smoother(
+                A, diag, sub, config, ws, level_problem.halo if overlap else None
+            )
             f_c = None
             coarse_sub = None
             if lvl < config.nlevels - 1:
@@ -263,16 +279,29 @@ class MultigridPreconditioner:
             if f_c is not None:
                 sub = coarse_sub
                 level_problem = generate_problem(sub, spec=spec)
-        return cls(levels, config, schedule[0], timers, workspace=ws)
+        return cls(
+            levels, config, schedule[0], timers, workspace=ws, overlap=overlap
+        )
 
     @staticmethod
     def _build_smoother(
-        A, diag: np.ndarray, sub: Subdomain, config: MGConfig, ws: Workspace
+        A,
+        diag: np.ndarray,
+        sub: Subdomain,
+        config: MGConfig,
+        ws: Workspace,
+        halo=None,
     ) -> Smoother:
         if config.smoother == "multicolor":
             colors = structured_coloring8(sub)
+            sets = color_sets(colors)
+            partition = None
+            if halo is not None:
+                from repro.sparse.partitioned import partition_colors
+
+                partition = partition_colors(A, halo, sets, diag=diag)
             return make_smoother(
-                A, "multicolor", diag=diag, sets=color_sets(colors), ws=ws
+                A, "multicolor", diag=diag, sets=sets, ws=ws, partition=partition
             )
         # build() stores levelsched hierarchies in ELL, so A is the
         # matrix the triangular machinery splits — no duplicate copy.
@@ -311,13 +340,25 @@ class MultigridPreconditioner:
             with self.timers.section("gs"):
                 for _ in range(cfg.coarse_sweeps):
                     smooth_distributed(
-                        level.smoother, level.halo_ex, r, zfull, cfg.sweep
+                        level.smoother,
+                        level.halo_ex,
+                        r,
+                        zfull,
+                        cfg.sweep,
+                        overlap=self.overlap,
                     )
             return zfull[: level.nlocal]
 
         with self.timers.section("gs"):
             for _ in range(cfg.npre):
-                smooth_distributed(level.smoother, level.halo_ex, r, zfull, cfg.sweep)
+                smooth_distributed(
+                    level.smoother,
+                    level.halo_ex,
+                    r,
+                    zfull,
+                    cfg.sweep,
+                    overlap=self.overlap,
+                )
 
         with self.timers.section("restrict"):
             r_c = exchange_and_fused_restrict(
@@ -340,7 +381,14 @@ class MultigridPreconditioner:
 
         with self.timers.section("gs"):
             for _ in range(cfg.npost):
-                smooth_distributed(level.smoother, level.halo_ex, r, zfull, cfg.sweep)
+                smooth_distributed(
+                    level.smoother,
+                    level.halo_ex,
+                    r,
+                    zfull,
+                    cfg.sweep,
+                    overlap=self.overlap,
+                )
 
         return zfull[: level.nlocal]
 

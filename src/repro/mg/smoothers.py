@@ -32,7 +32,12 @@ import abc
 
 import numpy as np
 
-from repro.backends.dispatch import spmv, symgs_sweep
+from repro.backends.dispatch import (
+    spmv,
+    symgs_boundary,
+    symgs_interior,
+    symgs_sweep,
+)
 from repro.backends.workspace import Workspace
 from repro.parallel.halo_exchange import HaloExchange
 from repro.sparse.ell import ELLMatrix
@@ -70,6 +75,32 @@ class Smoother(abc.ABC):
         self.forward(r, xfull)
         self.backward(r, xfull)
 
+    #: Whether :meth:`sweep_overlapped` actually hides the exchange
+    #: (smoothers without a color partition fall back to the blocking
+    #: exchange-then-sweep schedule).
+    supports_overlap = False
+
+    def sweep_overlapped(
+        self,
+        halo_ex: HaloExchange,
+        r: np.ndarray,
+        xfull: np.ndarray,
+        direction: str = "forward",
+    ) -> None:
+        """One distributed sweep with the exchange as early as possible.
+
+        Base implementation: the sequential schedule (full exchange,
+        then the sweep) — smoothers that can split their passes
+        override this with the begin/interior/finish/boundary pipeline.
+        """
+        halo_ex.exchange(xfull)
+        if direction == "forward":
+            self.forward(r, xfull)
+        elif direction == "backward":
+            self.backward(r, xfull)
+        else:
+            raise ValueError(f"unknown sweep direction {direction!r}")
+
 
 class MulticolorGS(Smoother):
     """Multicolor Gauss-Seidel in one-sweep relaxation form (§3.2.1).
@@ -81,7 +112,12 @@ class MulticolorGS(Smoother):
     """
 
     def __init__(
-        self, A, diag: np.ndarray, sets: list[np.ndarray], ws: Workspace | None = None
+        self,
+        A,
+        diag: np.ndarray,
+        sets: list[np.ndarray],
+        ws: Workspace | None = None,
+        partition=None,
     ):
         self.A = A
         self.diag = diag
@@ -91,6 +127,16 @@ class MulticolorGS(Smoother):
         self.diag_sets = [diag[rows] for rows in sets]
         self.ws = ws
         self.num_passes = len(sets)
+        #: Optional :class:`~repro.sparse.partitioned.ColorPartitionedMatrix`
+        #: enabling the overlapped sweep: every color split into a
+        #: dependency-closed interior block (runs while the halo is in
+        #: flight) and a boundary block (runs after the ghosts land) —
+        #: bitwise-equal to the sequential sweep at fp64.
+        self.partition = partition
+
+    @property
+    def supports_overlap(self) -> bool:
+        return self.partition is not None
 
     def forward(self, r: np.ndarray, xfull: np.ndarray) -> None:
         symgs_sweep(
@@ -101,6 +147,35 @@ class MulticolorGS(Smoother):
         symgs_sweep(
             self.A, r, xfull, self.sets, self.diag_sets, "backward", ws=self.ws
         )
+
+    def sweep_overlapped(
+        self,
+        halo_ex: HaloExchange,
+        r: np.ndarray,
+        xfull: np.ndarray,
+        direction: str = "forward",
+    ) -> None:
+        """One distributed sweep with the exchange behind the interior.
+
+        The paper's §3.2.3 schedule applied to the smoother (the
+        ROADMAP's "overlap the smoother's halo exchange with its first
+        color pass", extended to the dependency-closed interior of
+        *every* color): post the halo, relax each color's interior
+        block, land the ghosts in the vector tail, relax each color's
+        boundary block.  Without a partition this degrades to the
+        sequential exchange-then-sweep schedule.
+        """
+        if self.partition is None:
+            super().sweep_overlapped(halo_ex, r, xfull, direction)
+            return
+        if direction not in ("forward", "backward"):
+            raise ValueError(f"unknown sweep direction {direction!r}")
+        pending = halo_ex.exchange_begin(xfull)
+        # Interior colors compute while the messages are in transit ...
+        symgs_interior(self.partition, r, xfull, direction, ws=self.ws)
+        # ... land the ghosts, then finish every color's boundary rows.
+        halo_ex.exchange_finish(pending, xfull)
+        symgs_boundary(self.partition, r, xfull, direction, ws=self.ws)
 
 
 class LevelScheduledGS(Smoother):
@@ -158,12 +233,13 @@ def make_smoother(
     diag: np.ndarray | None = None,
     sets: list[np.ndarray] | None = None,
     ws: Workspace | None = None,
+    partition=None,
 ) -> Smoother:
     """Factory: ``"multicolor"`` (needs diag+sets) or ``"levelsched"``."""
     if kind == "multicolor":
         if diag is None or sets is None:
             raise ValueError("multicolor smoother needs diag and color sets")
-        return MulticolorGS(A, diag, sets, ws=ws)
+        return MulticolorGS(A, diag, sets, ws=ws, partition=partition)
     if kind == "levelsched":
         return LevelScheduledGS(A)
     raise ValueError(f"unknown smoother kind {kind!r}")
@@ -175,8 +251,24 @@ def smooth_distributed(
     r: np.ndarray,
     xfull: np.ndarray,
     direction: str = "forward",
+    overlap: bool = False,
 ) -> None:
-    """One distributed sweep: halo exchange, then the local sweep."""
+    """One distributed sweep: halo exchange, then the local sweep.
+
+    With ``overlap=True`` each directional sweep runs through
+    :meth:`Smoother.sweep_overlapped` — the exchange posts first and
+    the smoother's interior color blocks hide it (bitwise-equal to the
+    sequential schedule; smoothers without a partition fall back to
+    it).  A symmetric sweep overlaps each direction's exchange
+    independently, exactly mirroring the sequential pair.
+    """
+    if overlap:
+        if direction == "symmetric":
+            smoother.sweep_overlapped(halo_ex, r, xfull, "forward")
+            smoother.sweep_overlapped(halo_ex, r, xfull, "backward")
+        else:
+            smoother.sweep_overlapped(halo_ex, r, xfull, direction)
+        return
     halo_ex.exchange(xfull)
     if direction == "forward":
         smoother.forward(r, xfull)

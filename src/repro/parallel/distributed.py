@@ -35,6 +35,19 @@ def dnorm2(comm: Communicator, a: np.ndarray) -> float:
     return float(np.sqrt(max(dnorm2_sq(comm, a), 0.0)))
 
 
+def dnorm2_from_local(comm: Communicator, local_sq: float) -> float:
+    """Global 2-norm from an already-computed local squared sum.
+
+    The reduction half of :func:`dnorm2` for fused kernels
+    (``spmv_dot`` / ``waxpby_dot``) that produce the local partial sum
+    inside their memory pass: same fixed-order double all-reduce, same
+    clamping — bitwise-identical to ``dnorm2`` fed the same vector.
+    """
+    if not comm.is_serial:
+        local_sq = comm.allreduce_scalar(local_sq, op="sum")
+    return float(np.sqrt(max(local_sq, 0.0)))
+
+
 def dmatvec_block(comm: Communicator, Q: np.ndarray, v: np.ndarray) -> np.ndarray:
     """Global ``Q^T v`` for a block of basis vectors (CGS2's GEMVT).
 

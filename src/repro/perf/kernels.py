@@ -116,12 +116,27 @@ class KernelModel:
         )
 
     def gs_sweep(
-        self, n: int, prec: Precision, num_colors: int = 8, fmt: str = "ell"
+        self,
+        n: int,
+        prec: Precision,
+        num_colors: int = 8,
+        fmt: str = "ell",
+        color_blocks: bool = True,
     ) -> KernelCost:
         """One forward multicolor GS sweep (all colors).
 
         One matrix pass total, plus r read, x read-modify-write, and
         the gather; one kernel launch per color.
+
+        ``color_blocks=True`` (the default, matching the optimized
+        configuration's overlapped smoother and the historical byte
+        totals) is the color-partitioned layout: each pass is a dense
+        block kernel over pre-extracted rows.  ``color_blocks=False``
+        is the legacy index-set layout — every pass streams its
+        color's int64 row-index array and stages the gathered r/x
+        slices through scratch, charged as ``n * (8 + vb)`` extra
+        bytes per sweep (what a smoother that falls off the
+        partitioned layout pays).
         """
         vb = prec.bytes
         nbytes = n * (
@@ -131,6 +146,8 @@ class KernelModel:
             + 2 * vb  # x read + write
             + vb  # diag read
         )
+        if not color_blocks:
+            nbytes += n * (8 + vb)  # row-index stream + staging copy
         nbytes += self._format_overhead_bytes(n, fmt)
         return KernelCost(
             name=f"gs_{prec.short_name}",
@@ -249,6 +266,39 @@ class KernelModel:
             motif="ortho",
             nbytes=n * k * vb + 2 * n * vb,
             flops=2 * n * k,
+            launches=1,
+            precision=prec,
+        )
+
+    def spmv_dot(self, n: int, prec: Precision, fmt: str = "ell") -> KernelCost:
+        """Fused ``r = b - A x`` + local ``r . r`` (one matrix pass).
+
+        Versus the unfused sequence (SpMV, then a 3-vector waxpby,
+        then a 2-vector dot) the residual and reduction ride the
+        SpMV's pass: only ``b`` is read and ``r`` written on top of
+        the SpMV traffic — the "remaining bytes" fusion the
+        tile-centric mixed-precision GEMM work targets, applied to the
+        sparse residual check.
+        """
+        spmv = self.spmv(n, prec, fmt)
+        vb = prec.bytes
+        return KernelCost(
+            name=f"spmv_dot_{fmt}_{prec.short_name}",
+            motif="spmv",
+            nbytes=spmv.nbytes + n * vb,  # + b read (r write in spmv's y)
+            flops=spmv.flops + 3 * n,  # subtract + multiply-add
+            launches=1,
+            precision=prec,
+        )
+
+    def waxpby_dot(self, n: int, prec: Precision) -> KernelCost:
+        """Fused ``w = alpha x + beta y`` + local ``w . w`` (one pass)."""
+        vb = prec.bytes
+        return KernelCost(
+            name=f"waxpby_dot_{prec.short_name}",
+            motif="waxpby",
+            nbytes=3 * n * vb,  # x read, y read, w write; dot in-register
+            flops=5 * n,
             launches=1,
             precision=prec,
         )

@@ -56,6 +56,8 @@ ABLATION_CONFIGS: list[tuple[str, dict]] = [
     ("level-scheduled GS", {"smoother": "levelsched"}),
     ("unfused restriction", {"fused_restrict": False}),
     ("no overlap", {"overlap": False}),
+    ("no symgs overlap", {"overlap_symgs": False}),
+    ("no fused motifs", {"fusion": False}),
     ("host mixed ops", {"host_mixed_ops": True}),
     ("reference (all off)", {"impl": "reference"}),
 ]
@@ -104,6 +106,8 @@ class ScalingModel:
         smoother: str | None = None,
         fused_restrict: bool | None = None,
         overlap: bool | None = None,
+        overlap_symgs: bool | None = None,
+        fusion: bool | None = None,
         host_mixed_ops: bool | None = None,
         sweep: str = "forward",
         ortho_method: str = "cgs2",
@@ -147,6 +151,13 @@ class ScalingModel:
         )
         self.fused = fused_restrict if fused_restrict is not None else opt
         self.overlap = overlap if overlap is not None else opt
+        # Smoother overlap (PR 5) defaults to the SpMV overlap
+        # decision; fused motifs (spmv_dot / waxpby_dot) ride the
+        # optimized bundle.  Both detach for one-at-a-time ablation.
+        self.overlap_symgs = (
+            overlap_symgs if overlap_symgs is not None else self.overlap
+        )
+        self.fusion = fusion if fusion is not None else opt
         self.host_mixed_ops = (
             host_mixed_ops if host_mixed_ops is not None else (not opt)
         )
@@ -200,6 +211,30 @@ class ScalingModel:
         interior = max(nx - 2, 0) * max(ny - 2, 0) * max(nz - 2, 0)
         return interior / (nx * ny * nz)
 
+    @staticmethod
+    def _symgs_early_fraction(
+        dims: tuple[int, int, int], num_colors: int = 8
+    ) -> float:
+        """Fraction of a sweep runnable before the halo lands.
+
+        A color's interior block must be *dependency-closed* (every
+        earlier-color neighbor itself early), which erodes the window
+        by roughly one layer per pair of earlier parity colors:
+        color ``c`` keeps rows at depth ``> 1 + (c+1)//2`` from the
+        faces.  Averaged over colors this is nearly the full interior
+        on fine boxes and collapses toward zero on coarse ones —
+        exactly the Fig. 9b coarse-level exposure the measured
+        per-level counters report.
+        """
+        nx, ny, nz = dims
+        n = nx * ny * nz
+        total = 0.0
+        for c in range(num_colors):
+            d = 1 + (c + 1) // 2
+            kept = max(nx - 2 * d, 0) * max(ny - 2 * d, 0) * max(nz - 2 * d, 0)
+            total += kept / n
+        return total / num_colors
+
     # ------------------------------------------------------------------
     # Per-operation times
     # ------------------------------------------------------------------
@@ -220,14 +255,22 @@ class ScalingModel:
         imb = imbalance_factor(m, nodes)
         fmt_eff = m.csr_bw_efficiency if self.fmt == "csr" else 1.0
         if self.smoother == "multicolor":
-            cost = self.km.gs_sweep(n, prec, fmt=self.fmt)
+            cost = self.km.gs_sweep(
+                n, prec, fmt=self.fmt, color_blocks=self.overlap_symgs
+            )
             t_kernel = m.kernel_time(
                 cost.nbytes, cost.flops, prec, launches=cost.launches,
                 bw_efficiency=fmt_eff,
             )
-            if self.overlap:
-                # Overlap: the first color's interior kernel hides the
+            if self.overlap_symgs:
+                # Overlapped SymGS: the first color pass hides the
                 # halo path (§3.2.3); any excess is exposed (Fig. 9b).
+                # The paper's traces — which this model is calibrated
+                # against — show exactly this window; the
+                # dependency-closed multi-color window the PR 5
+                # implementation runs can hide more, which the
+                # *measured* exposed-comm counters report while the
+                # model stays paper-faithful.
                 t_first_color = t_kernel / cost.launches
                 exposed = max(0.0, t_comm - t_first_color)
                 return t_kernel * imb + exposed
@@ -348,10 +391,24 @@ class ScalingModel:
         A plain :class:`~repro.fp.policy.PrecisionPolicy` carries no
         transfer axis and is charged exactly as before.
         """
+        by = self.mg_vcycle_byte_breakdown(policy)
+        return by["symgs"] + by["transfer"]
+
+    def mg_vcycle_byte_breakdown(self, policy) -> dict[str, float]:
+        """One V-cycle's modeled HBM bytes, split ``symgs``/``transfer``.
+
+        ``symgs`` is the smoother-sweep traffic (all levels, charged
+        on the color-partitioned layout when the smoother overlap is
+        on — the index-set indirection disappears with it);
+        ``transfer`` covers the restrictions and prolongations.  The
+        split is what lets the benchmark record and its CI gate track
+        the dominant motif's modeled bytes on their own.
+        """
         cfg = self.mg_config
         sweep_mult = 2 if cfg.sweep == "symmetric" else 1
         transfer_of = getattr(policy, "transfer_level", None)
-        total = 0.0
+        color_blocks = self.overlap_symgs and self.smoother == "multicolor"
+        symgs = transfer = 0.0
         for lvl in range(self.nlevels):
             prec = policy.mg_level(lvl)
             n = self.level_nlocal(lvl)
@@ -360,25 +417,26 @@ class ScalingModel:
                 if lvl == self.nlevels - 1
                 else cfg.npre + cfg.npost
             )
-            total += (
-                sweeps * sweep_mult * self.km.gs_sweep(n, prec, fmt=self.fmt).nbytes
+            cost = self.km.gs_sweep(
+                n, prec, fmt=self.fmt, color_blocks=color_blocks
             )
+            symgs += sweeps * sweep_mult * cost.nbytes
             if lvl == self.nlevels - 1:
                 continue
             n_c = self.level_nlocal(lvl + 1)
             if self.fused:
-                total += self.km.fused_spmv_restrict(n_c, prec).nbytes
+                transfer += self.km.fused_spmv_restrict(n_c, prec).nbytes
             else:
-                total += self.km.unfused_residual_restrict(
+                transfer += self.km.unfused_residual_restrict(
                     n, n_c, prec, fmt=self.fmt
                 ).nbytes
-            total += self.km.prolong_correct(n_c, prec).nbytes
+            transfer += self.km.prolong_correct(n_c, prec).nbytes
             if transfer_of is not None:
                 # Re-charge the restriction's coarse-defect store at
                 # the live transfer rung (the kernel models above
                 # charged it at the level rung).
-                total += n_c * (transfer_of(lvl).bytes - prec.bytes)
-        return total
+                transfer += n_c * (transfer_of(lvl).bytes - prec.bytes)
+        return {"symgs": symgs, "transfer": transfer}
 
     def halo_traffic_bytes(self, policy) -> float:
         """Modeled network bytes of one restart cycle, per GCD.
@@ -415,6 +473,65 @@ class ScalingModel:
         total += fine_pts * Precision.DOUBLE.bytes  # outer residual
         return total
 
+    def halo_traffic_split(self, policy) -> dict[str, float]:
+        """:meth:`halo_traffic_bytes` split ``overlapped``/``exposed``.
+
+        Wire bytes are classified by whether an overlap schedule
+        covers their exchange: smoother-sweep exchanges ride the
+        overlapped SymGS when it is on, the restriction's exchange and
+        the inner/outer SpMV exchanges ride the §3.2.3 SpMV overlap.
+        Bytes with no compute posted behind them are *exposed* — the
+        modeled counterpart of the measured ``exposed_seconds``
+        counters (the split sums exactly to the ``halo`` total, which
+        tests assert).
+        """
+        from repro.perf.network import halo_message_counts
+
+        cfg = self.mg_config
+        sweep_mult = 2 if cfg.sweep == "symmetric" else 1
+        symgs_overlapped = self.overlap_symgs and self.smoother == "multicolor"
+        overlapped = exposed = 0.0
+        for lvl in range(self.nlevels):
+            pts = halo_message_counts(self.level_local_dims(lvl))["points"]
+            width = policy.mg_level(lvl).bytes
+            sweeps = (
+                cfg.coarse_sweeps
+                if lvl == self.nlevels - 1
+                else cfg.npre + cfg.npost
+            )
+            sweep_bytes = sweeps * sweep_mult * pts * width
+            if symgs_overlapped:
+                overlapped += sweep_bytes
+            else:
+                exposed += sweep_bytes
+            if lvl != self.nlevels - 1:
+                # The restriction's residual exchange overlaps like an
+                # SpMV (interior rows of the fused kernel hide it).
+                if self.overlap:
+                    overlapped += pts * width
+                else:
+                    exposed += pts * width
+        m = self.restart
+        fine_pts = halo_message_counts(self.level_local_dims(0))["points"]
+        overlapped *= m + 1
+        exposed *= m + 1
+        spmv_bytes = m * fine_pts * policy.matrix.bytes
+        outer_bytes = fine_pts * Precision.DOUBLE.bytes
+        if self.overlap:
+            overlapped += spmv_bytes + outer_bytes
+        else:
+            exposed += spmv_bytes + outer_bytes
+        return {"overlapped": overlapped, "exposed": exposed}
+
+    def cycle_symgs_bytes(self, policy) -> float:
+        """Modeled smoother-sweep HBM bytes of one restart cycle.
+
+        The dominant-motif slice of :meth:`cycle_traffic_bytes`
+        (``(m + 1)`` V-cycles' worth of sweeps), reported in the
+        benchmark record and gated by ``check_regression.py``.
+        """
+        return (self.restart + 1) * self.mg_vcycle_byte_breakdown(policy)["symgs"]
+
     def cycle_traffic_bytes(self, policy) -> dict[str, float]:
         """Modeled bytes of one full restart cycle under a policy.
 
@@ -447,11 +564,20 @@ class ScalingModel:
             km.ortho_cgs2_step(n, k, policy.krylov_basis).nbytes
             for k in range(1, m + 1)
         )
-        # Outer IR overhead, pinned to fp64 by the benchmark.
+        # Outer IR overhead, pinned to fp64 by the benchmark.  With
+        # the fused-motif pipeline the residual subtraction and its
+        # norm ride the SpMV's matrix pass (spmv_dot) — charged once —
+        # instead of a separate 3-vector waxpby plus a 2-vector dot.
+        if self.fusion:
+            residual_bytes = km.spmv_dot(n, Precision.DOUBLE, fmt=self.fmt).nbytes
+        else:
+            residual_bytes = (
+                km.spmv(n, Precision.DOUBLE, fmt=self.fmt).nbytes
+                + km.waxpby(n, Precision.DOUBLE).nbytes
+                + km.dot(n, Precision.DOUBLE).nbytes
+            )
         by["outer"] = (
-            km.spmv(n, Precision.DOUBLE, fmt=self.fmt).nbytes
-            + km.waxpby(n, Precision.DOUBLE).nbytes
-            + km.dot(n, Precision.DOUBLE).nbytes
+            residual_bytes
             + km.gemv_qt(n, m, policy.krylov_basis).nbytes
             + km.mixed_waxpby_device(n).nbytes
         )

@@ -15,11 +15,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.backends.dispatch import waxpby
+from repro.backends.dispatch import waxpby, waxpby_dot
 from repro.backends.workspace import Workspace
 from repro.mg.multigrid import MGConfig, MultigridPreconditioner
 from repro.parallel.comm import Communicator
-from repro.parallel.distributed import ddot, dnorm2
+from repro.parallel.distributed import ddot, dnorm2, dnorm2_from_local
 from repro.solvers.operator import DistributedOperator
 from repro.stencil.poisson27 import Problem
 from repro.util.timers import NullTimers
@@ -107,9 +107,12 @@ class PCGSolver:
             alpha = rz_old / pAp
             with timers.section("waxpby"):
                 waxpby(alpha, p, 1.0, x, out=x, ws=self.ws)
-                waxpby(-alpha, Ap, 1.0, r, out=r, ws=self.ws)
+                # Fused motif: the residual update's store feeds the
+                # norm's local sum in the same pass (waxpby_dot) —
+                # bitwise-identical to the separate waxpby + dot.
+                _, local = waxpby_dot(-alpha, Ap, 1.0, r, out=r, ws=self.ws)
             with timers.section("dot"):
-                normr = dnorm2(comm, r)
+                normr = dnorm2_from_local(comm, local)
             stats.iterations = it
             stats.residual_history.append(normr / rho0)
             if normr / rho0 <= tol:

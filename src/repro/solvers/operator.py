@@ -27,8 +27,10 @@ import numpy as np
 from repro.backends.dispatch import (
     spmv,
     spmv_boundary,
+    spmv_dot,
     spmv_interior,
     spmv_rows,
+    waxpby_dot,
 )
 from repro.backends.workspace import Workspace
 from repro.geometry.halo import HaloPattern
@@ -146,3 +148,29 @@ class DistributedOperator:
             return b - ax
         np.subtract(b, ax, out=out)
         return out
+
+    def residual_norm2_local(
+        self, b: np.ndarray, x: np.ndarray, out: np.ndarray
+    ) -> float:
+        """``out = b - A x`` plus the *local* ``out . out``, fused.
+
+        GMRES-IR's residual check through the fused-motif pipeline: on
+        the sequential schedule the whole evaluation is one
+        ``spmv_dot`` matrix pass; on the overlapped schedule the SpMV
+        keeps its two-stream halo overlap and the subtraction + dot
+        fuse into one vector pass (``waxpby_dot``).  Both compose the
+        registry's kernels operation-for-operation under the reference
+        backend, so the result is bitwise-identical to the unfused
+        ``residual`` + ``dot`` sequence; the caller still owns the
+        cross-rank reduction.
+        """
+        if self.P is not None:
+            ax = self.ws.get("op.residual.ax", (self.nlocal,), self.dtype)
+            self.matvec_overlapped(x, out=ax)
+            _, local = waxpby_dot(1.0, b, -1.0, ax, out=out, ws=self.ws)
+            return local
+        xf = self._xfull
+        xf[: self.nlocal] = x
+        self.halo_ex.exchange(xf)
+        _, local = spmv_dot(self.A, xf, b, out=out, ws=self.ws)
+        return local

@@ -28,8 +28,11 @@ from repro.sparse.scaled import (
     to_precision,
 )
 from repro.sparse.partitioned import (
+    ColorPartitionedMatrix,
     PartitionedMatrix,
+    partition_colors,
     partition_matrix,
+    sweep_overlap_split,
 )
 from repro.sparse.coloring import (
     greedy_coloring,
@@ -62,8 +65,11 @@ __all__ = [
     "equilibrated_half",
     "row_equilibration_scales",
     "to_precision",
+    "ColorPartitionedMatrix",
     "PartitionedMatrix",
+    "partition_colors",
     "partition_matrix",
+    "sweep_overlap_split",
     "greedy_coloring",
     "jpl_coloring",
     "structured_coloring8",

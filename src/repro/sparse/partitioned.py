@@ -34,6 +34,24 @@ the overlap split never has to break a chunk apart.
 ``row_scale`` sliced per block, so ghost regions are stored and
 exchanged at the level's ladder rung while the equilibration scales are
 carried across the partition unchanged.
+
+**Color-partitioned SymGS (PR 5).**  The multicolor Gauss-Seidel sweep
+gets the same treatment via :func:`partition_colors`: every color set
+is split into an *interior* and a *boundary* row block.  Unlike SpMV,
+a Gauss-Seidel color pass reads values written by earlier passes, so
+the interior set must be **dependency-closed**, not merely
+ghost-free: a row may run before the halo lands only if (a) its
+stencil touches no ghost column and (b) every neighbor updated by an
+*earlier* color pass is itself interior.  Under that closure the
+overlapped schedule — post the halo, sweep every color's interior
+block, land the ghosts, sweep every color's boundary block — executes
+*exactly* the reads and writes of the sequential per-color sweep and
+is therefore bitwise-equal to it (the property the cross-rank parity
+suite asserts at fp64).  The closure erodes roughly one layer per
+earlier color from the subdomain faces, so fine levels hide almost
+the whole sweep behind the exchange while tiny coarse boxes may
+degenerate to an empty interior (the Fig. 9b coarse-level exposure) —
+correct in both regimes.
 """
 
 from __future__ import annotations
@@ -189,6 +207,265 @@ def _extract_rows(A, rows: np.ndarray):
     raise TypeError(
         f"cannot partition {type(A).__name__}; expected a CSR/ELL/SELL-C-σ "
         "local matrix"
+    )
+
+
+def _local_adjacency_csr(A, nlocal: int) -> tuple[np.ndarray, np.ndarray]:
+    """Off-diagonal *local* adjacency of ``A`` as (indptr, neighbor cols).
+
+    Ghost columns (>= ``nlocal``) are excluded — they are frozen for a
+    sweep and impose no ordering constraint beyond the interior test —
+    as are the diagonal and explicit zeros (a coupling stored as zero,
+    e.g. one flushed by fp16 equilibration, moves nothing and therefore
+    constrains nothing; classifying from the *stored* values keeps the
+    split self-consistent with what the kernels actually compute).
+    """
+    if hasattr(A, "indptr"):  # CSR layout
+        lens = np.diff(A.indptr)
+        rows = np.repeat(np.arange(A.nrows, dtype=np.int64), lens)
+        cols = A.indices.astype(np.int64)
+        keep = (cols < nlocal) & (cols != rows) & (A.data != 0)
+    elif hasattr(A, "blocks"):  # SELL-C-σ: go through its CSR view
+        return _local_adjacency_csr(A.to_csr(), nlocal)
+    elif hasattr(A, "cols"):  # ELL-family (incl. row-equilibrated)
+        n = A.nrows
+        rows2d = np.arange(n, dtype=np.int64)[:, None]
+        mask = (A.vals != 0) & (A.cols != rows2d) & (A.cols < nlocal)
+        lens = mask.sum(axis=1)
+        rows = np.repeat(np.arange(n, dtype=np.int64), lens)
+        cols = A.cols[mask].astype(np.int64)
+        keep = np.ones(len(cols), dtype=bool)
+    else:
+        raise TypeError(f"cannot derive adjacency from {type(A).__name__}")
+    cols = cols[keep]
+    rows = rows[keep]
+    indptr = np.zeros(A.nrows + 1, dtype=np.int64)
+    np.add.at(indptr, rows + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr, cols
+
+
+def sweep_overlap_split(
+    A,
+    sets: list[np.ndarray],
+    interior_mask: np.ndarray,
+    order: "list[int] | range | None" = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Dependency-closed (interior, boundary) rows per color set.
+
+    ``order`` is the sweep order over color indices (default ascending:
+    a forward sweep; pass ``reversed(range(ncolors))`` for backward).
+    Returned in *color-index* order regardless of ``order``.
+
+    A row of color ``c`` is interior ("early") iff its stencil touches
+    no ghost column **and** every local neighbor whose color runs
+    earlier in ``order`` is itself early.  That single fixpoint makes
+    the split schedule — all early blocks in sweep order, then all
+    late blocks in sweep order — read exactly the values the
+    sequential per-color sweep reads (see the module docstring), which
+    is what makes the overlapped SymGS bitwise-equal at fp64.  Because
+    the predicate only consults earlier-order colors, one pass over
+    the colors in sweep order computes the fixpoint exactly.
+    """
+    ncolors = len(sets)
+    nlocal = len(interior_mask)
+    if order is None:
+        order = range(ncolors)
+    order = list(order)
+    indptr, nbr = _local_adjacency_csr(A, nlocal)
+    # Sweep position of each row's color (large = never swept; unused).
+    pos_of_color = np.full(ncolors, ncolors, dtype=np.int64)
+    for p, c in enumerate(order):
+        pos_of_color[c] = p
+    row_pos = np.empty(nlocal, dtype=np.int64)
+    for c, rows in enumerate(sets):
+        row_pos[rows] = pos_of_color[c]
+
+    early = np.zeros(nlocal, dtype=bool)
+    split: list[tuple[np.ndarray, np.ndarray] | None] = [None] * ncolors
+    for p, c in enumerate(order):
+        rows = np.ascontiguousarray(sets[c], dtype=np.int64)
+        cand = interior_mask[rows]
+        if cand.any() and p > 0:
+            crows = rows[cand]
+            lens = indptr[crows + 1] - indptr[crows]
+            total = int(lens.sum())
+            if total:
+                flat = np.repeat(indptr[crows], lens) + (
+                    np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+                )
+                nb = nbr[flat]
+                # An earlier-order neighbor that is not early blocks us.
+                viol = (row_pos[nb] < p) & ~early[nb]
+                ok = np.ones(len(crows), dtype=bool)
+                starts = np.cumsum(lens) - lens
+                nonempty = lens > 0
+                if nonempty.any():
+                    viol64 = viol.astype(np.int64)
+                    any_viol = np.add.reduceat(viol64, starts[nonempty]) > 0
+                    ok[nonempty] = ~any_viol
+                good = np.zeros(len(rows), dtype=bool)
+                good[np.nonzero(cand)[0]] = ok
+                cand = good
+        early[rows[cand]] = True
+        split[c] = (rows[cand], rows[~cand])
+    return split  # type: ignore[return-value]
+
+
+class _ColorBlock:
+    """One color's rows restricted to a region, with its matrix block.
+
+    The block shares the source matrix's storage format and full local
+    column space, so a full-matrix ``spmv`` on it computes exactly the
+    rows' relaxation numerators — no row-subset index arithmetic on
+    the hot path (the same property the SpMV partition relies on).
+    """
+
+    __slots__ = ("rows", "A", "diag")
+
+    def __init__(self, rows: np.ndarray, A_block, diag: np.ndarray) -> None:
+        self.rows = rows
+        self.A = A_block
+        self.diag = diag
+
+
+class SweepSchedule:
+    """The per-color (interior, boundary) blocks of one sweep direction."""
+
+    def __init__(
+        self, direction: str, passes: list[tuple[_ColorBlock, _ColorBlock]]
+    ) -> None:
+        self.direction = direction
+        #: (interior, boundary) block pairs in *sweep order*.
+        self.passes = passes
+
+    @property
+    def interior_rows(self) -> int:
+        return sum(len(i.rows) for i, _ in self.passes)
+
+    @property
+    def boundary_rows(self) -> int:
+        return sum(len(b.rows) for _, b in self.passes)
+
+
+class ColorPartitionedMatrix:
+    """A local matrix pre-split per color for the overlapped SymGS.
+
+    Dispatches through the registry ops ``symgs_interior`` /
+    ``symgs_boundary`` (and ``symgs_sweep`` for the interleaved
+    non-overlapped schedule).  Schedules are built lazily per sweep
+    direction (the benchmark's default sweep is forward-only) and
+    cached; block extraction reuses the SpMV partition's row-subset
+    machinery, so every format — including re-chunked SELL-C-σ and
+    row-equilibrated fp16 with per-block scales — is covered.
+    """
+
+    format_name = "color_partitioned"
+
+    def __init__(
+        self,
+        A,
+        sets: list[np.ndarray],
+        interior_mask: np.ndarray,
+        diag: np.ndarray,
+        nlocal: int,
+        ncols: int,
+    ) -> None:
+        self.A = A
+        self.sets = sets
+        self.interior_mask = interior_mask
+        self.diag = diag
+        self.nlocal = nlocal
+        self.ncols = ncols
+        from repro.backends.dispatch import matrix_format
+
+        self.block_format = matrix_format(A)
+        self._schedules: dict[str, SweepSchedule] = {}
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.A.dtype
+
+    @property
+    def precision(self) -> Precision:
+        return Precision.from_any(self.dtype)
+
+    @property
+    def num_colors(self) -> int:
+        return len(self.sets)
+
+    def schedule(self, direction: str) -> SweepSchedule:
+        """The (lazily built, cached) block schedule for a direction."""
+        sched = self._schedules.get(direction)
+        if sched is None:
+            sched = self._build_schedule(direction)
+            self._schedules[direction] = sched
+        return sched
+
+    def interior_fraction(self, direction: str = "forward") -> float:
+        """Share of rows sweepable before the halo lands."""
+        if self.nlocal == 0:
+            return 0.0
+        return self.schedule(direction).interior_rows / self.nlocal
+
+    def _build_schedule(self, direction: str) -> SweepSchedule:
+        ncolors = len(self.sets)
+        if direction == "forward":
+            order = list(range(ncolors))
+        elif direction == "backward":
+            order = list(reversed(range(ncolors)))
+        else:
+            raise ValueError(f"unknown sweep direction {direction!r}")
+        split = sweep_overlap_split(self.A, self.sets, self.interior_mask, order)
+        passes = []
+        for c in order:
+            interior_rows, boundary_rows = split[c]
+            passes.append((self._block(interior_rows), self._block(boundary_rows)))
+        return SweepSchedule(direction, passes)
+
+    def _block(self, rows: np.ndarray) -> _ColorBlock:
+        if len(rows) == 0:
+            return _ColorBlock(rows, None, self.diag[rows])
+        return _ColorBlock(rows, _extract_rows(self.A, rows), self.diag[rows])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ColorPartitionedMatrix {self.block_format} "
+            f"{self.num_colors} colors, {self.nlocal} rows, "
+            f"{self.precision.short_name}>"
+        )
+
+
+def partition_colors(
+    A,
+    halo: HaloPattern,
+    sets: list[np.ndarray],
+    diag: np.ndarray | None = None,
+) -> ColorPartitionedMatrix:
+    """Split a local matrix per color set for the overlapped SymGS.
+
+    ``sets`` are the multicolor Gauss-Seidel color sets (ascending row
+    order within each color, as :func:`repro.sparse.coloring.color_sets`
+    returns them); ``diag`` is the *unscaled* diagonal the relaxation
+    divides by (defaults to ``A.diagonal()``, which row-equilibrated
+    storage already reports unscaled).
+    """
+    if A.nrows != halo.nlocal or A.ncols != halo.ncols:
+        raise ValueError(
+            f"matrix shape ({A.nrows} rows, {A.ncols} cols) does not match "
+            f"the halo pattern ({halo.nlocal} owned + {halo.n_ghost} ghost)"
+        )
+    interior_mask = np.zeros(halo.nlocal, dtype=bool)
+    interior_mask[halo.interior_rows] = True
+    if diag is None:
+        diag = A.diagonal()
+    return ColorPartitionedMatrix(
+        A=A,
+        sets=[np.ascontiguousarray(s, dtype=np.int64) for s in sets],
+        interior_mask=interior_mask,
+        diag=diag,
+        nlocal=halo.nlocal,
+        ncols=halo.ncols,
     )
 
 

@@ -142,10 +142,18 @@ class TestCheckRegression:
         return check_regression
 
     def test_pass_within_threshold(self, gate):
+        # Byte metrics are deterministic and gate at a tight 2%
+        # regardless of the CLI threshold; wall clock rides the CLI's.
         base = {"comm_bytes_per_iteration": 100.0, "seconds_per_solve": 1.0}
-        cur = {"comm_bytes_per_iteration": 110.0, "seconds_per_solve": 1.1}
+        cur = {"comm_bytes_per_iteration": 101.0, "seconds_per_solve": 1.1}
         failures, _ = gate.compare(cur, base, threshold=0.2)
         assert failures == []
+
+    def test_deterministic_bytes_gate_tightly(self, gate):
+        base = {"comm_bytes_per_iteration": 100.0}
+        cur = {"comm_bytes_per_iteration": 110.0}  # +10%: under the CLI
+        failures, _ = gate.compare(cur, base, threshold=0.2)
+        assert len(failures) == 1  # ... but over the 2% byte gate
 
     def test_fail_beyond_threshold(self, gate):
         base = {"comm_bytes_per_iteration": 100.0}

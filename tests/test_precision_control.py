@@ -658,13 +658,20 @@ class TestLiveScheduleByteModel:
 
     def test_plain_policy_charging_unchanged(self):
         """A PrecisionPolicy has no transfer axis: charged as before
-        (the byte-model regression anchor for policy mode)."""
+        (the byte-model regression anchor for policy mode).
+
+        The anchor pins the *unfused* configuration to the PR 3
+        number; the PR 5 fused-motif pipeline (default) must charge
+        the residual check's passes once and come in strictly below.
+        """
         from repro.fp import MIXED_DS_POLICY
         from repro.perf.scaling import ScalingModel
 
-        model = ScalingModel(local_dims=(16, 16, 16), restart=30)
+        model = ScalingModel(local_dims=(16, 16, 16), restart=30, fusion=False)
         total = model.cycle_traffic_bytes(MIXED_DS_POLICY)["total"]
         assert total == pytest.approx(140338880.0)  # PR 3 baseline
+        fused = ScalingModel(local_dims=(16, 16, 16), restart=30)
+        assert fused.cycle_traffic_bytes(MIXED_DS_POLICY)["total"] < total
 
     def test_snapshot_matches_equivalent_policy(self):
         """A seeded (unmoved) plane's snapshot models, per motif, at

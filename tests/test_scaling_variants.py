@@ -83,10 +83,27 @@ class TestAblationFlags:
             assert g < base, kwargs
 
     def test_overlap_matters_only_with_ranks(self):
-        """Without neighbors there is no communication to hide."""
+        """Without neighbors there is no communication to hide.
+
+        The smoother layout is held fixed (``overlap_symgs=True``
+        keeps the color-partitioned blocks): the layout's byte model
+        differs even serial, the *overlap* itself must not.
+        """
         on = ScalingModel(overlap=True).gflops_per_gcd("mxp", 1)
-        off = ScalingModel(overlap=False).gflops_per_gcd("mxp", 1)
+        model_off = ScalingModel(overlap=False, overlap_symgs=True)
+        off = model_off.gflops_per_gcd("mxp", 1)
         assert on == pytest.approx(off)
+
+    def test_symgs_layout_charges_indirection_serial(self):
+        """The index-set layout streams row indices + staging; the
+        color-partitioned layout (the overlapped smoother's) does not
+        — visible in the byte model even without ranks."""
+        from repro.fp import MIXED_DS_POLICY
+
+        blocks = ScalingModel(overlap_symgs=True)
+        indexed = ScalingModel(overlap_symgs=False)
+        policy = MIXED_DS_POLICY
+        assert blocks.cycle_symgs_bytes(policy) < indexed.cycle_symgs_bytes(policy)
 
     def test_host_mixed_ops_leaves_double_untouched(self):
         a = ScalingModel().cycle_profile("double", 8).total_seconds
