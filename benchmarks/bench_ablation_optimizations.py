@@ -185,6 +185,53 @@ def test_ablation_overlap_fusion(benchmark):
     benchmark(lambda: ScalingModel(overlap_symgs=False).gflops_per_gcd("mxp", 8))
 
 
+def test_ablation_rhs_panel(benchmark):
+    """PR 6 ablation: bytes-per-RHS amortization across panel widths.
+
+    The batched pipeline streams the matrix (values + indices + halo
+    gathers) once per panel while vector traffic scales with the
+    column count, so the modeled per-RHS byte total must fall
+    monotonically with the panel width and reach >= 2x amortization by
+    a panel of 8 (the ISSUE acceptance floor) at the official
+    320^3/GCD configuration.
+    """
+    from repro.fp import DOUBLE_POLICY, MIXED_DS_POLICY
+
+    model = ScalingModel()
+    rows = []
+    for policy, label in ((MIXED_DS_POLICY, "mxp"), (DOUBLE_POLICY, "double")):
+        per_rhs = {}
+        for panel in (1, 2, 4, 8):
+            total = model.cycle_traffic_bytes(policy, panel=panel)["total"]
+            per_rhs[panel] = total / panel
+            rows.append(
+                [
+                    f"{label} panel={panel}",
+                    total / 1e6,
+                    per_rhs[panel] / 1e6,
+                    per_rhs[1] / per_rhs[panel],
+                ]
+            )
+        # Wider panels always amortize more, and panel=1 is bitwise the
+        # unbatched model (no refactored formulas behind a default).
+        widths = sorted(per_rhs)
+        assert all(
+            per_rhs[b] < per_rhs[a] for a, b in zip(widths, widths[1:])
+        ), f"{label}: per-RHS bytes not monotone in panel width: {per_rhs}"
+        assert per_rhs[1] == model.cycle_traffic_bytes(policy)["total"]
+        assert per_rhs[1] / per_rhs[8] >= 2.0, (
+            f"{label}: panel-8 amortization {per_rhs[1] / per_rhs[8]:.2f}x < 2x"
+        )
+    print_table(
+        "RHS-panel ablation (model, 1 node, 320^3/GCD)",
+        ["configuration", "cycle MB", "MB/RHS", "amortization"],
+        rows,
+        widths=[18, 10, 9, 13],
+    )
+
+    benchmark(lambda: ScalingModel().cycle_traffic_bytes(MIXED_DS_POLICY, panel=8))
+
+
 def test_ablation_fused_restrict_real(benchmark):
     """Real kernel: fused restriction must beat the unfused path."""
     prob = generate_problem(Subdomain.serial(48, 48, 48))

@@ -28,6 +28,13 @@ metric regresses by more than the threshold:
   a lost SymGS/SpMV overlap (>= +2.5%) still trips it.  The metric is
   bounded at 1.0, so the baseline must stay close below it for the
   gate to have room to fire.
+- ``bytes_per_rhs`` — the byte model's per-RHS total at the configured
+  RHS panel width (deterministic): a panel kernel silently re-charged
+  per column regrows this immediately.
+- ``panel_matrix_reuse`` — measured RHS columns served per operator
+  matrix pass in the batched phase (higher is better; the gate fires
+  on a *drop*).  Deterministic amortization tripwire for the panel
+  pipeline.
 - ``motif_seconds_per_solve`` — per-motif wall clock (spmv / symgs /
   ortho / halo).  Even noisier than the total (each motif is a slice
   of an already-noisy measurement), so motifs gate only on
@@ -64,6 +71,21 @@ TRACKED_METRICS = {
     "model_symgs_bytes_per_cycle": (False, 0.02),
     "seconds_per_solve": (True, None),
     "exposed_comm_fraction": (True, 0.015),
+    # Batched multi-RHS phase (PR 6): the byte model's per-RHS total at
+    # the configured panel width.  Deterministic, so it gates tight —
+    # a panel kernel silently falling back to per-column matrix
+    # streams shows up here long before the wall clock notices.
+    "bytes_per_rhs": (False, 0.02),
+}
+
+#: Higher-is-better metrics: the gate fires when the *current* value
+#: drops below baseline by more than the threshold (the inverse of the
+#: TRACKED_METRICS direction).  ``panel_matrix_reuse`` is the measured
+#: RHS columns served per operator matrix pass — deterministic for a
+#: given configuration, and the whole point of the batched pipeline,
+#: so a slip back toward 1.0 is a real amortization regression.
+HIGHER_BETTER_METRICS = {
+    "panel_matrix_reuse": (False, 0.02),
 }
 
 #: Key of the per-motif wall-clock breakdown in the gated record, and
@@ -100,6 +122,34 @@ def _compare_one(
         notes.append(f"{key}: {cur:.6g} vs {base:.6g} (ok)")
 
 
+def _compare_one_higher_better(
+    key: str,
+    cur: float,
+    base: float,
+    threshold: float,
+    failures: list[str],
+    notes: list[str],
+) -> None:
+    """Inverted gate: fail when the current value *drops* below baseline."""
+    if base <= 0:
+        notes.append(f"{key}: baseline {base} not positive; skipped")
+        return
+    ratio = cur / base
+    if ratio < 1.0 - threshold:
+        failures.append(
+            f"{key}: {cur:.6g} vs baseline {base:.6g} "
+            f"(-{(1 - ratio) * 100:.1f}% > {threshold * 100:.0f}%; "
+            f"higher is better)"
+        )
+    elif ratio > 1.0 + threshold:
+        notes.append(
+            f"{key}: improved {(ratio - 1) * 100:.1f}% "
+            f"({cur:.6g} vs {base:.6g}) — consider refreshing the baseline"
+        )
+    else:
+        notes.append(f"{key}: {cur:.6g} vs {base:.6g} (ok)")
+
+
 def compare(
     current: dict,
     baseline: dict,
@@ -124,6 +174,21 @@ def compare(
             failures,
             notes,
             noisy=noisy,
+        )
+    for key, (_, override) in HIGHER_BETTER_METRICS.items():
+        if key not in baseline:
+            notes.append(f"baseline has no {key!r}; skipped")
+            continue
+        if key not in current:
+            failures.append(f"current record is missing {key!r}")
+            continue
+        _compare_one_higher_better(
+            key,
+            float(current[key]),
+            float(baseline[key]),
+            override if override is not None else threshold,
+            failures,
+            notes,
         )
     # Per-motif wall-clock breakdown: generous threshold (each motif is
     # a noisy slice), catching a single motif's catastrophic slip.

@@ -37,7 +37,11 @@ from repro.backends.registry import (
     registry,
     set_backend,
 )
-from repro.backends.workspace import Workspace, default_workspace
+from repro.backends.workspace import (
+    Workspace,
+    WorkspacePool,
+    default_workspace,
+)
 
 # Importing the backend modules populates the registry; numpy first
 # (the guaranteed fallback), then optional accelerated backends.
@@ -49,6 +53,7 @@ registry.autoselect_backend()
 
 from repro.backends.dispatch import (  # noqa: E402
     dot,
+    dot_multi,
     fused_restrict,
     gemv,
     gemvT,
@@ -57,19 +62,24 @@ from repro.backends.dispatch import (  # noqa: E402
     spmv,
     spmv_boundary,
     spmv_interior,
+    spmv_multi,
     spmv_rows,
     symgs_sweep,
+    symgs_sweep_multi,
     waxpby,
+    waxpby_multi,
 )
 
 __all__ = [
     "KernelNotFoundError",
     "KernelRegistry",
     "Workspace",
+    "WorkspacePool",
     "active_backend",
     "available_backends",
     "default_workspace",
     "dot",
+    "dot_multi",
     "fused_restrict",
     "gemv",
     "gemvT",
@@ -83,7 +93,10 @@ __all__ = [
     "spmv",
     "spmv_boundary",
     "spmv_interior",
+    "spmv_multi",
     "spmv_rows",
     "symgs_sweep",
+    "symgs_sweep_multi",
     "waxpby",
+    "waxpby_multi",
 ]

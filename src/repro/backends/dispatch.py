@@ -139,6 +139,89 @@ def waxpby_dot(alpha, x, beta, y, out=None, ws=None):
     return fn(alpha, x, beta, y, out=out, ws=ws)
 
 
+def gemv_sub_dot(Q, k: int, coef, w, ws=None) -> float:
+    """``w -= Q[:, :k] @ coef`` plus the *local* ``w . w``, fused.
+
+    The tail of a CGS2 step (second projection + the norm's local
+    reduction) as one registry motif; returns the local squared sum.
+    Same wildcard-fallback contract as the other fused motifs.
+    """
+    fn = registry.lookup("gemv_sub_dot", None, _prec(Q.dtype))
+    return fn(Q, k, coef, w, ws=ws)
+
+
+# ----------------------------------------------------------------------
+# Panel (multi-RHS) motifs
+# ----------------------------------------------------------------------
+# A *panel* is a column-major (order='F') 2-D array of shape (n, N):
+# one RHS per column, every column contiguous.  The panel ops apply
+# their single-vector counterpart to each column with the matrix
+# traffic amortized over the panel — the reference backend composes
+# the single-RHS kernels per column (bitwise-equal per column to the
+# looped calls), while JIT/GPU backends register genuinely single-pass
+# kernels that stream the matrix block once for the whole panel.
+
+
+def spmv_multi(A, X: np.ndarray, out: np.ndarray | None = None, ws=None):
+    """``Y = A @ X`` for a column-major RHS panel ``X``.
+
+    Column ``j`` of the result is bitwise-equal to ``spmv(A, X[:, j])``
+    under every backend (the panel kernels keep each column's
+    reduction order identical to the single-RHS kernel's).
+    """
+    fn = registry.lookup("spmv_multi", matrix_format(A), _prec(A.dtype))
+    return fn(A, X, out=out, ws=ws)
+
+
+def symgs_sweep_multi(
+    A,
+    R: np.ndarray,
+    Xfull: np.ndarray,
+    sets,
+    diag_sets,
+    direction: str = "forward",
+    ws=None,
+) -> None:
+    """One multicolor GS sweep over every column of a panel.
+
+    Columns are mutually independent (each column's relaxation reads
+    only its own vectors), so any column/color interleaving yields the
+    same per-column result — which is what lets single-pass backends
+    stream each color's matrix rows once across the panel while
+    staying bitwise-equal per column to the looped sweep.
+    """
+    fn = registry.lookup("symgs_sweep_multi", matrix_format(A), _prec(A.dtype))
+    return fn(A, R, Xfull, sets, diag_sets, direction=direction, ws=ws)
+
+
+def waxpby_multi(alpha, X, beta, Y, out=None, ws=None):
+    """``W[:, j] = alpha X[:, j] + beta Y[:, j]`` per panel column."""
+    fn = registry.lookup("waxpby_multi", None, _prec(Y.dtype))
+    return fn(alpha, X, beta, Y, out=out, ws=ws)
+
+
+def dot_multi(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Per-column local dots ``[X[:, j] . Y[:, j]]`` (float64 array)."""
+    return registry.lookup("dot_multi", None, _prec(X.dtype))(X, Y)
+
+
+def spmv_dot_multi(A, X, B, out=None, ws=None):
+    """Panel variant of :func:`spmv_dot`.
+
+    Returns ``(R, locals)``: ``R[:, j] = B[:, j] - A X[:, j]`` and
+    ``locals[j]`` the local ``R[:, j] . R[:, j]`` — each column
+    bitwise-equal to the single-RHS fused motif.
+    """
+    fn = registry.lookup("spmv_dot_multi", matrix_format(A), _prec(A.dtype))
+    return fn(A, X, B, out=out, ws=ws)
+
+
+def waxpby_dot_multi(alpha, X, beta, Y, out=None, ws=None):
+    """Panel variant of :func:`waxpby_dot` → ``(W, locals)``."""
+    fn = registry.lookup("waxpby_dot_multi", None, _prec(Y.dtype))
+    return fn(alpha, X, beta, Y, out=out, ws=ws)
+
+
 # ----------------------------------------------------------------------
 # Dense motifs
 # ----------------------------------------------------------------------

@@ -412,3 +412,175 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
         w = out if out is not None else np.empty(len(y), dtype=y.dtype)
         _waxpby_kernel(np.float64(alpha), x, np.float64(beta), y, w)
         return w, float(np.dot(w, w))
+
+    # ------------------------------------------------------------------
+    # Panel (multi-RHS) SpMV: one matrix stream serving all N columns
+    # ------------------------------------------------------------------
+    # These are the genuinely single-pass kernels the panel pipeline
+    # exists for: each row's indices and values are read *once* and the
+    # accumulation loop runs per column from registers, so matrix
+    # traffic is amortized N× while vector traffic scales with the
+    # panel.  Per column the accumulation order is identical to the
+    # single-RHS numba kernel above (sequential over the row's
+    # nonzeros), so panel-vs-looped parity is bitwise within this
+    # backend — the same contract the NumPy reference keeps by
+    # composition.
+
+    def _make_csr_spmv_multi(zero):
+        @numba.njit(parallel=True, fastmath=False, cache=True)
+        def kernel(indptr, indices, data, X, Y):
+            ncol = X.shape[1]
+            for i in numba.prange(len(indptr) - 1):
+                for c in range(ncol):
+                    acc = zero
+                    for j in range(indptr[i], indptr[i + 1]):
+                        acc += data[j] * X[indices[j], c]
+                    Y[i, c] = acc
+
+        return kernel
+
+    def _make_ell_spmv_multi(zero):
+        @numba.njit(parallel=True, fastmath=False, cache=True)
+        def kernel(cols, vals, X, Y):
+            nrows, width = cols.shape
+            ncol = X.shape[1]
+            for i in numba.prange(nrows):
+                for c in range(ncol):
+                    acc = zero
+                    for j in range(width):
+                        acc += vals[i, j] * X[cols[i, j], c]
+                    Y[i, c] = acc
+
+        return kernel
+
+    _MULTI_KERNELS = {
+        "fp32": (
+            _make_csr_spmv_multi(np.float32(0.0)),
+            _make_ell_spmv_multi(np.float32(0.0)),
+        ),
+        "fp64": (
+            _make_csr_spmv_multi(np.float64(0.0)),
+            _make_ell_spmv_multi(np.float64(0.0)),
+        ),
+    }
+
+    def _register_numba_multi(prec: str) -> None:
+        csr_kernel, ell_kernel = _MULTI_KERNELS[prec]
+
+        @register("spmv_multi", fmt="csr", precision=prec, backend="numba")
+        def spmv_multi_csr_numba(A, X, out=None, ws=None):
+            if X.shape[0] != A.ncols:
+                raise ValueError(
+                    f"X has {X.shape[0]} rows, matrix has {A.ncols} columns"
+                )
+            Y = (
+                out
+                if out is not None
+                else np.empty((A.nrows, X.shape[1]), dtype=A.data.dtype, order="F")
+            )
+            csr_kernel(A.indptr, A.indices, A.data, X, Y)
+            return Y
+
+        @register("spmv_multi", fmt="ell", precision=prec, backend="numba")
+        def spmv_multi_ell_numba(A, X, out=None, ws=None):
+            if X.shape[0] != A.ncols:
+                raise ValueError(
+                    f"X has {X.shape[0]} rows, matrix has {A.ncols} columns"
+                )
+            Y = (
+                out
+                if out is not None
+                else np.empty((A.nrows, X.shape[1]), dtype=A.vals.dtype, order="F")
+            )
+            ell_kernel(A.cols, A.vals, X, Y)
+            return Y
+
+    for _prec in ("fp32", "fp64"):
+        _register_numba_multi(_prec)
+
+    # ------------------------------------------------------------------
+    # Native overlapped-SymGS halves on the color-partitioned format
+    # ------------------------------------------------------------------
+    # The generic color_partitioned registrations serve each block
+    # relaxation through a block-``spmv`` re-dispatch plus NumPy
+    # gather/scatter glue; here the whole relaxation — block SpMV, the
+    # near-cancelling update and the scatter — is one jitted pass over
+    # the block's ELL rows.  Rows within a block share a color, hence
+    # are mutually independent and race-free under prange.  The
+    # accumulation order per row matches the generic path's inner
+    # kernels, keeping the two backends parity-testable.
+
+    def _make_ell_block_relax(zero):
+        @numba.njit(parallel=True, fastmath=False, cache=True)
+        def kernel(cols, vals, xfull, r, rows, diag):
+            width = cols.shape[1]
+            for k in numba.prange(len(rows)):
+                i = rows[k]
+                acc = zero
+                for j in range(width):
+                    acc += vals[k, j] * xfull[cols[k, j]]
+                xfull[i] = xfull[i] + (r[i] - acc) / diag[k]
+
+        return kernel
+
+    _BLOCK_RELAX = {
+        "fp32": _make_ell_block_relax(np.float32(0.0)),
+        "fp64": _make_ell_block_relax(np.float64(0.0)),
+    }
+
+    def _relax_block_numba(blk, r, xfull, ws, key, relax_kernel):
+        """Jitted block relaxation; defers to the generic path for
+        non-ELL block storage (the partitioner's default is ELL)."""
+        from repro.backends.partitioned_ops import _relax_block
+
+        A_blk = blk.A
+        if len(blk.rows) == 0:
+            return
+        if getattr(type(A_blk), "format_name", None) != "ell":
+            _relax_block(blk, r, xfull, ws, key)
+            return
+        relax_kernel(A_blk.cols, A_blk.vals, xfull, r, blk.rows, blk.diag)
+
+    def _register_numba_cp(prec: str) -> None:
+        relax_kernel = _BLOCK_RELAX[prec]
+
+        def _relax(blk, r, xfull, ws, key):
+            _relax_block_numba(blk, r, xfull, ws, key, relax_kernel)
+
+        @register(
+            "symgs_interior",
+            fmt="color_partitioned",
+            precision=prec,
+            backend="numba",
+        )
+        def symgs_interior_cp_numba(P, r, xfull, direction="forward", ws=None):
+            from repro.backends.partitioned_ops import _sweep_region
+
+            _sweep_region(P, r, xfull, direction, "interior", ws, _relax)
+
+        @register(
+            "symgs_boundary",
+            fmt="color_partitioned",
+            precision=prec,
+            backend="numba",
+        )
+        def symgs_boundary_cp_numba(P, r, xfull, direction="forward", ws=None):
+            from repro.backends.partitioned_ops import _sweep_region
+
+            _sweep_region(P, r, xfull, direction, "boundary", ws, _relax)
+
+        @register(
+            "symgs_sweep",
+            fmt="color_partitioned",
+            precision=prec,
+            backend="numba",
+        )
+        def symgs_sweep_cp_numba(
+            P, r, xfull, sets=None, diag_sets=None, direction="forward", ws=None
+        ):
+            from repro.backends.partitioned_ops import _symgs_sweep_cp
+
+            _symgs_sweep_cp(P, r, xfull, direction, ws, _relax)
+
+    for _prec in ("fp32", "fp64"):
+        _register_numba_cp(_prec)

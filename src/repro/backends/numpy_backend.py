@@ -345,6 +345,191 @@ def waxpby_dot(alpha, x, beta, y, out=None, ws=None):
 
 
 # ----------------------------------------------------------------------
+# Panel (multi-RHS) motifs
+# ----------------------------------------------------------------------
+# A panel is a column-major (n, N) array: one RHS per contiguous
+# column.  The reference registrations apply the single-RHS kernel to
+# each column — NumPy's axis reductions use pairwise summation only on
+# the contiguous fast axis, so a "vectorized" 3-D panel reduction would
+# silently change each column's rounding; composing per column keeps
+# every column bitwise-equal to the looped single-RHS calls, which is
+# the contract the panel solver's parity tests pin.  All pooled
+# scratch is *shared across the panel's columns* (same workspace keys),
+# so an N-wide panel warms exactly the buffers one RHS does.  The
+# single-pass layouts — one matrix stream serving all N columns —
+# belong to the JIT/GPU backends (the Numba backend registers CSR/ELL
+# ``spmv_multi`` against this same key).
+
+
+def _check_panel(X, out):
+    if X.ndim != 2:
+        raise ValueError(f"panel must be 2-D (n, N), got shape {X.shape}")
+    if out is not None and out.shape[1] != X.shape[1]:
+        raise ValueError(
+            f"panel out has {out.shape[1]} columns, X has {X.shape[1]}"
+        )
+
+
+def _register_spmv_multi(fmt):
+    @register("spmv_multi", fmt=fmt)
+    def spmv_multi_fmt(A, X, out=None, ws=None):
+        from repro.backends import dispatch
+
+        _check_panel(X, out)
+        ncol = X.shape[1]
+        fn = registry.lookup("spmv", fmt, dispatch._prec(A.dtype))
+        Y = (
+            out
+            if out is not None
+            else np.empty((A.nrows, ncol), dtype=A.dtype, order="F")
+        )
+        for j in range(ncol):
+            fn(A, X[:, j], out=Y[:, j], ws=ws)
+        return Y
+
+    return spmv_multi_fmt
+
+
+# One registration per storage format (fp16 included: the inner lookup
+# resolves the precision-specific single-RHS kernel, fp32 accumulation
+# and row-equilibration scales intact).
+for _fmt in ("csr", "ell", "sellcs"):
+    _register_spmv_multi(_fmt)
+del _fmt
+
+
+@register("spmv_multi")
+def spmv_multi_generic(A, X, out=None, ws=None):
+    """Wildcard panel SpMV: covers the partitioned distributed format
+    (and any future layout) through the full ``spmv`` re-dispatch."""
+    from repro.backends import dispatch
+
+    _check_panel(X, out)
+    ncol = X.shape[1]
+    Y = (
+        out
+        if out is not None
+        else np.empty((A.nrows, ncol), dtype=A.dtype, order="F")
+    )
+    for j in range(ncol):
+        dispatch.spmv(A, X[:, j], out=Y[:, j], ws=ws)
+    return Y
+
+
+@register("symgs_sweep_multi")
+def symgs_sweep_multi(
+    A, R, Xfull, sets, diag_sets, direction="forward", ws=None
+):
+    """Multicolor GS sweep over every panel column.
+
+    Columns are mutually independent, so the per-column composition is
+    bitwise-equal to looped single-RHS sweeps under any column/color
+    interleaving; the inner ``symgs_sweep`` lookup re-dispatches per
+    (format, precision), covering the color-partitioned layout and the
+    fp16 fp32-relaxation kernels with this one registration.
+    """
+    from repro.backends import dispatch
+
+    _check_panel(Xfull, None)
+    for j in range(R.shape[1]):
+        dispatch.symgs_sweep(
+            A, R[:, j], Xfull[:, j], sets, diag_sets, direction=direction, ws=ws
+        )
+
+
+@register("waxpby_multi")
+def waxpby_multi(alpha, X, beta, Y, out=None, ws=None):
+    """Per-column ``alpha X[:, j] + beta Y[:, j]`` (aliasing-safe)."""
+    from repro.backends import dispatch
+
+    _check_panel(Y, out)
+    W = (
+        out
+        if out is not None
+        else np.empty(Y.shape, dtype=Y.dtype, order="F")
+    )
+    for j in range(Y.shape[1]):
+        dispatch.waxpby(alpha, X[:, j], beta, Y[:, j], out=W[:, j], ws=ws)
+    return W
+
+
+@register("dot_multi")
+def dot_multi(X, Y) -> np.ndarray:
+    """Per-column local dots, each through the precision's own kernel."""
+    from repro.backends import dispatch
+
+    return np.array(
+        [dispatch.dot(X[:, j], Y[:, j]) for j in range(X.shape[1])],
+        dtype=np.float64,
+    )
+
+
+@register("spmv_dot_multi")
+def spmv_dot_multi(A, X, B, out=None, ws=None):
+    """Panel residual + per-column local dots (fused motif, per column)."""
+    from repro.backends import dispatch
+
+    _check_panel(X, out)
+    ncol = X.shape[1]
+    R = (
+        out
+        if out is not None
+        else np.empty((A.nrows, ncol), dtype=B.dtype, order="F")
+    )
+    locals_sq = np.empty(ncol, dtype=np.float64)
+    for j in range(ncol):
+        _, locals_sq[j] = dispatch.spmv_dot(
+            A, X[:, j], B[:, j], out=R[:, j], ws=ws
+        )
+    return R, locals_sq
+
+
+@register("waxpby_dot_multi")
+def waxpby_dot_multi(alpha, X, beta, Y, out=None, ws=None):
+    """Panel waxpby + per-column local dots (fused motif, per column)."""
+    from repro.backends import dispatch
+
+    _check_panel(Y, out)
+    ncol = Y.shape[1]
+    W = (
+        out
+        if out is not None
+        else np.empty(Y.shape, dtype=Y.dtype, order="F")
+    )
+    locals_sq = np.empty(ncol, dtype=np.float64)
+    for j in range(ncol):
+        _, locals_sq[j] = dispatch.waxpby_dot(
+            alpha, X[:, j], beta, Y[:, j], out=W[:, j], ws=ws
+        )
+    return W, locals_sq
+
+
+# ----------------------------------------------------------------------
+# Fused CGS2 projection + norm
+# ----------------------------------------------------------------------
+@register("gemv_sub_dot")
+def gemv_sub_dot(Q, k, coef, w, ws=None) -> float:
+    """``w -= Q[:, :k] @ coef`` plus the *local* ``w . w``, fused.
+
+    The tail of a CGS2 step: the second projection's GEMV, the
+    subtraction, and the norm's local reduction share one pass over
+    ``w`` in a fused backend.  This reference composes the registry's
+    ``gemv``/``dot`` kernels operation-for-operation — bitwise-equal
+    to the unfused ``_project_out`` + ``dot`` sequence — and the inner
+    lookups resolve the precision axis (fp16 basis included).
+    """
+    from repro.backends import dispatch
+
+    if ws is None:
+        w -= dispatch.gemv(Q, k, coef)
+    else:
+        t = ws.get("ortho.gemv", w.shape, w.dtype)
+        dispatch.gemv(Q, k, coef, out=t)
+        np.subtract(w, t, out=w)
+    return dispatch.dot(w, w)
+
+
+# ----------------------------------------------------------------------
 # Dense / vector motifs
 # ----------------------------------------------------------------------
 @register("dot")

@@ -76,6 +76,23 @@ class Workspace:
         buf[:] = 0
         return buf
 
+    def get_panel(
+        self,
+        tag: str | tuple,
+        nrows: int,
+        ncols: int,
+        dtype,
+    ) -> np.ndarray:
+        """Pooled column-major ``(nrows, ncols)`` panel buffer.
+
+        Panels (one RHS per column) are stored column-contiguous so
+        each column is a contiguous vector the single-RHS kernels
+        consume without copying.  The backing buffer is the pooled
+        ``(ncols, nrows)`` C-order array; the returned transpose view
+        is Fortran-ordered and costs no allocation beyond the view.
+        """
+        return self.get(tag, (ncols, nrows), dtype).T
+
     # ------------------------------------------------------------------
     @property
     def nbuffers(self) -> int:
@@ -98,6 +115,89 @@ class Workspace:
             f"<Workspace{label}: {self.nbuffers} buffers, "
             f"{self.nbytes / 1e6:.2f} MB, {self.hits} hits / "
             f"{self.misses} misses>"
+        )
+
+
+class WorkspacePool:
+    """Bounded pool of leased :class:`Workspace` arenas.
+
+    Batched and concurrent solves each need their own arena (a
+    ``Workspace`` is not thread-safe and its buffers are keyed by
+    shape, so two panel solves of different widths sharing one arena
+    would evict each other's warm buffers).  The pool hands out whole
+    arenas on ``acquire`` and takes them back on ``release``: a
+    released arena keeps its buffers, so the *next* lease starts warm
+    — repeated batched solves re-warm nothing, extending the
+    zero-allocation property across solver instances.
+
+    The pool is bounded: at most ``max_arenas`` arenas exist at once.
+    Exhaustion (every arena leased out) raises a :class:`RuntimeError`
+    naming the pool and its limit — the admission-control signal a
+    service front end turns into backpressure, rather than silently
+    allocating unbounded memory.
+    """
+
+    def __init__(self, name: str = "", max_arenas: int = 4) -> None:
+        if max_arenas < 1:
+            raise ValueError("max_arenas must be >= 1")
+        self.name = name
+        self.max_arenas = max_arenas
+        self._free: list[Workspace] = []
+        self._created = 0
+        self._leased = 0
+        #: Leases served by an already-warm (previously released) arena.
+        self.reuses = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self) -> Workspace:
+        """Lease an arena; warm ones are preferred over fresh ones."""
+        if self._free:
+            ws = self._free.pop()
+            self.reuses += 1
+        elif self._created < self.max_arenas:
+            self._created += 1
+            ws = Workspace(f"{self.name or 'pool'}-{self._created}")
+        else:
+            raise RuntimeError(
+                f"workspace pool {self.name!r} exhausted: all "
+                f"{self.max_arenas} arenas are leased; release one or "
+                f"raise max_arenas"
+            )
+        self._leased += 1
+        return ws
+
+    def release(self, ws: Workspace) -> None:
+        """Return a leased arena (buffers kept warm for the next lease)."""
+        if self._leased == 0:
+            raise RuntimeError(
+                f"workspace pool {self.name!r}: release without a "
+                f"matching acquire"
+            )
+        self._leased -= 1
+        self._free.append(ws)
+
+    # ------------------------------------------------------------------
+    @property
+    def leased(self) -> int:
+        """Arenas currently out on lease."""
+        return self._leased
+
+    @property
+    def available(self) -> int:
+        """Leases that would succeed right now without exhausting."""
+        return len(self._free) + (self.max_arenas - self._created)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes resident in the *free* (returned) arenas."""
+        return sum(ws.nbytes for ws in self._free)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<WorkspacePool{label}: {self._leased} leased / "
+            f"{self.max_arenas} max, {len(self._free)} warm, "
+            f"{self.reuses} reuses>"
         )
 
 

@@ -116,6 +116,17 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
         help="wall-clock budget for the distributed phase",
     )
     p.add_argument(
+        "--rhs-panel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="RHS panel width for the batched solve phase: with N > 1 "
+        "the distributed phase also runs one solve_panel over an "
+        "N-column panel (matrix traffic amortized across columns, "
+        "setup served by the operator-keyed cache and a leased "
+        "workspace arena)",
+    )
+    p.add_argument(
         "--bench-out",
         type=str,
         default=None,
@@ -159,6 +170,7 @@ def cmd_run(args) -> int:
         fusion=not args.no_fusion,
         distributed_grid=args.distributed,
         distributed_budget_seconds=args.distributed_budget,
+        rhs_panel=args.rhs_panel,
     )
     result = run_benchmark(config)
     if args.json:
@@ -181,6 +193,7 @@ def cmd_run(args) -> int:
                 "max_iters_per_solve": config.max_iters_per_solve,
                 "overlap_symgs": config.overlap_symgs,
                 "fusion": config.fusion,
+                "rhs_panel": config.rhs_panel,
             },
             **result.distributed.to_dict(),
         }

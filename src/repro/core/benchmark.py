@@ -85,6 +85,21 @@ class DistributedPhaseMetrics:
     model_symgs_bytes_per_cycle: float = 0.0
     model_halo_overlapped_bytes_per_cycle: float = 0.0
     model_halo_exposed_bytes_per_cycle: float = 0.0
+    #: PR 6: the batched multi-RHS phase.  ``rhs_panel`` is the panel
+    #: width; ``panel_matrix_reuse`` is the *measured* RHS columns
+    #: served per matrix stream (``rhs_columns / matrix_passes`` over
+    #: the batched solver's operators — 1.0 sequential, → N batched);
+    #: ``bytes_per_rhs`` is the byte model's per-cycle total at this
+    #: panel width divided by the width (the modeled amortization the
+    #: CI gate tracks).  The setup-cache counters record how much of
+    #: the batched solver's construction the operator-keyed cache
+    #: served.
+    rhs_panel: int = 1
+    panel_matrix_reuse: float = 0.0
+    bytes_per_rhs: float = 0.0
+    panel_wall_seconds: float = 0.0
+    panel_setup_cache_hits: int = 0
+    panel_setup_cache_misses: int = 0
 
     @property
     def seconds_per_solve(self) -> float:
@@ -161,6 +176,12 @@ class DistributedPhaseMetrics:
             "model_halo_exposed_bytes_per_cycle": (
                 self.model_halo_exposed_bytes_per_cycle
             ),
+            "rhs_panel": self.rhs_panel,
+            "panel_matrix_reuse": self.panel_matrix_reuse,
+            "bytes_per_rhs": self.bytes_per_rhs,
+            "panel_wall_seconds": self.panel_wall_seconds,
+            "panel_setup_cache_hits": self.panel_setup_cache_hits,
+            "panel_setup_cache_misses": self.panel_setup_cache_misses,
             "seconds_by_motif": dict(self.seconds_by_motif),
             "motif_seconds_per_solve": self.motif_seconds_per_solve(),
             "overlap": self.overlap,
@@ -338,14 +359,88 @@ def _distributed_worker(
             break
     comm.barrier()
     wall = time.perf_counter() - t0
+    # Snapshot the timed window's communication counters before the
+    # batched segment adds its own traffic (shared per-rank stats).
+    send_bytes = comm.stats.send_bytes
+    send_messages = comm.stats.sends
+    allreduce_bytes = comm.stats.allreduce_bytes
+
+    # --- batched multi-RHS segment (PR 6) ---
+    # One panel solve over an rhs_panel-wide RHS block: the solver is
+    # constructed against the operator-keyed setup cache (a second
+    # construction demonstrates the hits a many-solver service gets)
+    # with its workspace leased from a bounded pool, and the panel
+    # solve's operator counters measure the matrix-traffic
+    # amortization (RHS columns served per operator application).
+    panel: dict = {}
+    if config.rhs_panel > 1:
+        import numpy as np
+
+        from repro.backends.workspace import WorkspacePool
+        from repro.solvers.setup_cache import SetupCache
+
+        cache = SetupCache()
+        pool = WorkspacePool("panel-bench", max_arenas=1)
+        arena = pool.acquire()
+
+        def _panel_solver():
+            return GMRESIRSolver(
+                problem,
+                comm,
+                policy=policy,
+                mg_config=config.mg_config(),
+                restart=config.restart,
+                ortho=config.ortho,
+                matrix_format=config.matrix_format,
+                escalation=config.escalation_config(),
+                overlap=config.overlap,
+                control=config.control_config(),
+                overlap_symgs=config.overlap_symgs,
+                fusion=config.fusion,
+                setup_cache=cache,
+                workspace=arena,
+            )
+
+        _panel_solver()  # populate the cache (construction misses)
+        psolver = _panel_solver()  # served from the cache (hits)
+        ncol = config.rhs_panel
+        n = problem.nlocal
+        B = np.empty((n, ncol), dtype=np.float64, order="F")
+        for j in range(ncol):
+            # Distinct, deterministic columns: scaled copies of b keep
+            # every column's convergence path identical and non-trivial.
+            np.multiply(problem.b, 1.0 + 0.5 * j, out=B[:, j])
+        ops = [psolver.op64]
+        if psolver.op_inner is not psolver.op64:
+            ops.append(psolver.op_inner)
+        comm.barrier()
+        tp0 = time.perf_counter()
+        _, pstats = psolver.solve_panel(
+            B, tol=0.0, maxiter=config.max_iters_per_solve
+        )
+        comm.barrier()
+        panel_wall = time.perf_counter() - tp0
+        passes = sum(op.matrix_passes for op in ops)
+        columns = sum(op.rhs_columns for op in ops)
+        pool.release(arena)
+        panel = {
+            "rhs_panel": ncol,
+            "panel_wall": panel_wall,
+            "panel_iterations": sum(s.iterations for s in pstats),
+            "panel_matrix_reuse": columns / passes if passes else 0.0,
+            "panel_setup_cache_hits": cache.hits,
+            "panel_setup_cache_misses": cache.misses,
+        }
+
     return {
         "wall": wall,
         "iterations": iterations,
         "solves": solves,
+        "panel": panel,
         "seconds_by_motif": dict(timers.seconds),
-        "send_bytes": comm.stats.send_bytes,
-        "send_messages": comm.stats.sends,
-        "allreduce_bytes": comm.stats.allreduce_bytes,
+        "send_bytes": send_bytes,
+        "send_messages": send_messages,
+        "allreduce_bytes": allreduce_bytes,
         "halo_seconds": solver.halo_seconds(),
         "halo_exchanges": solver.halo_exchange_count(),
         "halo_exposed_seconds": solver.halo_exposed_seconds(),
@@ -434,6 +529,14 @@ def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
         if nranks > 1
         else {"overlapped": 0.0, "exposed": 0.0}
     )
+    # Batched multi-RHS phase: modeled bytes-per-RHS at the configured
+    # panel width (total / width; equals model_bytes_per_cycle at
+    # width 1) next to the measured matrix-reuse amortization.
+    panel_rec = records[0].get("panel") or {}
+    bytes_per_rhs = (
+        model.cycle_traffic_bytes(schedule, panel=config.rhs_panel)["total"]
+        / config.rhs_panel
+    )
 
     return DistributedPhaseMetrics(
         grid=shape,
@@ -459,6 +562,12 @@ def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
         model_symgs_bytes_per_cycle=model.cycle_symgs_bytes(schedule),
         model_halo_overlapped_bytes_per_cycle=halo_split["overlapped"],
         model_halo_exposed_bytes_per_cycle=halo_split["exposed"],
+        rhs_panel=config.rhs_panel,
+        panel_matrix_reuse=panel_rec.get("panel_matrix_reuse", 0.0),
+        bytes_per_rhs=bytes_per_rhs,
+        panel_wall_seconds=panel_rec.get("panel_wall", 0.0),
+        panel_setup_cache_hits=panel_rec.get("panel_setup_cache_hits", 0),
+        panel_setup_cache_misses=panel_rec.get("panel_setup_cache_misses", 0),
     )
 
 

@@ -156,6 +156,13 @@ class BenchmarkConfig:
     #: until ``distributed_budget_seconds`` of wall clock is spent.
     distributed_grid: str | None = None
     distributed_budget_seconds: float = 1.0
+    #: Right-hand-side panel width for the batched solve phase: with
+    #: ``rhs_panel > 1`` the distributed phase additionally runs one
+    #: ``solve_panel`` over an N-column RHS panel — matrix traffic
+    #: amortized across the panel (the measured
+    #: ``panel_matrix_reuse``), with the operator-keyed setup cache
+    #: and a leased workspace arena serving the batched solver.
+    rhs_panel: int = 1
 
     @staticmethod
     def _auto_format(impl: str) -> str:
@@ -209,6 +216,10 @@ class BenchmarkConfig:
             parse_process_grid(self.distributed_grid)  # fail fast
             if self.distributed_budget_seconds <= 0:
                 raise ValueError("distributed_budget_seconds must be positive")
+        if self.rhs_panel < 1:
+            raise ValueError(
+                f"rhs_panel must be >= 1, got {self.rhs_panel}"
+            )
 
     # ------------------------------------------------------------------
     @property

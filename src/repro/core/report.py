@@ -80,6 +80,17 @@ def format_report(result: BenchmarkResult) -> str:
                 f"{smoother} smoother)"
             )
             add(f"    per level: {per_level}")
+        if d.rhs_panel > 1:
+            add(
+                f"  batched solves: panel of {d.rhs_panel} RHS in "
+                f"{d.panel_wall_seconds:.3f} s — matrix reuse "
+                f"{d.panel_matrix_reuse:.2f} columns/pass, model "
+                f"{d.bytes_per_rhs:.0f} bytes/RHS "
+                f"({d.model_bytes_per_cycle / d.bytes_per_rhs:.2f}x "
+                f"amortization), setup cache "
+                f"{d.panel_setup_cache_hits} hits / "
+                f"{d.panel_setup_cache_misses} misses"
+            )
     return "\n".join(lines)
 
 

@@ -330,6 +330,32 @@ class MultigridPreconditioner:
             return out
         return z.copy()
 
+    def apply_panel(
+        self, R: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``Z[:, j] = M^{-1} R[:, j]`` for a column-major panel.
+
+        Each column runs the scalar V-cycle — the per-level iterate and
+        defect buffers are column-independent, so looping columns
+        through :meth:`apply` is bitwise-equal per column to the
+        single-RHS preconditioner, which is the contract the panel
+        solver's parity tests pin.  The panel-native V-cycle (one
+        ``symgs_sweep_multi``/``fused_restrict`` matrix stream per
+        level serving all columns) is the registry seam a single-pass
+        backend fills; this reference keeps the scalar recursion.
+        """
+        ncol = R.shape[1]
+        Z = (
+            out
+            if out is not None
+            else self.ws.get_panel(
+                "mg.panel.z", R.shape[0], ncol, self.precision.dtype
+            )
+        )
+        for j in range(ncol):
+            self.apply(R[:, j], out=Z[:, j])
+        return Z
+
     def _vcycle(self, lvl: int, r: np.ndarray) -> np.ndarray:
         level = self.levels[lvl]
         cfg = self.config

@@ -97,8 +97,18 @@ class KernelModel:
     # ------------------------------------------------------------------
     # Sparse motifs
     # ------------------------------------------------------------------
-    def spmv(self, n: int, prec: Precision, fmt: str = "ell") -> KernelCost:
-        """y = A x on an n-row stencil block."""
+    def spmv(
+        self, n: int, prec: Precision, fmt: str = "ell", panel: int = 1
+    ) -> KernelCost:
+        """y = A x on an n-row stencil block.
+
+        ``panel > 1`` models the multi-RHS kernel: the matrix block
+        (values, indices, format metadata) streams **once** for the
+        whole panel while the vector traffic — gather and output —
+        scales with the column count.  ``panel=1`` reproduces the
+        single-RHS cost exactly (the extra columns are charged
+        additively, so the historical numbers are untouched).
+        """
         vb = prec.bytes
         nbytes = n * (
             self._matrix_block_bytes(prec, fmt)  # values + column indices
@@ -106,11 +116,13 @@ class KernelModel:
             + vb  # y write
         )
         nbytes += self._format_overhead_bytes(n, fmt)
+        if panel > 1:
+            nbytes += (panel - 1) * n * (self.gather_reads_spmv * vb + vb)
         return KernelCost(
             name=f"spmv_{fmt}_{prec.short_name}",
             motif="spmv",
             nbytes=nbytes,
-            flops=2 * ROW_WIDTH * n,
+            flops=2 * ROW_WIDTH * n * panel,
             launches=1,
             precision=prec,
         )
@@ -122,6 +134,7 @@ class KernelModel:
         num_colors: int = 8,
         fmt: str = "ell",
         color_blocks: bool = True,
+        panel: int = 1,
     ) -> KernelCost:
         """One forward multicolor GS sweep (all colors).
 
@@ -137,6 +150,12 @@ class KernelModel:
         slices through scratch, charged as ``n * (8 + vb)`` extra
         bytes per sweep (what a smoother that falls off the
         partitioned layout pays).
+
+        ``panel > 1`` is the multi-RHS sweep: one matrix (and diag,
+        and row-index) stream per color pass serves every column; the
+        r/x vector traffic and gather scale with the panel.  As in
+        :meth:`spmv` the extra columns are charged additively so the
+        ``panel=1`` cost is bit-identical to the historical one.
         """
         vb = prec.bytes
         nbytes = n * (
@@ -149,11 +168,16 @@ class KernelModel:
         if not color_blocks:
             nbytes += n * (8 + vb)  # row-index stream + staging copy
         nbytes += self._format_overhead_bytes(n, fmt)
+        if panel > 1:
+            per_col = n * (self.gather_reads_gs * vb + vb + 2 * vb + vb)
+            if not color_blocks:
+                per_col += n * vb  # staging copy (index stream shared)
+            nbytes += (panel - 1) * per_col
         return KernelCost(
             name=f"gs_{prec.short_name}",
             motif="gs",
             nbytes=nbytes,
-            flops=(2 * ROW_WIDTH + 2) * n,
+            flops=(2 * ROW_WIDTH + 2) * n * panel,
             launches=num_colors,
             precision=prec,
         )
@@ -186,8 +210,14 @@ class KernelModel:
             precision=prec,
         )
 
-    def fused_spmv_restrict(self, n_coarse: int, prec: Precision) -> KernelCost:
-        """Optimized residual+restriction: full-width rows, coarse count."""
+    def fused_spmv_restrict(
+        self, n_coarse: int, prec: Precision, panel: int = 1
+    ) -> KernelCost:
+        """Optimized residual+restriction: full-width rows, coarse count.
+
+        Panel semantics as in :meth:`spmv`: matrix rows stream once,
+        the gather / b / coarse-write vector traffic scales per column.
+        """
         vb = prec.bytes
         nbytes = n_coarse * (
             ROW_WIDTH * (vb + IDX_BYTES)
@@ -196,28 +226,37 @@ class KernelModel:
             + vb  # b read
             + vb  # coarse write
         )
+        if panel > 1:
+            nbytes += (panel - 1) * n_coarse * (
+                self.gather_reads_spmv * vb * 4.0 + 2 * vb
+            )
         return KernelCost(
             name=f"spmv_restrict_fused_{prec.short_name}",
             motif="restrict",
             nbytes=nbytes,
-            flops=(2 * ROW_WIDTH + 1) * n_coarse,
+            flops=(2 * ROW_WIDTH + 1) * n_coarse * panel,
             launches=1,
             precision=prec,
         )
 
     def unfused_residual_restrict(
-        self, n_fine: int, n_coarse: int, prec: Precision, fmt: str = "csr"
+        self,
+        n_fine: int,
+        n_coarse: int,
+        prec: Precision,
+        fmt: str = "csr",
+        panel: int = 1,
     ) -> KernelCost:
         """Reference path: full SpMV + axpy + injection copy (§3.1 issue 3)."""
-        spmv = self.spmv(n_fine, prec, fmt)
+        spmv = self.spmv(n_fine, prec, fmt, panel=panel)
         vb = prec.bytes
         extra = n_fine * 3 * vb  # residual read-sub-write
         extra += n_coarse * 2 * vb  # injection gather + store
         return KernelCost(
             name=f"residual_restrict_unfused_{prec.short_name}",
             motif="restrict",
-            nbytes=spmv.nbytes + extra,
-            flops=spmv.flops + n_fine,
+            nbytes=spmv.nbytes + extra * panel,
+            flops=spmv.flops + n_fine * panel,
             launches=3,
             precision=prec,
         )
@@ -270,7 +309,9 @@ class KernelModel:
             precision=prec,
         )
 
-    def spmv_dot(self, n: int, prec: Precision, fmt: str = "ell") -> KernelCost:
+    def spmv_dot(
+        self, n: int, prec: Precision, fmt: str = "ell", panel: int = 1
+    ) -> KernelCost:
         """Fused ``r = b - A x`` + local ``r . r`` (one matrix pass).
 
         Versus the unfused sequence (SpMV, then a 3-vector waxpby,
@@ -278,15 +319,15 @@ class KernelModel:
         SpMV's pass: only ``b`` is read and ``r`` written on top of
         the SpMV traffic — the "remaining bytes" fusion the
         tile-centric mixed-precision GEMM work targets, applied to the
-        sparse residual check.
+        sparse residual check.  Panel semantics as in :meth:`spmv`.
         """
-        spmv = self.spmv(n, prec, fmt)
+        spmv = self.spmv(n, prec, fmt, panel=panel)
         vb = prec.bytes
         return KernelCost(
             name=f"spmv_dot_{fmt}_{prec.short_name}",
             motif="spmv",
-            nbytes=spmv.nbytes + n * vb,  # + b read (r write in spmv's y)
-            flops=spmv.flops + 3 * n,  # subtract + multiply-add
+            nbytes=spmv.nbytes + n * vb * panel,  # + b read (r write in spmv's y)
+            flops=spmv.flops + 3 * n * panel,  # subtract + multiply-add
             launches=1,
             precision=prec,
         )

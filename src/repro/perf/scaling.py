@@ -375,7 +375,7 @@ class ScalingModel:
     # ------------------------------------------------------------------
     # Byte-traffic accounting (policy-driven, per-level widths)
     # ------------------------------------------------------------------
-    def mg_vcycle_bytes(self, policy) -> float:
+    def mg_vcycle_bytes(self, policy, panel: int = 1) -> float:
         """Modeled HBM bytes of one V-cycle under a policy (per GCD).
 
         Each level is charged at its own ladder rung
@@ -390,11 +390,15 @@ class ScalingModel:
         instead of the level's — the transfer ingredient's live width.
         A plain :class:`~repro.fp.policy.PrecisionPolicy` carries no
         transfer axis and is charged exactly as before.
+
+        ``panel > 1`` charges the multi-RHS V-cycle: each sweep's and
+        transfer's matrix block streams once, the vector traffic
+        scales per column (the :class:`KernelModel` panel semantics).
         """
-        by = self.mg_vcycle_byte_breakdown(policy)
+        by = self.mg_vcycle_byte_breakdown(policy, panel=panel)
         return by["symgs"] + by["transfer"]
 
-    def mg_vcycle_byte_breakdown(self, policy) -> dict[str, float]:
+    def mg_vcycle_byte_breakdown(self, policy, panel: int = 1) -> dict[str, float]:
         """One V-cycle's modeled HBM bytes, split ``symgs``/``transfer``.
 
         ``symgs`` is the smoother-sweep traffic (all levels, charged
@@ -418,24 +422,28 @@ class ScalingModel:
                 else cfg.npre + cfg.npost
             )
             cost = self.km.gs_sweep(
-                n, prec, fmt=self.fmt, color_blocks=color_blocks
+                n, prec, fmt=self.fmt, color_blocks=color_blocks, panel=panel
             )
             symgs += sweeps * sweep_mult * cost.nbytes
             if lvl == self.nlevels - 1:
                 continue
             n_c = self.level_nlocal(lvl + 1)
             if self.fused:
-                transfer += self.km.fused_spmv_restrict(n_c, prec).nbytes
+                transfer += self.km.fused_spmv_restrict(
+                    n_c, prec, panel=panel
+                ).nbytes
             else:
                 transfer += self.km.unfused_residual_restrict(
-                    n, n_c, prec, fmt=self.fmt
+                    n, n_c, prec, fmt=self.fmt, panel=panel
                 ).nbytes
-            transfer += self.km.prolong_correct(n_c, prec).nbytes
+            # Prolongation is pure vector traffic: every byte scales
+            # with the panel.
+            transfer += self.km.prolong_correct(n_c, prec).nbytes * panel
             if transfer_of is not None:
                 # Re-charge the restriction's coarse-defect store at
                 # the live transfer rung (the kernel models above
                 # charged it at the level rung).
-                transfer += n_c * (transfer_of(lvl).bytes - prec.bytes)
+                transfer += n_c * (transfer_of(lvl).bytes - prec.bytes) * panel
         return {"symgs": symgs, "transfer": transfer}
 
     def halo_traffic_bytes(self, policy) -> float:
@@ -523,16 +531,18 @@ class ScalingModel:
             exposed += spmv_bytes + outer_bytes
         return {"overlapped": overlapped, "exposed": exposed}
 
-    def cycle_symgs_bytes(self, policy) -> float:
+    def cycle_symgs_bytes(self, policy, panel: int = 1) -> float:
         """Modeled smoother-sweep HBM bytes of one restart cycle.
 
         The dominant-motif slice of :meth:`cycle_traffic_bytes`
         (``(m + 1)`` V-cycles' worth of sweeps), reported in the
         benchmark record and gated by ``check_regression.py``.
         """
-        return (self.restart + 1) * self.mg_vcycle_byte_breakdown(policy)["symgs"]
+        return (self.restart + 1) * self.mg_vcycle_byte_breakdown(
+            policy, panel=panel
+        )["symgs"]
 
-    def cycle_traffic_bytes(self, policy) -> dict[str, float]:
+    def cycle_traffic_bytes(self, policy, panel: int = 1) -> dict[str, float]:
         """Modeled bytes of one full restart cycle under a policy.
 
         The per-motif breakdown mirrors :meth:`cycle_profile` but
@@ -551,35 +561,48 @@ class ScalingModel:
         smoother level, each transfer — is charged at its *current*
         rung, so modeled traffic tracks run-time promotions and
         demotions rather than the static configuration.
+
+        ``panel > 1`` models the batched multi-RHS cycle: every sparse
+        kernel's matrix block is charged **once** per application while
+        all vector traffic (gathers, outputs, halo wire bytes, the
+        per-column CGS2 BLAS-2, the outer updates) scales with the
+        panel width.  ``panel=1`` reproduces the single-RHS totals
+        exactly; ``total / panel`` is the modeled ``bytes_per_rhs`` the
+        benchmark records and CI gates.
         """
         m = self.restart
         n = self.level_nlocal(0)
         km = self.km
         by: dict[str, float] = {}
-        vcycle = self.mg_vcycle_bytes(policy)
+        vcycle = self.mg_vcycle_bytes(policy, panel=panel)
         by["mg"] = (m + 1) * vcycle  # m inner + 1 solution-update cycle
-        by["spmv"] = m * km.spmv(n, policy.matrix, fmt=self.fmt).nbytes
-        by["halo"] = self.halo_traffic_bytes(policy)
+        by["spmv"] = m * km.spmv(n, policy.matrix, fmt=self.fmt, panel=panel).nbytes
+        # Halo exchanges ship each column's ghosts (vector traffic —
+        # the wire sees no matrix bytes, so nothing amortizes).
+        by["halo"] = self.halo_traffic_bytes(policy) * panel
+        # Each column orthogonalizes against its own basis.
         by["ortho"] = sum(
             km.ortho_cgs2_step(n, k, policy.krylov_basis).nbytes
             for k in range(1, m + 1)
-        )
+        ) * panel
         # Outer IR overhead, pinned to fp64 by the benchmark.  With
         # the fused-motif pipeline the residual subtraction and its
         # norm ride the SpMV's matrix pass (spmv_dot) — charged once —
         # instead of a separate 3-vector waxpby plus a 2-vector dot.
         if self.fusion:
-            residual_bytes = km.spmv_dot(n, Precision.DOUBLE, fmt=self.fmt).nbytes
+            residual_bytes = km.spmv_dot(
+                n, Precision.DOUBLE, fmt=self.fmt, panel=panel
+            ).nbytes
         else:
             residual_bytes = (
-                km.spmv(n, Precision.DOUBLE, fmt=self.fmt).nbytes
-                + km.waxpby(n, Precision.DOUBLE).nbytes
-                + km.dot(n, Precision.DOUBLE).nbytes
+                km.spmv(n, Precision.DOUBLE, fmt=self.fmt, panel=panel).nbytes
+                + km.waxpby(n, Precision.DOUBLE).nbytes * panel
+                + km.dot(n, Precision.DOUBLE).nbytes * panel
             )
         by["outer"] = (
             residual_bytes
-            + km.gemv_qt(n, m, policy.krylov_basis).nbytes
-            + km.mixed_waxpby_device(n).nbytes
+            + km.gemv_qt(n, m, policy.krylov_basis).nbytes * panel
+            + km.mixed_waxpby_device(n).nbytes * panel
         )
         by["total"] = sum(by.values())
         return by

@@ -21,6 +21,7 @@ from repro.mg.multigrid import MGConfig, MultigridPreconditioner
 from repro.parallel.comm import Communicator
 from repro.parallel.distributed import ddot, dnorm2, dnorm2_from_local
 from repro.solvers.operator import DistributedOperator
+from repro.solvers.setup_cache import SetupCache, operator_fingerprint
 from repro.stencil.poisson27 import Problem
 from repro.util.timers import NullTimers
 
@@ -33,6 +34,9 @@ class CGStats:
     converged: bool = False
     final_relres: float = np.inf
     residual_history: list[float] = field(default_factory=list)
+    #: Setup-cache counters (cumulative; zero without a cache).
+    setup_cache_hits: int = 0
+    setup_cache_misses: int = 0
 
 
 class PCGSolver:
@@ -44,6 +48,7 @@ class PCGSolver:
         comm: Communicator,
         mg_config: MGConfig | None = None,
         timers=None,
+        setup_cache: SetupCache | None = None,
     ) -> None:
         self.problem = problem
         self.comm = comm
@@ -52,17 +57,34 @@ class PCGSolver:
         # HPCG's preconditioner: symmetric Gauss-Seidel smoothing, which
         # keeps M symmetric (required for CG convergence theory).
         self.mg_config = mg_config or MGConfig(sweep="symmetric")
+        # The MG hierarchy (colorings included) is the dominant setup
+        # cost; an operator-keyed cache shares it across solver
+        # instances bound to content-identical problems.
+        self.setup_cache = setup_cache
         self.op = DistributedOperator(
             problem.A, problem.halo, comm, workspace=self.ws
         )
-        self.M = MultigridPreconditioner.build(
-            problem,
-            comm,
-            self.mg_config,
-            precision="fp64",
-            timers=self.timers,
-            workspace=self.ws,
-        )
+
+        def _build_mg():
+            return MultigridPreconditioner.build(
+                problem,
+                comm,
+                self.mg_config,
+                precision="fp64",
+                timers=self.timers,
+                workspace=self.ws,
+            )
+
+        if setup_cache is None:
+            self.M = _build_mg()
+        else:
+            self.M = setup_cache.get_or_build(
+                operator_fingerprint(problem.A),
+                "mg-pcg",
+                (self.mg_config, comm.size, comm.rank),
+                _build_mg,
+            )
+            self.M.timers = self.timers
         n = problem.nlocal
         self._Ap = np.zeros(n, dtype=np.float64)
         self._z = np.zeros(n, dtype=np.float64)
@@ -88,6 +110,7 @@ class PCGSolver:
         if rho0 == 0.0:
             stats.converged = True
             stats.final_relres = 0.0
+            self._export_setup_stats(stats)
             return x, stats
 
         z, Ap = self._z, self._Ap
@@ -127,7 +150,14 @@ class PCGSolver:
             rz_old = rz_new
 
         stats.final_relres = normr / rho0
+        self._export_setup_stats(stats)
         return x, stats
+
+    def _export_setup_stats(self, stats: CGStats) -> None:
+        """Snapshot the setup cache's counters into the stats record."""
+        if self.setup_cache is not None:
+            stats.setup_cache_hits = self.setup_cache.hits
+            stats.setup_cache_misses = self.setup_cache.misses
 
 
 def pcg_solve(

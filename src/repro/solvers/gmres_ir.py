@@ -57,8 +57,10 @@ from repro.parallel.comm import Communicator
 from repro.parallel.distributed import dnorm2, dnorm2_from_local
 from repro.solvers.givens import GivensQR
 from repro.solvers.operator import DistributedOperator
-from repro.solvers.ortho import ORTHO_METHODS
+from repro.solvers.ortho import ORTHO_METHODS, cgs2_fused
+from repro.solvers.setup_cache import SetupCache, operator_fingerprint
 from repro.sparse.formats import known_formats, to_format
+from repro.sparse.partitioned import partition_matrix
 from repro.sparse.scaled import to_precision
 from repro.stencil.poisson27 import Problem
 from repro.util.timers import NullTimers
@@ -86,6 +88,10 @@ class SolverStats:
     #: demotion, in firing order, with its ingredient and MG level
     #: (whole-policy events carry ``ingredient="policy"``).
     promotions: list[PrecisionEvent] = field(default_factory=list)
+    #: Setup-cache counters (cumulative for the solver's cache at the
+    #: time the solve finished; both zero without a cache).
+    setup_cache_hits: int = 0
+    setup_cache_misses: int = 0
 
     @property
     def demotions(self) -> list[PrecisionEvent]:
@@ -147,6 +153,8 @@ class GMRESIRSolver:
         control: "ControlConfig | str | None" = None,
         overlap_symgs: "bool | str" = "auto",
         fusion: bool = True,
+        setup_cache: SetupCache | None = None,
+        workspace: Workspace | None = None,
     ) -> None:
         if ortho not in ORTHO_METHODS:
             raise ValueError(f"unknown orthogonalization {ortho!r}")
@@ -183,8 +191,24 @@ class GMRESIRSolver:
         # the reference backend); off for ablation (--no-fusion).
         self.fusion = bool(fusion)
         self._orthogonalize = ORTHO_METHODS[ortho]
+        # Fused CGS2: the second projection's GEMV, subtraction and
+        # the norm's local reduction share one registry motif
+        # (bitwise-identical composition under the reference backend).
+        self._ortho_fused = (
+            cgs2_fused if (self.fusion and ortho == "cgs2") else None
+        )
         self.timers = timers if timers is not None else NullTimers()
-        self.ws = Workspace("gmres-ir")
+        # Leased-pool integration: a caller (the batched benchmark, a
+        # service front end) may hand in an already-warm arena from a
+        # WorkspacePool; the solver otherwise owns a fresh one.
+        self.ws = workspace if workspace is not None else Workspace("gmres-ir")
+        # Operator-keyed setup cache: format conversions, precision
+        # copies, partitions and the MG hierarchy are reused across
+        # solver instances bound to content-identical operators.
+        self.setup_cache = setup_cache
+        self._fingerprint = (
+            operator_fingerprint(problem.A) if setup_cache is not None else None
+        )
         if escalation is None:
             # fp16 rungs cannot reach double tolerances without climbing,
             # so the controller defaults on for them; fp32/fp64 policies
@@ -218,15 +242,28 @@ class GMRESIRSolver:
         # Krylov-loop matrix in the requested storage format (the
         # reference implementation uses CSR, the optimized one ELL;
         # SELL-C-σ is the GPU-general layout).
-        self.A64 = to_format(problem.A, matrix_format)
+        self.A64 = self._setup(
+            "A64", (matrix_format,), lambda: to_format(problem.A, matrix_format)
+        )
 
         # Double-precision operator for outer residuals, and the outer
         # residual buffer — both policy-independent (always fp64), so
         # they survive ladder promotions unchanged.
         self.op64 = DistributedOperator(
-            self.A64, problem.halo, comm, workspace=self.ws, overlap=self.overlap
+            self.A64,
+            problem.halo,
+            comm,
+            workspace=self.ws,
+            overlap=self.overlap,
+            partition=self._setup_partition(self.A64, "fp64"),
         )
         self._r64 = np.zeros(problem.nlocal, dtype=np.float64)
+        # Givens QR state and the Hessenberg-column staging buffer are
+        # policy-independent (always fp64) and fully reset per restart
+        # cycle, so one allocation serves every solve — repeated
+        # ``solve`` calls on a reused solver perform no setup allocs.
+        self._qr = GivensQR(restart)
+        self._hcol = np.zeros(restart + 1, dtype=np.float64)
 
         self.mg_config = mg_config or MGConfig()
         self._shared_precond = precond
@@ -241,6 +278,25 @@ class GMRESIRSolver:
         else:
             self.plane = PrecisionControlPlane(control, policy, nlevels)
         self._bind_policy(self.plane.live_policy())
+
+    # ------------------------------------------------------------------
+    def _setup(self, kind: str, params: tuple, builder):
+        """Build a setup product, through the cache when one is bound."""
+        if self.setup_cache is None:
+            return builder()
+        return self.setup_cache.get_or_build(
+            self._fingerprint, kind, params, builder
+        )
+
+    def _setup_partition(self, A, prec_name: str):
+        """Cached interior/boundary partition for the overlap schedule."""
+        if not self.overlap:
+            return None
+        return self._setup(
+            "partition",
+            (self.matrix_format, prec_name, self.comm.size, self.comm.rank),
+            lambda: partition_matrix(A, self.problem.halo),
+        )
 
     # ------------------------------------------------------------------
     def _bind_policy(self, policy: PrecisionPolicy) -> None:
@@ -261,13 +317,19 @@ class GMRESIRSolver:
             self.op_inner = self.op64
             self.A_low = self.A64
         else:
-            self.A_low = to_precision(self.A64, policy.matrix)
+            prec_name = policy.matrix.short_name
+            self.A_low = self._setup(
+                "A_low",
+                (self.matrix_format, prec_name),
+                lambda: to_precision(self.A64, policy.matrix),
+            )
             self.op_inner = DistributedOperator(
                 self.A_low,
                 self.problem.halo,
                 self.comm,
                 workspace=self.ws,
                 overlap=self.overlap,
+                partition=self._setup_partition(self.A_low, prec_name),
             )
 
         # Multigrid preconditioner on the policy's per-level schedule.
@@ -281,22 +343,45 @@ class GMRESIRSolver:
                 if policy.preconditioner is policy.matrix
                 else None
             )
-            self.M = MultigridPreconditioner.build(
-                self.problem,
-                self.comm,
-                self.mg_config,
-                precision=policy.mg_schedule(self.mg_config.nlevels),
-                timers=self.timers,
-                fine_matrix=shared,
-                matrix_format=self.matrix_format,
-                workspace=self.ws,
-                # Per-ingredient mode schedules the grid transfers
-                # apart from the levels; None preserves the historical
-                # coarse-rung coupling (the "policy"-mode bitwise
-                # guarantee).
-                transfer_precision=self.plane.transfer_schedule(),
-                overlap=self.overlap_symgs,
+            mg_schedule = policy.mg_schedule(self.mg_config.nlevels)
+            transfer_schedule = self.plane.transfer_schedule()
+
+            def _build_mg():
+                return MultigridPreconditioner.build(
+                    self.problem,
+                    self.comm,
+                    self.mg_config,
+                    precision=mg_schedule,
+                    timers=self.timers,
+                    fine_matrix=shared,
+                    matrix_format=self.matrix_format,
+                    workspace=self.ws,
+                    # Per-ingredient mode schedules the grid transfers
+                    # apart from the levels; None preserves the
+                    # historical coarse-rung coupling (the
+                    # "policy"-mode bitwise guarantee).
+                    transfer_precision=transfer_schedule,
+                    overlap=self.overlap_symgs,
+                )
+
+            # The cached hierarchy carries its colorings, partitioned
+            # smoother layouts and warm workspace with it; only the
+            # timers rebind to the acquiring solver.
+            self.M = self._setup(
+                "mg",
+                (
+                    self.matrix_format,
+                    tuple(mg_schedule),
+                    tuple(transfer_schedule) if transfer_schedule else None,
+                    self.mg_config,
+                    self.overlap_symgs,
+                    shared is not None,
+                    self.comm.size,
+                    self.comm.rank,
+                ),
+                _build_mg,
             )
+            self.M.timers = self.timers
 
         # Krylov basis and hot-loop vector buffers, preallocated once
         # per rung.
@@ -316,6 +401,10 @@ class GMRESIRSolver:
             self._z_op = np.zeros(n, dtype=self.op_inner.dtype)
         else:
             self._z_op = None  # preconditioner output feeds SpMV directly
+        # Basis-precision staging for the least-squares solution (the
+        # update's ``y`` cast), sliced per cycle length — no per-cycle
+        # allocation on a reused solver.
+        self._ycast = np.zeros(restart, dtype=basis_dtype)
 
     # ------------------------------------------------------------------
     def _halo_exchanges(self) -> list:
@@ -368,6 +457,14 @@ class GMRESIRSolver:
     def _relres(self, rho: float) -> float:
         return rho / self._rho0 if self._rho0 else np.inf
 
+    def _export_setup_stats(self, *stats: SolverStats) -> None:
+        """Snapshot the setup cache's counters into the stats records."""
+        hits = self.setup_cache.hits if self.setup_cache is not None else 0
+        misses = self.setup_cache.misses if self.setup_cache is not None else 0
+        for s in stats:
+            s.setup_cache_hits = hits
+            s.setup_cache_misses = misses
+
     def _apply_events(self, stats: SolverStats, events: list[PrecisionEvent]) -> None:
         """Record the plane's rung changes and rebuild the inner stage.
 
@@ -408,6 +505,7 @@ class GMRESIRSolver:
 
         x = np.zeros(n, dtype=np.float64) if x0 is None else x0.astype(np.float64)
         stats = SolverStats()
+        self._export_setup_stats(stats)
         self.plane.reset_observation()
 
         with timers.section("dot"):
@@ -421,7 +519,7 @@ class GMRESIRSolver:
         abs_tol = target_residual if target_residual is not None else tol * rho0
 
         r64 = self._r64
-        qr = GivensQR(m)
+        qr = self._qr
 
         while stats.iterations < maxiter:
             # --- outer (iterative-refinement) step: double precision ---
@@ -442,6 +540,7 @@ class GMRESIRSolver:
             stats.final_relres = rho / rho0
             if rho <= abs_tol:
                 stats.converged = True
+                self._export_setup_stats(stats)
                 return x, stats
 
             # --- precision control plane: judge the restart boundary ---
@@ -480,10 +579,18 @@ class GMRESIRSolver:
                     np.copyto(w, self._w_op)
 
                 with timers.section("ortho"):
-                    h = self._orthogonalize(
-                        comm, Q, k + 1, w, ws=self.ws
-                    )  # lines 20-27
-                    beta = dnorm2(comm, w)
+                    if self._ortho_fused is not None:
+                        # lines 20-27 with the norm's local reduction
+                        # fused into the second projection pass.
+                        h, local = self._ortho_fused(
+                            comm, Q, k + 1, w, ws=self.ws
+                        )
+                        beta = dnorm2_from_local(comm, local)
+                    else:
+                        h = self._orthogonalize(
+                            comm, Q, k + 1, w, ws=self.ws
+                        )  # lines 20-27
+                        beta = dnorm2(comm, w)
 
                 stats.iterations += 1
                 # (Near-)breakdown: the new direction is numerically
@@ -501,7 +608,12 @@ class GMRESIRSolver:
                     w, np.asarray(beta, dtype=basis_dtype), out=Q[:, k + 1]
                 )  # lines 28-30
                 with timers.section("qr_host"):
-                    rho_implicit = qr.add_column(np.append(h, beta))  # lines 31-43
+                    # Stage the Hessenberg column in the preallocated
+                    # buffer (add_column copies, so the view is safe).
+                    col = self._hcol[: k + 2]
+                    col[: k + 1] = h
+                    col[k + 1] = beta
+                    rho_implicit = qr.add_column(col)  # lines 31-43
                 k += 1
                 stats.implicit_history.append(rho_implicit / rho0)
                 if rho_implicit <= abs_tol:
@@ -514,7 +626,9 @@ class GMRESIRSolver:
                 with timers.section("qr_host"):
                     y = qr.solve(k)  # t <- H^{-1} t
                 with timers.section("ortho"):
-                    gemv(Q, k, y.astype(basis_dtype), out=self._u)  # r <- Q t
+                    yc = self._ycast[:k]
+                    np.copyto(yc, y)  # basis-precision cast, no alloc
+                    gemv(Q, k, yc, out=self._u)  # r <- Q t
                 z = self.M.apply(self._u, out=self._z_prec)  # M^{-1} r
                 with timers.section("waxpby"):
                     np.add(x, z, out=x)  # fp64 update mandated
@@ -545,7 +659,298 @@ class GMRESIRSolver:
                 rho = dnorm2(comm, r64)
         stats.final_relres = rho / rho0
         stats.converged = rho <= abs_tol
+        self._export_setup_stats(stats)
         return x, stats
+
+    # ------------------------------------------------------------------
+    def solve_panel(
+        self,
+        B: np.ndarray,
+        X0: np.ndarray | None = None,
+        tol: float = 1e-9,
+        maxiter: int = 300,
+        target_residual: float | None = None,
+    ) -> tuple[np.ndarray, list[SolverStats]]:
+        """Solve ``A X = B`` for a panel of right-hand sides at once.
+
+        ``B`` is ``(nlocal, N)`` (any layout; consumed column-major).
+        All active columns advance in lockstep restart cycles so the
+        operator applications become *panel* kernels: one
+        ``matvec_panel`` / ``apply_panel`` / fused panel residual per
+        step, with the matrix block charged **once** per panel (the
+        amortization ``DistributedOperator.matrix_passes`` /
+        ``rhs_columns`` records).  Per column the arithmetic sequence —
+        residuals, projections, Givens rotations, convergence tests —
+        is exactly the single-RHS :meth:`solve` sequence, so every
+        column's result is bitwise-equal to solving it alone (the
+        acceptance test for the batched pipeline).
+
+        Columns **deflate**: a column that converges at a restart
+        boundary (or exhausts ``maxiter``) leaves the panel and later
+        cycles run narrower.  The precision control plane is consulted
+        once per panel boundary (on the worst active column) — a rung
+        change rebinds the whole panel, exactly one schedule for all
+        columns.
+
+        Returns ``(X, stats)`` with one :class:`SolverStats` per
+        column.
+        """
+        comm, timers = self.comm, self.timers
+        n = self.problem.nlocal
+        m = self.restart
+
+        B = np.asarray(B)
+        if B.ndim != 2 or B.shape[0] != n:
+            raise ValueError(
+                f"B must be (nlocal, N) = ({n}, *), got {B.shape}"
+            )
+        ncol = B.shape[1]
+        X = np.zeros((n, ncol), dtype=np.float64, order="F")
+        if X0 is not None:
+            X[:] = X0
+        stats = [SolverStats() for _ in range(ncol)]
+        self._export_setup_stats(*stats)
+        self.plane.reset_observation()
+
+        with timers.section("dot"):
+            rho0 = np.array([dnorm2(comm, B[:, j]) for j in range(ncol)])
+        for j in range(ncol):
+            stats[j].rho0 = rho0[j]
+            if rho0[j] == 0.0:
+                stats[j].converged = True
+                stats[j].final_relres = 0.0
+        if target_residual is not None:
+            abs_tol = np.full(ncol, float(target_residual))
+        else:
+            abs_tol = tol * rho0
+        active = [j for j in range(ncol) if rho0[j] != 0.0]
+
+        # Per-column Krylov state (basis + QR); the basis reallocates
+        # on a rung change, the QR factorizations are rung-independent.
+        basis_dtype = self.policy.krylov_basis.dtype
+        Qs = {j: np.zeros((n, m + 1), dtype=basis_dtype) for j in active}
+        qrs = {j: GivensQR(m) for j in active}
+        # Columns stopped for good by an empty-cycle breakdown with no
+        # rung left to promote (the solo solver's `break` exit).  A
+        # breakdown with k > 0 does NOT halt a column — like the solo
+        # solver it updates and keeps restarting (the flag stays in
+        # its stats).
+        halted: set[int] = set()
+
+        while active:
+            nact = len(active)
+            # --- panel outer (IR) step: one fp64 matrix pass for all
+            # active columns; per-column local dots ride the fused
+            # waxpby passes (bitwise-equal to the solo sequence) ---
+            Bact = self.ws.get_panel("panel.b", n, nact, np.float64)
+            Xact = self.ws.get_panel("panel.x", n, nact, np.float64)
+            Ract = self.ws.get_panel("panel.r", n, nact, np.float64)
+            for i, j in enumerate(active):
+                np.copyto(Bact[:, i], B[:, j])
+                np.copyto(Xact[:, i], X[:, j])
+            with timers.section("spmv"):
+                locals_sq = self.op64.residual_panel_norm2_local(
+                    Bact, Xact, out=Ract
+                )
+            with timers.section("dot"):
+                rhos = np.array(
+                    [dnorm2_from_local(comm, ls) for ls in locals_sq]
+                )
+
+            # --- convergence + deflation at the panel boundary ---
+            cycle_cols: list[tuple[int, int]] = []
+            worst: tuple[float, float] | None = None
+            for i, j in enumerate(active):
+                stats[j].final_relres = rhos[i] / rho0[j]
+                if rhos[i] <= abs_tol[j]:
+                    stats[j].converged = True
+                elif stats[j].iterations < maxiter and j not in halted:
+                    cycle_cols.append((i, j))
+                    relres = rhos[i] / rho0[j] if rho0[j] else np.inf
+                    if worst is None or relres > worst[1]:
+                        worst = (rhos[i], relres)
+            if not cycle_cols:
+                break
+
+            # --- precision control plane: one verdict per panel ---
+            events = self.plane.observe_restart(
+                worst[0],
+                worst[1],
+                max(stats[j].iterations for _, j in cycle_cols),
+                max(stats[j].restarts for _, j in cycle_cols),
+            )
+            if events:
+                for _, j in cycle_cols:
+                    stats[j].promotions.extend(events)
+                self._shared_precond = None
+                self._bind_policy(self.plane.live_policy())
+                basis_dtype = self.policy.krylov_basis.dtype
+                for _, j in cycle_cols:
+                    Qs[j] = np.zeros((n, m + 1), dtype=basis_dtype)
+
+            # --- start a lockstep restart cycle (lines 11-13) ---
+            klast: dict[int, int] = {}
+            for i, j in cycle_cols:
+                qrs[j].start(rhos[i])
+                np.divide(Ract[:, i], rhos[i], out=Qs[j][:, 0])
+                stats[j].restarts += 1
+                klast[j] = 0
+
+            cols = list(cycle_cols)
+            k = 0
+            while k < m and cols:
+                cols = [
+                    (i, j) for i, j in cols if stats[j].iterations < maxiter
+                ]
+                if not cols:
+                    break
+                nw = len(cols)
+                # --- panel inner Arnoldi step (one matrix pass) ---
+                Qk = self.ws.get_panel("panel.qk", n, nw, basis_dtype)
+                for idx, (_, j) in enumerate(cols):
+                    np.copyto(Qk[:, idx], Qs[j][:, k])
+                prec_dtype = self.M.precision.dtype
+                Zp = self.ws.get_panel("panel.z", n, nw, prec_dtype)
+                self.M.apply_panel(Qk, out=Zp)  # line 18: MG precond
+                if prec_dtype != self.op_inner.dtype:
+                    Zin = self.ws.get_panel(
+                        "panel.zop", n, nw, self.op_inner.dtype
+                    )
+                    np.copyto(Zin, Zp)  # precision cast, no alloc
+                else:
+                    Zin = Zp
+                Wp = self.ws.get_panel("panel.w", n, nw, self.op_inner.dtype)
+                with timers.section("spmv"):
+                    self.op_inner.matvec_panel(Zin, out=Wp)  # line 19
+                if self.op_inner.dtype != basis_dtype:
+                    Wb = self.ws.get_panel("panel.wb", n, nw, basis_dtype)
+                    np.copyto(Wb, Wp)
+                else:
+                    Wb = Wp
+
+                # --- per-column orthogonalization + Givens update ---
+                still: list[tuple[int, int]] = []
+                for idx, (i, j) in enumerate(cols):
+                    Q = Qs[j]
+                    w = Wb[:, idx]
+                    with timers.section("ortho"):
+                        if self._ortho_fused is not None:
+                            h, local = self._ortho_fused(
+                                comm, Q, k + 1, w, ws=self.ws
+                            )
+                            beta = dnorm2_from_local(comm, local)
+                        else:
+                            h = self._orthogonalize(
+                                comm, Q, k + 1, w, ws=self.ws
+                            )
+                            beta = dnorm2(comm, w)
+                    stats[j].iterations += 1
+                    pre_ortho_norm = float(np.sqrt(h @ h + beta * beta))
+                    if beta <= 4.0 * np.finfo(basis_dtype).eps * max(
+                        pre_ortho_norm, 1e-300
+                    ):
+                        stats[j].breakdown = True
+                        continue  # column leaves the cycle
+                    np.divide(
+                        w, np.asarray(beta, dtype=basis_dtype), out=Q[:, k + 1]
+                    )
+                    with timers.section("qr_host"):
+                        col = self._hcol[: k + 2]
+                        col[: k + 1] = h
+                        col[k + 1] = beta
+                        rho_j = qrs[j].add_column(col)
+                    klast[j] = k + 1
+                    stats[j].implicit_history.append(rho_j / rho0[j])
+                    if rho_j > abs_tol[j]:
+                        still.append((i, j))
+                    # else: implicit convergence — deflate from the
+                    # cycle (lines 15-17); the panel boundary's true
+                    # residual has final say.
+                cols = still
+                k += 1
+            self.plane.cycle_completed()
+
+            # --- per-column solution update (lines 45-47) ---
+            for i, j in cycle_cols:
+                kj = klast[j]
+                stats[j].cycle_lengths.append(kj)
+                if kj == 0:
+                    continue
+                with timers.section("qr_host"):
+                    y = qrs[j].solve(kj)
+                with timers.section("ortho"):
+                    yc = self._ycast[:kj]
+                    np.copyto(yc, y)
+                    gemv(Qs[j], kj, yc, out=self._u)
+                z = self.M.apply(self._u, out=self._z_prec)
+                with timers.section("waxpby"):
+                    xj = X[:, j]
+                    np.add(xj, z, out=xj)  # fp64 update mandated
+
+            # Empty-cycle breakdown columns: this precision cannot
+            # extend their basis at all.  With rungs left on the
+            # ladder, one panel-wide promotion retries them next
+            # boundary (their breakdown flag resets, like the solo
+            # promote-continue path); on a fixed plane they halt for
+            # good (the solo `break` exit).
+            stuck = [
+                j
+                for _, j in cycle_cols
+                if klast[j] == 0 and stats[j].breakdown
+            ]
+            if stuck:
+                events = self.plane.observe_breakdown(
+                    worst[0],
+                    worst[1],
+                    max(stats[j].iterations for j in stuck),
+                    max(stats[j].restarts for j in stuck),
+                )
+                if events:
+                    for _, j in cycle_cols:
+                        stats[j].promotions.extend(events)
+                    self._shared_precond = None
+                    self._bind_policy(self.plane.live_policy())
+                    basis_dtype = self.policy.krylov_basis.dtype
+                    for _, j in cycle_cols:
+                        Qs[j] = np.zeros((n, m + 1), dtype=basis_dtype)
+                    for j in stuck:
+                        stats[j].breakdown = False
+                else:
+                    halted.update(stuck)
+
+            active = [
+                j
+                for _, j in cycle_cols
+                if not stats[j].converged
+                and stats[j].iterations < maxiter
+                and j not in halted
+            ]
+
+        # --- final true residuals for columns that exited mid-state ---
+        pending = [
+            j
+            for j in range(ncol)
+            if rho0[j] != 0.0 and not stats[j].converged
+        ]
+        if pending:
+            npend = len(pending)
+            Bact = self.ws.get_panel("panel.b", n, npend, np.float64)
+            Xact = self.ws.get_panel("panel.x", n, npend, np.float64)
+            Ract = self.ws.get_panel("panel.r", n, npend, np.float64)
+            for i, j in enumerate(pending):
+                np.copyto(Bact[:, i], B[:, j])
+                np.copyto(Xact[:, i], X[:, j])
+            with timers.section("spmv"):
+                locals_sq = self.op64.residual_panel_norm2_local(
+                    Bact, Xact, out=Ract
+                )
+            with timers.section("dot"):
+                for i, j in enumerate(pending):
+                    rho = dnorm2_from_local(comm, locals_sq[i])
+                    stats[j].final_relres = rho / rho0[j]
+                    stats[j].converged = rho <= abs_tol[j]
+        self._export_setup_stats(*stats)
+        return X, stats
 
 
 def gmres_solve(

@@ -28,7 +28,9 @@ from repro.backends.dispatch import (
     spmv,
     spmv_boundary,
     spmv_dot,
+    spmv_dot_multi,
     spmv_interior,
+    spmv_multi,
     spmv_rows,
     waxpby_dot,
 )
@@ -49,6 +51,7 @@ class DistributedOperator:
         comm: Communicator,
         workspace: Workspace | None = None,
         overlap: bool = False,
+        partition=None,
     ) -> None:
         self.A = A
         self.comm = comm
@@ -58,11 +61,28 @@ class DistributedOperator:
         self.overlap = overlap
         # Ghost-aware partitioned layout for the overlap schedule; the
         # partition is built once at setup (HPCG's SetupHalo moment),
-        # not on the hot path.
-        self.P = partition_matrix(A, halo_pattern) if overlap else None
+        # not on the hot path.  ``partition`` lets a setup cache inject
+        # an already-built layout for this (A, halo) pair.
+        if overlap:
+            self.P = (
+                partition
+                if partition is not None
+                else partition_matrix(A, halo_pattern)
+            )
+        else:
+            self.P = None
         self._xfull = np.zeros(
             self.nlocal + halo_pattern.n_ghost, dtype=A.dtype
         )
+        # Matrix-reuse accounting for the batched pipeline: each full
+        # application increments ``matrix_passes`` by the number of
+        # times the matrix block is streamed and ``rhs_columns`` by the
+        # number of RHS columns served.  A panel matvec charges one
+        # pass for N columns, so ``rhs_columns / matrix_passes`` is the
+        # measured matrix-traffic amortization (1.0 for sequential
+        # single-RHS solves, → panel width for batched ones).
+        self.matrix_passes = 0
+        self.rhs_columns = 0
 
     @property
     def dtype(self) -> np.dtype:
@@ -75,6 +95,8 @@ class DistributedOperator:
         xf = self._xfull
         xf[: self.nlocal] = x
         self.halo_ex.exchange(xf)
+        self.matrix_passes += 1
+        self.rhs_columns += 1
         return spmv(self.A, xf, out=out, ws=self.ws)
 
     def matvec_overlapped(
@@ -85,17 +107,61 @@ class DistributedOperator:
         Requires ``overlap=True`` construction.  Bitwise-equal to
         :meth:`matvec_sequential` (same block kernels, same order).
         """
+        self.matrix_passes += 1
+        self.rhs_columns += 1
+        y = out if out is not None else np.empty(self.nlocal, dtype=self.dtype)
+        self._apply_overlapped(x, y)
+        return y
+
+    def _apply_overlapped(self, x: np.ndarray, y: np.ndarray) -> None:
+        """The overlap schedule proper (no reuse accounting)."""
         P = self._require_partition()
         xf = self._xfull
         xf[: self.nlocal] = x
-        y = out if out is not None else np.empty(self.nlocal, dtype=self.dtype)
         pending = self.halo_ex.exchange_begin(xf)
         # Interior block computes while messages are in transit ...
         spmv_interior(P, xf, out=y, ws=self.ws)
         # ... land the ghosts in the vector tail, then the boundary block.
         self.halo_ex.exchange_finish(pending, xf)
         spmv_boundary(P, xf, out=y, ws=self.ws)
-        return y
+
+    def matvec_panel(
+        self, X: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Panel matvec: one operator application serving every column.
+
+        ``X`` is a column-major ``(nlocal, N)`` panel; column ``j`` of
+        the result is bitwise-equal to ``matvec(X[:, j])``.  On the
+        sequential schedule the local product is one ``spmv_multi``
+        call — the registry seam a single-pass backend serves with one
+        matrix stream for the whole panel.  On the overlapped schedule
+        each column runs the unchanged interior/boundary halo-hiding
+        schedule (the panel-native distributed kernel is the documented
+        follow-on seam).  Either way the panel is booked as **one**
+        matrix pass serving N columns, which is what the measured
+        ``rhs_columns / matrix_passes`` amortization records.
+        """
+        ncol = X.shape[1]
+        Y = (
+            out
+            if out is not None
+            else np.empty((self.nlocal, ncol), dtype=self.dtype, order="F")
+        )
+        self.matrix_passes += 1
+        self.rhs_columns += ncol
+        if self.P is not None:
+            for j in range(ncol):
+                self._apply_overlapped(X[:, j], Y[:, j])
+            return Y
+        nfull = self._xfull.shape[0]
+        XF = self.ws.get_panel("op.panel.xfull", nfull, ncol, self.dtype)
+        XF[: self.nlocal, :] = X
+        # Each column's ghosts land in its own tail (vector traffic
+        # scales with the panel; matrix traffic does not).
+        for j in range(ncol):
+            self.halo_ex.exchange(XF[:, j])
+        spmv_multi(self.A, XF, out=Y, ws=self.ws)
+        return Y
 
     def matvec_sequential(
         self, x: np.ndarray, out: np.ndarray | None = None
@@ -105,6 +171,8 @@ class DistributedOperator:
         xf = self._xfull
         xf[: self.nlocal] = x
         self.halo_ex.exchange(xf)
+        self.matrix_passes += 1
+        self.rhs_columns += 1
         return spmv(P, xf, out=out, ws=self.ws)
 
     def _require_partition(self):
@@ -172,5 +240,27 @@ class DistributedOperator:
         xf = self._xfull
         xf[: self.nlocal] = x
         self.halo_ex.exchange(xf)
+        self.matrix_passes += 1
+        self.rhs_columns += 1
         _, local = spmv_dot(self.A, xf, b, out=out, ws=self.ws)
         return local
+
+    def residual_panel_norm2_local(
+        self, B: np.ndarray, X: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Panel residual + per-column local ``r . r``, fused.
+
+        ``out[:, j] = B[:, j] - A X[:, j]``; returns the float64 array
+        of local squared norms.  Column ``j`` is bitwise-equal to the
+        single-RHS :meth:`residual_norm2_local` (the panel matvec and
+        the fused per-column waxpby+dot compose the same kernels
+        operation-for-operation); the matrix pass is charged once for
+        the whole panel.
+        """
+        from repro.backends.dispatch import waxpby_dot_multi
+
+        ncol = X.shape[1]
+        AX = self.ws.get_panel("op.panel.ax", self.nlocal, ncol, self.dtype)
+        self.matvec_panel(X, out=AX)
+        _, locals_sq = waxpby_dot_multi(1.0, B, -1.0, AX, out=out, ws=self.ws)
+        return locals_sq

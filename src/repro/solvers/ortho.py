@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backends.dispatch import gemv
+from repro.backends.dispatch import gemv, gemv_sub_dot
 from repro.parallel.comm import Communicator
 from repro.parallel.distributed import ddot, dmatvec_block
 
@@ -62,6 +62,29 @@ def cgs2(
     h2 = dmatvec_block(comm, Q[:, :k], w)
     _project_out(Q, k, w, h2, ws)
     return np.asarray(h1, dtype=np.float64) + np.asarray(h2, dtype=np.float64)
+
+
+def cgs2_fused(
+    comm: Communicator, Q: np.ndarray, k: int, w: np.ndarray, ws=None
+) -> tuple[np.ndarray, float]:
+    """CGS2 with the trailing norm fused into the second projection.
+
+    Identical to :func:`cgs2` followed by a local ``w . w``, except the
+    second projection's GEMV, the subtraction and the norm's local
+    reduction go through one registry motif (``gemv_sub_dot``) — one
+    pass over ``w`` in a fused backend.  Returns ``(h, local_sq)``;
+    the caller finishes the norm with ``dnorm2_from_local``.  The
+    reference registration composes the same kernels the unfused
+    sequence calls, so the result is bitwise-identical — the contract
+    the fusion tests assert.
+    """
+    h1 = dmatvec_block(comm, Q[:, :k], w)
+    _project_out(Q, k, w, h1, ws)
+    h2 = dmatvec_block(comm, Q[:, :k], w)
+    coef = h2.astype(w.dtype)
+    local = gemv_sub_dot(Q, k, coef, w, ws=ws)
+    h = np.asarray(h1, dtype=np.float64) + np.asarray(h2, dtype=np.float64)
+    return h, local
 
 
 def mgs(

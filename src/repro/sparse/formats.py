@@ -30,10 +30,29 @@ MATRIX_FORMATS = {
 
 __all__ = [
     "MATRIX_FORMATS",
+    "content_arrays",
     "known_formats",
     "matrix_format_of",
     "to_format",
 ]
+
+
+def content_arrays(A):
+    """The ndarray attributes that define a matrix's content.
+
+    Yields ``(name, array)`` pairs in sorted attribute order — the
+    deterministic byte stream the setup cache's operator fingerprint
+    hashes.  Covers every registered format generically (CSR's
+    indptr/indices/data, ELL's cols/vals, SELL-C-sigma's permutation
+    and slot maps, plus row-equilibration scales); non-array state
+    (shapes, dtypes) is the caller's to fold in.
+    """
+    import numpy as np
+
+    for name in sorted(vars(A)):
+        value = getattr(A, name)
+        if isinstance(value, np.ndarray):
+            yield name, value
 
 
 def known_formats() -> list[str]:

@@ -68,6 +68,38 @@ class TestInnerLoopAllocations:
             f"inner loop grew vector-sized allocation sites:\n{msg}"
         )
 
+    def test_no_double_warmup_across_solves(self, warm_solver, problem16):
+        """PR 6 satellite: per-solve state (Givens QR, Hessenberg
+        column, precision-cast scratch) is hoisted to construction, so
+        a *second* solve re-warms nothing — same QR object, zero new
+        arena buffers, and the buffer count is flat."""
+        qr0 = warm_solver._qr
+        nbuf0 = warm_solver.ws.nbuffers
+        misses0 = warm_solver.ws.misses
+        warm_solver.solve(problem16.b, tol=0.0, maxiter=10)
+        warm_solver.solve(problem16.b, tol=0.0, maxiter=10)
+        assert warm_solver._qr is qr0
+        assert warm_solver.ws.nbuffers == nbuf0
+        assert warm_solver.ws.misses == misses0
+
+    def test_solve_panel_arena_stable_after_warmup(self, problem16):
+        """Repeated batched solves at one panel width re-warm nothing."""
+        from repro.fp import MIXED_DS_POLICY
+        from repro.solvers import GMRESIRSolver
+
+        solver = GMRESIRSolver(problem16, SerialComm(), policy=MIXED_DS_POLICY)
+        B = np.empty((problem16.nlocal, 4), order="F")
+        for j in range(4):
+            np.multiply(problem16.b, 1.0 + 0.5 * j, out=B[:, j])
+        solver.solve_panel(B, tol=0.0, maxiter=10)  # warmup
+        misses0 = solver.ws.misses
+        hits0 = solver.ws.hits
+        solver.solve_panel(B, tol=0.0, maxiter=10)
+        assert solver.ws.misses == misses0, (
+            "batched hot path allocated new arena buffers after warmup"
+        )
+        assert solver.ws.hits > hits0
+
     def test_vcycle_is_allocation_free_with_out(self, problem16):
         """The preconditioner alone: apply(out=...) reuses its arena."""
         from repro.mg import MGConfig, MultigridPreconditioner

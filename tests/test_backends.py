@@ -172,6 +172,38 @@ class TestRegistry:
         assert "numpy" in available_backends()
         assert active_backend() in available_backends()
 
+    def test_panel_ops_resolve_for_every_format(self):
+        """PR 6: every panel motif resolves from the process registry
+        for every storage format at every rung (reference fallback)."""
+        from repro.backends.registry import registry as proc_reg
+
+        for op in ("spmv_multi", "symgs_sweep_multi", "spmv_dot_multi"):
+            for fmt in ("csr", "ell", "sellcs"):
+                for prec in ("fp64", "fp32", "fp16"):
+                    assert proc_reg.lookup(op, fmt, prec) is not None
+        for op in ("waxpby_multi", "dot_multi", "waxpby_dot_multi", "gemv_sub_dot"):
+            for prec in ("fp64", "fp32", "fp16"):
+                assert proc_reg.lookup(op, None, prec) is not None
+
+    def test_numba_panel_registrations_gated(self):
+        """The JIT panel and overlapped-smoother kernels register iff
+        numba imported; absent, the numba chain falls back to the
+        reference registrations instead of erroring."""
+        from repro.backends import numba_backend
+        from repro.backends.registry import registry as proc_reg
+
+        for op, fmt in (
+            ("spmv_multi", "ell"),
+            ("spmv_multi", "csr"),
+            ("symgs_interior", "color_partitioned"),
+            ("symgs_boundary", "color_partitioned"),
+        ):
+            fn = proc_reg.lookup(op, fmt, "fp64", backend="numba")
+            if numba_backend.HAVE_NUMBA:
+                assert fn.__module__ == "repro.backends.numba_backend"
+            else:
+                assert fn.__module__ != "repro.backends.numba_backend"
+
 
 class TestWorkspace:
     def test_reuse_and_counters(self):

@@ -41,6 +41,11 @@ class TestProcessGridParsing:
         with pytest.raises(ValueError, match="overlap"):
             BenchmarkConfig(overlap="sometimes")
 
+    def test_config_validates_rhs_panel(self):
+        with pytest.raises(ValueError, match="rhs_panel"):
+            BenchmarkConfig(rhs_panel=0)
+        assert BenchmarkConfig(rhs_panel=8).rhs_panel == 8
+
 
 class TestDistributedPhase:
     @pytest.fixture(scope="class")
@@ -100,12 +105,13 @@ class TestCLIDistributed:
 
         args = build_parser().parse_args(
             ["run", "--distributed", "2x1x1", "--distributed-budget", "0.3",
-             "--bench-out", "x.json", "--no-overlap"]
+             "--bench-out", "x.json", "--no-overlap", "--rhs-panel", "8"]
         )
         assert args.distributed == "2x1x1"
         assert args.distributed_budget == 0.3
         assert args.bench_out == "x.json"
         assert args.no_overlap
+        assert args.rhs_panel == 8
 
     def test_run_with_distributed_and_bench_out(self, capsys, tmp_path):
         from repro.cli import main
@@ -173,6 +179,32 @@ class TestCheckRegression:
         failures, _ = gate.compare({}, {"seconds_per_solve": 1.0}, 0.2)
         assert failures
 
+    def test_bytes_per_rhs_gates_tightly(self, gate):
+        base = {"bytes_per_rhs": 100.0}
+        cur = {"bytes_per_rhs": 105.0}  # +5%: under the CLI threshold
+        failures, _ = gate.compare(cur, base, threshold=0.2)
+        assert len(failures) == 1  # ... but over the 2% byte gate
+        assert "bytes_per_rhs" in failures[0]
+
+    def test_panel_reuse_drop_fails(self, gate):
+        # Higher-is-better: a reuse *drop* beyond 2% fails ...
+        base = {"panel_matrix_reuse": 8.0}
+        failures, _ = gate.compare({"panel_matrix_reuse": 7.0}, base, threshold=0.2)
+        assert len(failures) == 1
+        assert "higher is better" in failures[0]
+        # ... while an increase only suggests a baseline refresh.
+        failures, notes = gate.compare(
+            {"panel_matrix_reuse": 16.0}, base, threshold=0.2
+        )
+        assert failures == []
+        assert any("refreshing" in n for n in notes)
+
+    def test_panel_metrics_absent_from_baseline_skip(self, gate):
+        cur = {"bytes_per_rhs": 100.0, "panel_matrix_reuse": 8.0}
+        failures, notes = gate.compare(cur, {}, threshold=0.2)
+        assert failures == []
+        assert any("skipped" in n for n in notes)
+
     def test_main_against_committed_baseline(self, gate, tmp_path):
         """The committed baseline gates a record identical to itself."""
         with open("benchmarks/BENCH_baseline.json") as f:
@@ -183,6 +215,76 @@ class TestCheckRegression:
             [str(cur), "--baseline", "benchmarks/BENCH_baseline.json"]
         )
         assert rc == 0
+
+
+class TestBatchedPhase:
+    """PR 6: the batched multi-RHS segment of the distributed phase."""
+
+    @pytest.fixture(scope="class")
+    def phase(self):
+        cfg = BenchmarkConfig(
+            local_nx=16,
+            distributed_grid="2x1x1",
+            distributed_budget_seconds=0.1,
+            max_iters_per_solve=5,
+            rhs_panel=8,
+        )
+        return run_distributed_phase(cfg)
+
+    def test_panel_metrics_recorded(self, phase):
+        assert phase.rhs_panel == 8
+        assert phase.panel_wall_seconds > 0
+        # Lockstep panel steps stream the matrix once for all 8
+        # columns: the measured reuse is exactly the panel width.
+        assert phase.panel_matrix_reuse == pytest.approx(8.0)
+
+    def test_modeled_bytes_per_rhs_amortizes(self, phase):
+        assert phase.bytes_per_rhs > 0
+        # Acceptance: matrix traffic amortized >= 2x by a panel of 8.
+        assert phase.model_bytes_per_cycle / phase.bytes_per_rhs >= 2.0
+
+    def test_setup_cache_counters_exported(self, phase):
+        # The batched segment builds one solver cold (misses) and one
+        # from the cache (hits): both counters must be visible.
+        assert phase.panel_setup_cache_misses > 0
+        assert phase.panel_setup_cache_hits == phase.panel_setup_cache_misses
+
+    def test_panel_segment_does_not_pollute_timed_window(self, phase):
+        # The timed window's comm counters are snapshotted before the
+        # batched segment runs; per-iteration traffic must match the
+        # unbatched phase (the committed baseline's value, ~5985 at
+        # this config -- a panel leak would roughly double it).
+        cfg = BenchmarkConfig(
+            local_nx=16,
+            distributed_grid="2x1x1",
+            distributed_budget_seconds=0.1,
+            max_iters_per_solve=5,
+        )
+        unbatched = run_distributed_phase(cfg)
+        assert phase.comm_bytes_per_iteration == pytest.approx(
+            unbatched.comm_bytes_per_iteration
+        )
+
+    def test_to_dict_round_trips_panel_fields(self, phase):
+        rec = json.loads(json.dumps(phase.to_dict()))
+        assert rec["rhs_panel"] == 8
+        assert rec["panel_matrix_reuse"] == pytest.approx(8.0)
+        assert rec["bytes_per_rhs"] == pytest.approx(phase.bytes_per_rhs)
+        assert rec["panel_setup_cache_hits"] > 0
+
+    def test_default_panel_of_one_skips_segment(self):
+        cfg = BenchmarkConfig(
+            local_nx=16,
+            distributed_grid="2x1x1",
+            distributed_budget_seconds=0.05,
+            max_iters_per_solve=5,
+        )
+        phase = run_distributed_phase(cfg)
+        assert phase.rhs_panel == 1
+        assert phase.panel_wall_seconds == 0.0
+        assert phase.panel_matrix_reuse == 0.0
+        # bytes_per_rhs at panel 1 is the whole cycle's bytes.
+        assert phase.bytes_per_rhs == pytest.approx(phase.model_bytes_per_cycle)
 
 
 class TestHaloByteModel:

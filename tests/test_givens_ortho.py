@@ -152,3 +152,48 @@ class TestOrthogonalization:
     def test_orthogonality_loss_of_identityish(self):
         Q, _ = self.setup_basis()
         assert orthogonality_loss(Q, 8) < 1e-14
+
+
+class TestFusedCGS2:
+    """PR 6 satellite: the fused projection+norm motif is bitwise-equal
+    to the unfused CGS2 followed by a local dot."""
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.float16])
+    def test_fused_matches_unfused_bitwise(self, dtype):
+        from repro.backends.workspace import Workspace
+        from repro.solvers.ortho import cgs2_fused
+
+        n, k = 200, 8
+        rng = np.random.default_rng(3)
+        Q = np.linalg.qr(rng.standard_normal((n, k + 1)))[0].astype(dtype)
+        w0 = rng.standard_normal(n).astype(dtype)
+        comm = SerialComm()
+
+        from repro.backends.dispatch import dot
+
+        w_ref = w0.copy()
+        h_ref = cgs2(comm, Q.copy(), k, w_ref, ws=Workspace())
+        # The unfused sequence ends with the registry's local dot (the
+        # rung's own accumulation) — the fused motif must match *that*.
+        local_ref = dot(w_ref, w_ref)
+
+        w_fused = w0.copy()
+        h_fused, local = cgs2_fused(comm, Q.copy(), k, w_fused, ws=Workspace())
+        assert np.array_equal(w_fused, w_ref)
+        assert np.array_equal(h_fused, h_ref)
+        assert local == local_ref
+
+    def test_fused_without_workspace(self):
+        from repro.backends.dispatch import dot
+        from repro.solvers.ortho import cgs2_fused
+
+        n, k = 64, 4
+        rng = np.random.default_rng(7)
+        Q = np.linalg.qr(rng.standard_normal((n, k + 1)))[0]
+        w = rng.standard_normal(n)
+        w_ref = w.copy()
+        h_ref = cgs2(SerialComm(), Q.copy(), k, w_ref)
+        h, local = cgs2_fused(SerialComm(), Q.copy(), k, w)
+        assert np.array_equal(w, w_ref)
+        assert np.array_equal(h, h_ref)
+        assert local == dot(w_ref, w_ref)

@@ -1,0 +1,67 @@
+"""Leased workspace pool (PR 6): bounded arenas with warm reuse."""
+
+import numpy as np
+import pytest
+
+from repro.backends.workspace import Workspace, WorkspacePool
+
+
+class TestWorkspacePool:
+    def test_acquire_release_roundtrip(self):
+        pool = WorkspacePool("test", max_arenas=2)
+        ws = pool.acquire()
+        assert isinstance(ws, Workspace)
+        assert pool.leased == 1
+        assert pool.available == 1
+        pool.release(ws)
+        assert pool.leased == 0
+        assert pool.available == 2
+
+    def test_released_arena_stays_warm(self):
+        pool = WorkspacePool(max_arenas=1)
+        ws = pool.acquire()
+        buf = ws.get("v", 128, np.float64)
+        pool.release(ws)
+        ws2 = pool.acquire()
+        assert ws2 is ws  # warm arena preferred
+        assert ws2.get("v", 128, np.float64) is buf  # buffers survive
+        assert pool.reuses == 1
+
+    def test_exhaustion_raises_with_clear_message(self):
+        pool = WorkspacePool("panel-bench", max_arenas=2)
+        pool.acquire()
+        pool.acquire()
+        assert pool.available == 0
+        with pytest.raises(RuntimeError, match="exhausted"):
+            pool.acquire()
+        with pytest.raises(
+            RuntimeError,
+            match=r"workspace pool 'panel-bench' exhausted: all 2 arenas "
+            r"are leased; release one or raise max_arenas",
+        ):
+            pool.acquire()
+
+    def test_release_after_exhaustion_recovers(self):
+        pool = WorkspacePool(max_arenas=1)
+        ws = pool.acquire()
+        with pytest.raises(RuntimeError):
+            pool.acquire()
+        pool.release(ws)
+        assert pool.acquire() is ws
+
+    def test_release_without_acquire_rejected(self):
+        pool = WorkspacePool()
+        with pytest.raises(RuntimeError, match="without a matching"):
+            pool.release(Workspace())
+
+    def test_max_arenas_validated(self):
+        with pytest.raises(ValueError):
+            WorkspacePool(max_arenas=0)
+
+    def test_nbytes_counts_free_arenas(self):
+        pool = WorkspacePool(max_arenas=2)
+        ws = pool.acquire()
+        ws.get("v", 1024, np.float64)
+        assert pool.nbytes == 0  # leased arenas are the lessee's
+        pool.release(ws)
+        assert pool.nbytes == 1024 * 8
