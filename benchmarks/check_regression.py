@@ -31,6 +31,10 @@ metric regresses by more than the threshold:
 - ``bytes_per_rhs`` — the byte model's per-RHS total at the configured
   RHS panel width (deterministic): a panel kernel silently re-charged
   per column regrows this immediately.
+- ``halo_messages_per_rhs`` — the network model's per-RHS halo message
+  count at the configured panel width (deterministic): the wide
+  exchange coalesces all panel columns into one message per neighbor,
+  so a fallback to per-column exchanges multiplies this ~panel×.
 - ``panel_matrix_reuse`` — measured RHS columns served per operator
   matrix pass in the batched phase (higher is better; the gate fires
   on a *drop*).  Deterministic amortization tripwire for the panel
@@ -76,6 +80,12 @@ TRACKED_METRICS = {
     # a panel kernel silently falling back to per-column matrix
     # streams shows up here long before the wall clock notices.
     "bytes_per_rhs": (False, 0.02),
+    # Panel-native distributed pipeline (PR 7): the network model's
+    # per-RHS halo message count at the configured panel width.
+    # Deterministic (messages per cycle / panel); a panel path that
+    # silently falls back to per-column exchanges multiplies this by
+    # the panel width — far beyond the 2% gate.
+    "halo_messages_per_rhs": (False, 0.02),
 }
 
 #: Higher-is-better metrics: the gate fires when the *current* value

@@ -173,6 +173,42 @@ def spmv_multi(A, X: np.ndarray, out: np.ndarray | None = None, ws=None):
     return fn(A, X, out=out, ws=ws)
 
 
+def spmv_interior_multi(P, X: np.ndarray, out=None, ws=None):
+    """Interior-rows half of a partitioned panel SpMV.
+
+    The whole panel's interior compute runs while one *wide* halo
+    exchange is in flight — the panel-native §3.2.3 schedule.
+    """
+    fn = registry.lookup("spmv_interior_multi", matrix_format(P), _prec(P.dtype))
+    return fn(P, X, out=out, ws=ws)
+
+
+def spmv_boundary_multi(P, X: np.ndarray, out=None, ws=None):
+    """Boundary-rows half of a partitioned panel SpMV (ghosts landed)."""
+    fn = registry.lookup("spmv_boundary_multi", matrix_format(P), _prec(P.dtype))
+    return fn(P, X, out=out, ws=ws)
+
+
+def symgs_interior_multi(
+    P, R: np.ndarray, Xfull: np.ndarray, direction: str = "forward", ws=None
+) -> None:
+    """Interior half of the overlapped panel GS sweep (all columns)."""
+    fn = registry.lookup(
+        "symgs_interior_multi", matrix_format(P), _prec(P.dtype)
+    )
+    return fn(P, R, Xfull, direction=direction, ws=ws)
+
+
+def symgs_boundary_multi(
+    P, R: np.ndarray, Xfull: np.ndarray, direction: str = "forward", ws=None
+) -> None:
+    """Boundary half of the overlapped panel GS sweep (ghosts landed)."""
+    fn = registry.lookup(
+        "symgs_boundary_multi", matrix_format(P), _prec(P.dtype)
+    )
+    return fn(P, R, Xfull, direction=direction, ws=ws)
+
+
 def symgs_sweep_multi(
     A,
     R: np.ndarray,

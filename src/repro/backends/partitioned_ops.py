@@ -70,6 +70,45 @@ def spmv_boundary_partitioned(P, xfull, out=None, ws=None):
     return y
 
 
+# ----------------------------------------------------------------------
+# Panel halves: whole-panel interior/boundary compute for the wide
+# halo exchange.  The reference registrations loop the panel's columns
+# through the single-RHS region kernels above — bitwise-per-column
+# equal to the looped PR 6 schedule (identical block kernels in
+# identical order per column), with the pooled region scratch shared
+# across columns so an N-wide panel warms exactly the buffers one RHS
+# does.  Single-pass backends (JIT/GPU) re-register these keys with one
+# matrix stream per region serving all N columns.
+
+
+def _panel_result_buffer(P, out, ws, ncol):
+    if out is not None:
+        return out
+    if ws is not None:
+        return ws.get_panel("part.spmv.Y", P.nlocal, ncol, P.dtype)
+    return np.empty((P.nlocal, ncol), dtype=P.dtype, order="F")
+
+
+@register("spmv_interior_multi", fmt="partitioned")
+def spmv_interior_multi_partitioned(P, X, out=None, ws=None):
+    """Interior-rows half of the panel product (no ghost columns)."""
+    ncol = X.shape[1]
+    Y = _panel_result_buffer(P, out, ws, ncol)
+    for j in range(ncol):
+        _block_spmv_into(P, "interior", X[:, j], Y[:, j], ws)
+    return Y
+
+
+@register("spmv_boundary_multi", fmt="partitioned")
+def spmv_boundary_multi_partitioned(P, X, out=None, ws=None):
+    """Boundary-rows half of the panel product (requires landed ghosts)."""
+    ncol = X.shape[1]
+    Y = _panel_result_buffer(P, out, ws, ncol)
+    for j in range(ncol):
+        _block_spmv_into(P, "boundary", X[:, j], Y[:, j], ws)
+    return Y
+
+
 @register("spmv", fmt="partitioned")
 def spmv_partitioned(P, xfull, out=None, ws=None):
     """Full product: the two region kernels back to back."""
@@ -188,6 +227,62 @@ def symgs_interior_cp_fp16(P, r, xfull, direction="forward", ws=None):
 def symgs_boundary_cp_fp16(P, r, xfull, direction="forward", ws=None):
     """fp16 boundary half: fp32 relaxation arithmetic per block."""
     _sweep_region(P, r, xfull, direction, "boundary", ws, _relax_block_fp16)
+
+
+# Panel halves of the overlapped sweep: every column's interior blocks
+# relax while one wide exchange is in flight, every column's boundary
+# blocks after the ghosts land.  Columns are mutually independent, so
+# the column loop composes the single-RHS region kernels bitwise-per-
+# column; the fp16 registrations swap in the fp32-relaxation block
+# pass, mirroring the single-RHS precision split.
+
+
+@register("symgs_interior_multi", fmt="color_partitioned")
+def symgs_interior_multi_cp(P, R, Xfull, direction="forward", ws=None):
+    """Interior half of the overlapped panel sweep (all columns)."""
+    for j in range(R.shape[1]):
+        _sweep_region(
+            P, R[:, j], Xfull[:, j], direction, "interior", ws, _relax_block
+        )
+
+
+@register("symgs_boundary_multi", fmt="color_partitioned")
+def symgs_boundary_multi_cp(P, R, Xfull, direction="forward", ws=None):
+    """Boundary half of the overlapped panel sweep (all columns)."""
+    for j in range(R.shape[1]):
+        _sweep_region(
+            P, R[:, j], Xfull[:, j], direction, "boundary", ws, _relax_block
+        )
+
+
+@register("symgs_interior_multi", fmt="color_partitioned", precision="fp16")
+def symgs_interior_multi_cp_fp16(P, R, Xfull, direction="forward", ws=None):
+    """fp16 interior panel half: fp32 relaxation arithmetic per block."""
+    for j in range(R.shape[1]):
+        _sweep_region(
+            P,
+            R[:, j],
+            Xfull[:, j],
+            direction,
+            "interior",
+            ws,
+            _relax_block_fp16,
+        )
+
+
+@register("symgs_boundary_multi", fmt="color_partitioned", precision="fp16")
+def symgs_boundary_multi_cp_fp16(P, R, Xfull, direction="forward", ws=None):
+    """fp16 boundary panel half: fp32 relaxation arithmetic per block."""
+    for j in range(R.shape[1]):
+        _sweep_region(
+            P,
+            R[:, j],
+            Xfull[:, j],
+            direction,
+            "boundary",
+            ws,
+            _relax_block_fp16,
+        )
 
 
 def _symgs_sweep_cp(P, r, xfull, direction, ws, relax) -> None:

@@ -100,6 +100,23 @@ class DistributedPhaseMetrics:
     panel_wall_seconds: float = 0.0
     panel_setup_cache_hits: int = 0
     panel_setup_cache_misses: int = 0
+    #: PR 7: the panel-native distributed pipeline.
+    #: ``halo_messages_per_rhs`` is the network model's per-cycle
+    #: message count divided by the panel width — the wide exchange
+    #: ships all columns per neighbor in one message, so the count is
+    #: panel-independent and per-RHS drops ~N× versus the looped
+    #: schedule (bytes are unchanged); gated by ``check_regression.py``
+    #: next to ``bytes_per_rhs``.  The ``panel_halo_*`` counters are
+    #: the *measured* wire traffic of the batched segment (messages
+    #: posted, bytes sent, seconds inside exchange windows, exchange
+    #: rounds) — the second, message-lean sample the alpha-beta
+    #: network fit needs to separate per-message latency from per-byte
+    #: cost.
+    halo_messages_per_rhs: float = 0.0
+    panel_halo_messages: int = 0
+    panel_halo_bytes: int = 0
+    panel_halo_seconds: float = 0.0
+    panel_halo_exchanges: int = 0
 
     @property
     def seconds_per_solve(self) -> float:
@@ -182,6 +199,11 @@ class DistributedPhaseMetrics:
             "panel_wall_seconds": self.panel_wall_seconds,
             "panel_setup_cache_hits": self.panel_setup_cache_hits,
             "panel_setup_cache_misses": self.panel_setup_cache_misses,
+            "halo_messages_per_rhs": self.halo_messages_per_rhs,
+            "panel_halo_messages": self.panel_halo_messages,
+            "panel_halo_bytes": self.panel_halo_bytes,
+            "panel_halo_seconds": self.panel_halo_seconds,
+            "panel_halo_exchanges": self.panel_halo_exchanges,
             "seconds_by_motif": dict(self.seconds_by_motif),
             "motif_seconds_per_solve": self.motif_seconds_per_solve(),
             "overlap": self.overlap,
@@ -413,6 +435,10 @@ def _distributed_worker(
         ops = [psolver.op64]
         if psolver.op_inner is not psolver.op64:
             ops.append(psolver.op_inner)
+        # The batched segment's own wire counters: the wide exchange
+        # makes it message-lean per RHS, which is exactly the second
+        # sample mix the alpha-beta network fit needs.
+        psolver.reset_halo_counters()
         comm.barrier()
         tp0 = time.perf_counter()
         _, pstats = psolver.solve_panel(
@@ -430,6 +456,10 @@ def _distributed_worker(
             "panel_matrix_reuse": columns / passes if passes else 0.0,
             "panel_setup_cache_hits": cache.hits,
             "panel_setup_cache_misses": cache.misses,
+            "panel_halo_messages": psolver.halo_message_count(),
+            "panel_halo_bytes": psolver.halo_sent_bytes(),
+            "panel_halo_seconds": psolver.halo_seconds(),
+            "panel_halo_exchanges": psolver.halo_exchange_count(),
         }
 
     return {
@@ -537,6 +567,13 @@ def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
         model.cycle_traffic_bytes(schedule, panel=config.rhs_panel)["total"]
         / config.rhs_panel
     )
+    # The wide exchange's latency win: the modeled per-cycle message
+    # count is panel-independent, so per-RHS it drops ~panel×.
+    halo_messages_per_rhs = (
+        model.cycle_halo_messages(panel=config.rhs_panel) / config.rhs_panel
+        if nranks > 1
+        else 0.0
+    )
 
     return DistributedPhaseMetrics(
         grid=shape,
@@ -568,6 +605,11 @@ def run_distributed_phase(config: BenchmarkConfig) -> DistributedPhaseMetrics:
         panel_wall_seconds=panel_rec.get("panel_wall", 0.0),
         panel_setup_cache_hits=panel_rec.get("panel_setup_cache_hits", 0),
         panel_setup_cache_misses=panel_rec.get("panel_setup_cache_misses", 0),
+        halo_messages_per_rhs=halo_messages_per_rhs,
+        panel_halo_messages=panel_rec.get("panel_halo_messages", 0),
+        panel_halo_bytes=panel_rec.get("panel_halo_bytes", 0),
+        panel_halo_seconds=panel_rec.get("panel_halo_seconds", 0.0),
+        panel_halo_exchanges=panel_rec.get("panel_halo_exchanges", 0),
     )
 
 

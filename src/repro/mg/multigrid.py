@@ -35,9 +35,15 @@ from repro.geometry.partition import Subdomain
 from repro.mg.restriction import (
     coarse_to_fine_map,
     exchange_and_fused_restrict,
+    exchange_and_fused_restrict_panel,
     prolong_correct,
 )
-from repro.mg.smoothers import Smoother, make_smoother, smooth_distributed
+from repro.mg.smoothers import (
+    Smoother,
+    make_smoother,
+    smooth_distributed,
+    smooth_distributed_panel,
+)
 from repro.parallel.comm import Communicator
 from repro.parallel.halo_exchange import HaloExchange
 from repro.sparse.coloring import color_sets, structured_coloring8
@@ -335,26 +341,116 @@ class MultigridPreconditioner:
     ) -> np.ndarray:
         """``Z[:, j] = M^{-1} R[:, j]`` for a column-major panel.
 
-        Each column runs the scalar V-cycle — the per-level iterate and
-        defect buffers are column-independent, so looping columns
-        through :meth:`apply` is bitwise-equal per column to the
-        single-RHS preconditioner, which is the contract the panel
-        solver's parity tests pin.  The panel-native V-cycle (one
-        ``symgs_sweep_multi``/``fused_restrict`` matrix stream per
-        level serving all columns) is the registry seam a single-pass
-        backend fills; this reference keeps the scalar recursion.
+        The panel-native V-cycle: every level's smoother sweeps, the
+        restriction and the prolongation serve all N columns per
+        recursion step, and each level boundary's halo crossing is
+        **one wide exchange** (one message per neighbor for the whole
+        panel) — message count O(1) in the panel width, where the
+        scalar recursion paid N× per sweep.  Per column the kernels
+        compose in exactly the single-RHS order (the panel sweeps and
+        restriction are per-column compositions under the reference
+        backend; single-pass backends stream each level's matrix once
+        for the panel), so column ``j`` stays bitwise-equal to
+        ``apply(R[:, j])`` — the contract the panel solver's parity
+        tests pin.
         """
         ncol = R.shape[1]
+        dtype = self.precision.dtype
         Z = (
             out
             if out is not None
-            else self.ws.get_panel(
-                "mg.panel.z", R.shape[0], ncol, self.precision.dtype
-            )
+            else self.ws.get_panel("mg.panel.z", R.shape[0], ncol, dtype)
         )
-        for j in range(ncol):
-            self.apply(R[:, j], out=Z[:, j])
+        if R.dtype == dtype:
+            R_prec = R
+        else:
+            R_prec = self.ws.get_panel("mg.panel.rcast", R.shape[0], ncol, dtype)
+            np.copyto(R_prec, R)
+        ZV = self._vcycle_panel(0, R_prec)
+        np.copyto(Z, ZV)
         return Z
+
+    def _vcycle_panel(self, lvl: int, R: np.ndarray) -> np.ndarray:
+        """One panel V-cycle level: all N columns per kernel dispatch.
+
+        Mirrors :meth:`_vcycle` with panel buffers: the level iterate
+        is a pooled ``(nlocal + n_ghost, N)`` panel (keyed per level,
+        so the recursion never clobbers a finer level's state), the
+        coarse defect a pooled ``(n_c, N)`` panel at the transfer rung.
+        Every smoother sweep and the restriction cross the halo in one
+        wide exchange for the whole panel.
+        """
+        level = self.levels[lvl]
+        cfg = self.config
+        ncol = R.shape[1]
+        ZF = self.ws.get_panel(
+            ("mg.panel.zfull", lvl),
+            level.nlocal + level.halo_ex.n_ghost,
+            ncol,
+            level.precision.dtype,
+        )
+        ZF[:] = 0.0
+
+        if lvl == len(self.levels) - 1:
+            with self.timers.section("gs"):
+                for _ in range(cfg.coarse_sweeps):
+                    smooth_distributed_panel(
+                        level.smoother,
+                        level.halo_ex,
+                        R,
+                        ZF,
+                        cfg.sweep,
+                        overlap=self.overlap,
+                    )
+            return ZF[: level.nlocal, :]
+
+        with self.timers.section("gs"):
+            for _ in range(cfg.npre):
+                smooth_distributed_panel(
+                    level.smoother,
+                    level.halo_ex,
+                    R,
+                    ZF,
+                    cfg.sweep,
+                    overlap=self.overlap,
+                )
+
+        with self.timers.section("restrict"):
+            R_c = self.ws.get_panel(
+                ("mg.panel.rc", lvl),
+                len(level.f_c),
+                ncol,
+                level.transfer_precision.dtype,
+            )
+            exchange_and_fused_restrict_panel(
+                level.halo_ex,
+                level.A,
+                R,
+                ZF,
+                level.f_c,
+                fused=cfg.fused_restrict,
+                out=R_c,
+                ws=self.ws,
+            )
+
+        Z_c = self._vcycle_panel(lvl + 1, R_c)
+
+        with self.timers.section("prolong"):
+            for j in range(ncol):
+                prolong_correct(ZF[:, j], Z_c[:, j], level.f_c, ws=self.ws)
+
+        with self.timers.section("gs"):
+            for _ in range(cfg.npost):
+                smooth_distributed_panel(
+                    level.smoother,
+                    level.halo_ex,
+                    R,
+                    ZF,
+                    cfg.sweep,
+                    overlap=self.overlap,
+                )
+
+        return ZF[: level.nlocal, :]
 
     def _vcycle(self, lvl: int, r: np.ndarray) -> np.ndarray:
         level = self.levels[lvl]

@@ -111,3 +111,41 @@ def exchange_and_fused_restrict(
     if fused:
         return fused_residual_restrict(A_f, r_f, xfull_f, f_c, out=out, ws=ws)
     return unfused_residual_restrict(A_f, r_f, xfull_f, f_c, out=out, ws=ws)
+
+
+def exchange_and_fused_restrict_panel(
+    halo_ex: HaloExchange,
+    A_f,
+    R_f: np.ndarray,
+    Xfull_f: np.ndarray,
+    f_c: np.ndarray,
+    fused: bool = True,
+    out: np.ndarray | None = None,
+    ws=None,
+) -> np.ndarray:
+    """Panel coarse-defect computation behind one wide exchange.
+
+    The panel-native counterpart of :func:`exchange_and_fused_restrict`:
+    the smoothed panel's stale ghosts refresh in **one** wide exchange
+    (one message per neighbor for all N columns), then each column's
+    restriction runs through the same fused/unfused kernel as the
+    single-RHS path — bitwise-per-column equal to looping the scalar
+    function.  ``out`` is the coarser level's ``(n_c, N)`` panel buffer,
+    possibly in a different precision (per-level ladder schedules).
+    """
+    halo_ex.exchange_panel(Xfull_f)
+    if out is None:
+        out = np.empty(
+            (len(f_c), R_f.shape[1]), dtype=Xfull_f.dtype, order="F"
+        )
+    restrict = fused_residual_restrict if fused else unfused_residual_restrict
+    for j in range(R_f.shape[1]):
+        restrict(
+            A_f,
+            R_f[:, j],
+            Xfull_f[:, j],
+            f_c,
+            out=None if out is None else out[:, j],
+            ws=ws,
+        )
+    return out

@@ -35,8 +35,11 @@ import numpy as np
 from repro.backends.dispatch import (
     spmv,
     symgs_boundary,
+    symgs_boundary_multi,
     symgs_interior,
+    symgs_interior_multi,
     symgs_sweep,
+    symgs_sweep_multi,
 )
 from repro.backends.workspace import Workspace
 from repro.parallel.halo_exchange import HaloExchange
@@ -75,6 +78,23 @@ class Smoother(abc.ABC):
         self.forward(r, xfull)
         self.backward(r, xfull)
 
+    # Panel sweeps ----------------------------------------------------
+    # ``R``/``Xfull`` are column-major (n, N) panels; column ``j`` must
+    # sweep bitwise-identically to the single-RHS methods on
+    # ``R[:, j]``/``Xfull[:, j]``.  The base implementations loop the
+    # columns; smoothers whose kernels have a panel registration
+    # (MulticolorGS) override with one dispatch for the whole panel.
+
+    def forward_panel(self, R: np.ndarray, Xfull: np.ndarray) -> None:
+        """One forward sweep of every panel column."""
+        for j in range(R.shape[1]):
+            self.forward(R[:, j], Xfull[:, j])
+
+    def backward_panel(self, R: np.ndarray, Xfull: np.ndarray) -> None:
+        """One backward sweep of every panel column."""
+        for j in range(R.shape[1]):
+            self.backward(R[:, j], Xfull[:, j])
+
     #: Whether :meth:`sweep_overlapped` actually hides the exchange
     #: (smoothers without a color partition fall back to the blocking
     #: exchange-then-sweep schedule).
@@ -98,6 +118,30 @@ class Smoother(abc.ABC):
             self.forward(r, xfull)
         elif direction == "backward":
             self.backward(r, xfull)
+        else:
+            raise ValueError(f"unknown sweep direction {direction!r}")
+
+    def sweep_overlapped_panel(
+        self,
+        halo_ex: HaloExchange,
+        R: np.ndarray,
+        Xfull: np.ndarray,
+        direction: str = "forward",
+    ) -> None:
+        """One distributed panel sweep behind a single wide exchange.
+
+        Base implementation: one blocking wide exchange (every column's
+        ghosts in one message per neighbor), then the panel sweep —
+        already O(1) messages in the panel width.  Partitioned
+        smoothers override with the begin/interior/finish/boundary
+        pipeline so the whole panel's interior compute hides the wide
+        exchange.
+        """
+        halo_ex.exchange_panel(Xfull)
+        if direction == "forward":
+            self.forward_panel(R, Xfull)
+        elif direction == "backward":
+            self.backward_panel(R, Xfull)
         else:
             raise ValueError(f"unknown sweep direction {direction!r}")
 
@@ -148,6 +192,16 @@ class MulticolorGS(Smoother):
             self.A, r, xfull, self.sets, self.diag_sets, "backward", ws=self.ws
         )
 
+    def forward_panel(self, R: np.ndarray, Xfull: np.ndarray) -> None:
+        symgs_sweep_multi(
+            self.A, R, Xfull, self.sets, self.diag_sets, "forward", ws=self.ws
+        )
+
+    def backward_panel(self, R: np.ndarray, Xfull: np.ndarray) -> None:
+        symgs_sweep_multi(
+            self.A, R, Xfull, self.sets, self.diag_sets, "backward", ws=self.ws
+        )
+
     def sweep_overlapped(
         self,
         halo_ex: HaloExchange,
@@ -176,6 +230,33 @@ class MulticolorGS(Smoother):
         # ... land the ghosts, then finish every color's boundary rows.
         halo_ex.exchange_finish(pending, xfull)
         symgs_boundary(self.partition, r, xfull, direction, ws=self.ws)
+
+    def sweep_overlapped_panel(
+        self,
+        halo_ex: HaloExchange,
+        R: np.ndarray,
+        Xfull: np.ndarray,
+        direction: str = "forward",
+    ) -> None:
+        """Panel sweep behind one wide exchange, interior compute first.
+
+        The §3.2.3 split at panel width: post **one** wide exchange
+        (all columns, one message per neighbor), relax every column's
+        interior color blocks while it flies, land all ghosts at once,
+        finish every column's boundary blocks.  Per column this
+        executes the same block kernels in the same order as
+        :meth:`sweep_overlapped`, so the panel schedule is bitwise-
+        per-column equal to the looped one.
+        """
+        if self.partition is None:
+            super().sweep_overlapped_panel(halo_ex, R, Xfull, direction)
+            return
+        if direction not in ("forward", "backward"):
+            raise ValueError(f"unknown sweep direction {direction!r}")
+        pending = halo_ex.exchange_begin_panel(Xfull)
+        symgs_interior_multi(self.partition, R, Xfull, direction, ws=self.ws)
+        halo_ex.exchange_finish_panel(pending, Xfull)
+        symgs_boundary_multi(self.partition, R, Xfull, direction, ws=self.ws)
 
 
 class LevelScheduledGS(Smoother):
@@ -278,5 +359,46 @@ def smooth_distributed(
         smoother.forward(r, xfull)
         halo_ex.exchange(xfull)
         smoother.backward(r, xfull)
+    else:
+        raise ValueError(f"unknown sweep direction {direction!r}")
+
+
+def smooth_distributed_panel(
+    smoother: Smoother,
+    halo_ex: HaloExchange,
+    R: np.ndarray,
+    Xfull: np.ndarray,
+    direction: str = "forward",
+    overlap: bool = False,
+) -> None:
+    """One distributed *panel* sweep: one wide exchange per sweep.
+
+    The panel-native counterpart of :func:`smooth_distributed`: the
+    halo crossing before each directional sweep ships every column in
+    one wide message per neighbor, so the smoother's message count is
+    O(1) in the panel width.  With ``overlap=True`` the wide exchange
+    hides behind the whole panel's interior color blocks
+    (:meth:`Smoother.sweep_overlapped_panel`); the symmetric sweep
+    overlaps each direction's exchange independently, mirroring the
+    single-RHS pair.  Per column the schedule composes the same kernels
+    in the same order as looping :func:`smooth_distributed` over the
+    columns — bitwise-per-column equal.
+    """
+    if overlap:
+        if direction == "symmetric":
+            smoother.sweep_overlapped_panel(halo_ex, R, Xfull, "forward")
+            smoother.sweep_overlapped_panel(halo_ex, R, Xfull, "backward")
+        else:
+            smoother.sweep_overlapped_panel(halo_ex, R, Xfull, direction)
+        return
+    halo_ex.exchange_panel(Xfull)
+    if direction == "forward":
+        smoother.forward_panel(R, Xfull)
+    elif direction == "backward":
+        smoother.backward_panel(R, Xfull)
+    elif direction == "symmetric":
+        smoother.forward_panel(R, Xfull)
+        halo_ex.exchange_panel(Xfull)
+        smoother.backward_panel(R, Xfull)
     else:
         raise ValueError(f"unknown sweep direction {direction!r}")

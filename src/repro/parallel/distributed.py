@@ -48,6 +48,39 @@ def dnorm2_from_local(comm: Communicator, local_sq: float) -> float:
     return float(np.sqrt(max(local_sq, 0.0)))
 
 
+def dnorm2_panel_from_local(
+    comm: Communicator,
+    locals_sq: np.ndarray,
+    algorithm: str | None = None,
+) -> np.ndarray:
+    """Global 2-norms of a panel from its vector of local squared sums.
+
+    The batched counterpart of :func:`dnorm2_from_local`: the N local
+    partial sums reduce in **one** vector all-reduce instead of N
+    scalar rendezvous, so a panel's restart-boundary collectives are
+    O(1) in the panel width.  The default (rendezvous) reduction sums
+    rank contributions in fixed rank order elementwise — each entry is
+    bitwise-identical to the scalar :func:`dnorm2_from_local` chain at
+    any rank count, which is what keeps ``solve_panel``'s convergence
+    decisions equal to the per-column loop it replaces.  Passing an
+    ``algorithm`` routes the reduction through
+    :func:`repro.parallel.collectives.software_allreduce` instead (all
+    three algorithms take arrays); tree algorithms pair ranks
+    differently and are tolerance-equal, not bitwise.
+    """
+    vals = np.asarray(locals_sq, dtype=np.float64)
+    if not comm.is_serial:
+        if algorithm is None:
+            vals = comm.allreduce(
+                np.array(vals, dtype=np.float64, copy=True), op="sum"
+            )
+        else:
+            from repro.parallel.collectives import software_allreduce
+
+            vals = software_allreduce(comm, vals, algorithm=algorithm)
+    return np.sqrt(np.maximum(vals, 0.0))
+
+
 def dmatvec_block(comm: Communicator, Q: np.ndarray, v: np.ndarray) -> np.ndarray:
     """Global ``Q^T v`` for a block of basis vectors (CGS2's GEMVT).
 

@@ -59,6 +59,15 @@ class HaloExchange:
         #: SpMV time).
         self.seconds = 0.0
         self.exchanges = 0
+        #: True wire accounting: point-to-point messages posted and
+        #: bytes shipped by this plan.  A *wide* (panel) exchange posts
+        #: one message per neighbor carrying all N columns, so its
+        #: message count matches a single-vector exchange while its
+        #: bytes scale with the panel — exactly the split the
+        #: alpha-beta network fit separates and ``halo_messages_per_rhs``
+        #: gates.
+        self.messages = 0
+        self.sent_bytes = 0
         #: The *exposed* subset of :attr:`seconds`: time in blocking
         #: full exchanges plus the landing waits of split exchanges —
         #: communication no compute hid.  The posting side of a split
@@ -136,6 +145,8 @@ class HaloExchange:
             buf = self.ws.get(("halo.send", i), (len(send_idx),), xfull.dtype)
             np.take(xfull, send_idx, out=buf, mode="clip")
             comm.isend(buf, nb, send_tag)
+            self.messages += 1
+            self.sent_bytes += buf.nbytes
             pending.append((nb, recv_tag, ghost_slice))
         return pending
 
@@ -159,11 +170,80 @@ class HaloExchange:
         for nb, recv_tag, ghost_slice in pending:
             comm.recv_into(nb, recv_tag, xfull[ghost_slice])
 
+    # Wide (panel) exchange -------------------------------------------
+    # One message per neighbor per exchange, N columns coalesced: the
+    # latency term is paid once per panel instead of once per column.
+    # ``XF`` is a column-major (nlocal + n_ghost, N) panel whose owned
+    # rows hold current values; each neighbor's (len(send_idx), N)
+    # block lands directly in the panel's ghost-tail rows via
+    # ``recv_into``.  The per-channel transport free-lists already key
+    # on shape+dtype, so wide messages recycle their own buffer species
+    # and the loop is zero-allocation after warmup.  Counter semantics
+    # mirror the single-vector methods: one wide round is **one**
+    # exchange (not N), while :attr:`messages`/:attr:`sent_bytes`
+    # record the true wire traffic.
+
+    def exchange_panel(self, XF: np.ndarray) -> None:
+        """Blocking wide exchange: fill every column's ghost rows."""
+        if not self._plan:
+            return
+        t0 = time.perf_counter()
+        self._finish_panel(self._begin_panel(XF), XF)
+        dt = time.perf_counter() - t0
+        self.seconds += dt
+        self.exposed_seconds += dt
+        self.exchanges += 1
+
+    def exchange_begin_panel(self, XF: np.ndarray) -> list:
+        """Pack and post one wide message per neighbor; return the
+        pending receive plan (the §3.2.3 split, panel-wide)."""
+        if not self._plan:
+            return []
+        t0 = time.perf_counter()
+        pending = self._begin_panel(XF)
+        self.seconds += time.perf_counter() - t0
+        self.exchanges += 1
+        return pending
+
+    def _begin_panel(self, XF: np.ndarray) -> list:
+        comm = self.comm
+        ncol = XF.shape[1]
+        pending = []
+        for i, (nb, send_idx, send_tag, recv_tag, ghost_slice) in enumerate(
+            self._plan
+        ):
+            buf = self.ws.get(
+                ("halo.send.panel", i), (len(send_idx), ncol), XF.dtype
+            )
+            np.take(XF, send_idx, axis=0, out=buf, mode="clip")
+            comm.isend(buf, nb, send_tag)
+            self.messages += 1
+            self.sent_bytes += buf.nbytes
+            pending.append((nb, recv_tag, ghost_slice))
+        return pending
+
+    def exchange_finish_panel(self, pending: list, XF: np.ndarray) -> None:
+        """Land each neighbor's wide message in the panel's ghost rows."""
+        if not pending:
+            return
+        t0 = time.perf_counter()
+        self._finish_panel(pending, XF)
+        dt = time.perf_counter() - t0
+        self.seconds += dt
+        self.exposed_seconds += dt
+
+    def _finish_panel(self, pending: list, XF: np.ndarray) -> None:
+        comm = self.comm
+        for nb, recv_tag, ghost_slice in pending:
+            comm.recv_into(nb, recv_tag, XF[ghost_slice, :])
+
     def reset_counters(self) -> None:
-        """Restart the measured seconds/exchange counters."""
+        """Restart the measured seconds/exchange/wire counters."""
         self.seconds = 0.0
         self.exchanges = 0
         self.exposed_seconds = 0.0
+        self.messages = 0
+        self.sent_bytes = 0
 
     # Overlap split ---------------------------------------------------
     @property

@@ -191,19 +191,39 @@ def halo_samples_from_records(
     Accepts :class:`~repro.core.benchmark.DistributedPhaseMetrics`
     objects or their ``to_dict`` dictionaries (the benchmark JSON the
     CI gate stores), skipping serial records with no traffic.
+
+    A record that carries the batched segment's ``panel_halo_*``
+    counters contributes a *second* sample: the wide exchange moves
+    the same bytes in ~panel× fewer messages, so the panel window's
+    message/byte mix differs from the looped window's — exactly the
+    rank-deficiency breaker :func:`fit_alpha_beta` needs to separate
+    per-message latency (alpha) from per-byte cost (beta) out of a
+    single benchmark run.
     """
+    fields = (
+        "send_messages",
+        "send_bytes",
+        "halo_seconds",
+        "panel_halo_messages",
+        "panel_halo_bytes",
+        "panel_halo_seconds",
+    )
+    windows = (
+        ("send_messages", "send_bytes", "halo_seconds"),
+        ("panel_halo_messages", "panel_halo_bytes", "panel_halo_seconds"),
+    )
     samples = []
     for rec in records:
         if not isinstance(rec, dict):
-            rec = {
-                k: getattr(rec, k, None)
-                for k in ("send_messages", "send_bytes", "halo_seconds")
-            }
-        messages = rec.get("send_messages") or 0
-        nbytes = rec.get("send_bytes") or 0
-        seconds = rec.get("halo_seconds") or 0.0
-        if messages > 0 and nbytes > 0 and seconds > 0:
-            samples.append((float(messages), float(nbytes), float(seconds)))
+            rec = {k: getattr(rec, k, None) for k in fields}
+        for msg_key, byte_key, sec_key in windows:
+            messages = rec.get(msg_key) or 0
+            nbytes = rec.get(byte_key) or 0
+            seconds = rec.get(sec_key) or 0.0
+            if messages > 0 and nbytes > 0 and seconds > 0:
+                samples.append(
+                    (float(messages), float(nbytes), float(seconds))
+                )
     return samples
 
 

@@ -42,7 +42,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.backends.dispatch import gemv
+from repro.backends.dispatch import dot_multi, gemv
 from repro.backends.workspace import Workspace
 from repro.fp.controller import (
     ControlConfig,
@@ -54,7 +54,11 @@ from repro.fp.policy import DOUBLE_POLICY, PrecisionPolicy
 from repro.fp.precision import Precision
 from repro.mg.multigrid import MGConfig, MultigridPreconditioner
 from repro.parallel.comm import Communicator
-from repro.parallel.distributed import dnorm2, dnorm2_from_local
+from repro.parallel.distributed import (
+    dnorm2,
+    dnorm2_from_local,
+    dnorm2_panel_from_local,
+)
 from repro.solvers.givens import GivensQR
 from repro.solvers.operator import DistributedOperator
 from repro.solvers.ortho import ORTHO_METHODS, cgs2_fused
@@ -430,6 +434,19 @@ class GMRESIRSolver:
         """Measured number of halo exchanges (same scope as above)."""
         return sum(ex.exchanges for ex in self._halo_exchanges())
 
+    def halo_message_count(self) -> int:
+        """Measured halo *messages* posted (same scope as above).
+
+        One per neighbor per exchange round — the quantity the
+        panel-native wide exchange divides by the panel width relative
+        to the looped schedule (bytes on the wire are unchanged).
+        """
+        return sum(ex.messages for ex in self._halo_exchanges())
+
+    def halo_sent_bytes(self) -> int:
+        """Measured halo wire bytes sent (same scope as above)."""
+        return sum(ex.sent_bytes for ex in self._halo_exchanges())
+
     def halo_exposed_seconds(self) -> float:
         """Measured wall clock in *exposed* halo communication.
 
@@ -713,7 +730,10 @@ class GMRESIRSolver:
         self.plane.reset_observation()
 
         with timers.section("dot"):
-            rho0 = np.array([dnorm2(comm, B[:, j]) for j in range(ncol)])
+            # Batched: N local dots, then ONE vector all-reduce — each
+            # entry bitwise-equal to the per-column dnorm2 it replaces
+            # (same local kernel, same fixed-rank-order reduction).
+            rho0 = dnorm2_panel_from_local(comm, dot_multi(B, B))
         for j in range(ncol):
             stats[j].rho0 = rho0[j]
             if rho0[j] == 0.0:
@@ -753,9 +773,9 @@ class GMRESIRSolver:
                     Bact, Xact, out=Ract
                 )
             with timers.section("dot"):
-                rhos = np.array(
-                    [dnorm2_from_local(comm, ls) for ls in locals_sq]
-                )
+                # One vector all-reduce for the whole panel's norms
+                # (O(1) collectives in the panel width).
+                rhos = dnorm2_panel_from_local(comm, locals_sq)
 
             # --- convergence + deflation at the panel boundary ---
             cycle_cols: list[tuple[int, int]] = []
@@ -870,22 +890,38 @@ class GMRESIRSolver:
                 k += 1
             self.plane.cycle_completed()
 
-            # --- per-column solution update (lines 45-47) ---
-            for i, j in cycle_cols:
+            # --- solution update (lines 45-47): per-column host QR
+            # back-solves and basis GEMVs feed ONE panel V-cycle, so
+            # the update's preconditioner communication rides wide
+            # exchanges like every other panel application.  Column
+            # ``j``'s correction is the exact per-column arithmetic of
+            # the solo update (the panel V-cycle composes the same
+            # per-column kernels in column order).
+            upd_cols = []
+            for _, j in cycle_cols:
                 kj = klast[j]
                 stats[j].cycle_lengths.append(kj)
-                if kj == 0:
-                    continue
-                with timers.section("qr_host"):
-                    y = qrs[j].solve(kj)
-                with timers.section("ortho"):
-                    yc = self._ycast[:kj]
-                    np.copyto(yc, y)
-                    gemv(Qs[j], kj, yc, out=self._u)
-                z = self.M.apply(self._u, out=self._z_prec)
+                if kj:
+                    upd_cols.append(j)
+            if upd_cols:
+                nupd = len(upd_cols)
+                Up = self.ws.get_panel("panel.u", n, nupd, basis_dtype)
+                for idx, j in enumerate(upd_cols):
+                    kj = klast[j]
+                    with timers.section("qr_host"):
+                        y = qrs[j].solve(kj)
+                    with timers.section("ortho"):
+                        yc = self._ycast[:kj]
+                        np.copyto(yc, y)
+                        gemv(Qs[j], kj, yc, out=Up[:, idx])
+                Zup = self.ws.get_panel(
+                    "panel.zup", n, nupd, self.M.precision.dtype
+                )
+                self.M.apply_panel(Up, out=Zup)  # M^{-1}, one wide pass
                 with timers.section("waxpby"):
-                    xj = X[:, j]
-                    np.add(xj, z, out=xj)  # fp64 update mandated
+                    for idx, j in enumerate(upd_cols):
+                        xj = X[:, j]
+                        np.add(xj, Zup[:, idx], out=xj)  # fp64 mandated
 
             # Empty-cycle breakdown columns: this precision cannot
             # extend their basis at all.  With rungs left on the
@@ -945,10 +981,10 @@ class GMRESIRSolver:
                     Bact, Xact, out=Ract
                 )
             with timers.section("dot"):
+                rhos = dnorm2_panel_from_local(comm, locals_sq)
                 for i, j in enumerate(pending):
-                    rho = dnorm2_from_local(comm, locals_sq[i])
-                    stats[j].final_relres = rho / rho0[j]
-                    stats[j].converged = rho <= abs_tol[j]
+                    stats[j].final_relres = rhos[i] / rho0[j]
+                    stats[j].converged = rhos[i] <= abs_tol[j]
         self._export_setup_stats(*stats)
         return X, stats
 

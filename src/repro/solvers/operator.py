@@ -27,9 +27,11 @@ import numpy as np
 from repro.backends.dispatch import (
     spmv,
     spmv_boundary,
+    spmv_boundary_multi,
     spmv_dot,
     spmv_dot_multi,
     spmv_interior,
+    spmv_interior_multi,
     spmv_multi,
     spmv_rows,
     waxpby_dot,
@@ -131,15 +133,19 @@ class DistributedOperator:
         """Panel matvec: one operator application serving every column.
 
         ``X`` is a column-major ``(nlocal, N)`` panel; column ``j`` of
-        the result is bitwise-equal to ``matvec(X[:, j])``.  On the
-        sequential schedule the local product is one ``spmv_multi``
-        call — the registry seam a single-pass backend serves with one
-        matrix stream for the whole panel.  On the overlapped schedule
-        each column runs the unchanged interior/boundary halo-hiding
-        schedule (the panel-native distributed kernel is the documented
-        follow-on seam).  Either way the panel is booked as **one**
-        matrix pass serving N columns, which is what the measured
-        ``rhs_columns / matrix_passes`` amortization records.
+        the result is bitwise-equal to ``matvec(X[:, j])``.  The halo
+        is panel-native: **one wide exchange** per application ships
+        every column's boundary values in one message per neighbor
+        (message count is O(1) in the panel width; bytes scale with
+        it).  On the overlapped schedule the whole panel's interior
+        compute hides that single wide exchange
+        (``spmv_interior_multi`` / ``spmv_boundary_multi``); on the
+        sequential schedule the wide exchange precedes one
+        ``spmv_multi`` — the registry seam a single-pass backend serves
+        with one matrix stream for the whole panel.  Either way the
+        panel is booked as **one** matrix pass serving N columns, which
+        is what the measured ``rhs_columns / matrix_passes``
+        amortization records.
         """
         ncol = X.shape[1]
         Y = (
@@ -149,17 +155,19 @@ class DistributedOperator:
         )
         self.matrix_passes += 1
         self.rhs_columns += ncol
-        if self.P is not None:
-            for j in range(ncol):
-                self._apply_overlapped(X[:, j], Y[:, j])
-            return Y
         nfull = self._xfull.shape[0]
         XF = self.ws.get_panel("op.panel.xfull", nfull, ncol, self.dtype)
         XF[: self.nlocal, :] = X
-        # Each column's ghosts land in its own tail (vector traffic
-        # scales with the panel; matrix traffic does not).
-        for j in range(ncol):
-            self.halo_ex.exchange(XF[:, j])
+        if self.P is not None:
+            pending = self.halo_ex.exchange_begin_panel(XF)
+            # Every column's interior rows compute while the single
+            # wide exchange is in flight ...
+            spmv_interior_multi(self.P, XF, out=Y, ws=self.ws)
+            # ... land all ghosts at once, then the boundary rows.
+            self.halo_ex.exchange_finish_panel(pending, XF)
+            spmv_boundary_multi(self.P, XF, out=Y, ws=self.ws)
+            return Y
+        self.halo_ex.exchange_panel(XF)
         spmv_multi(self.A, XF, out=Y, ws=self.ws)
         return Y
 
