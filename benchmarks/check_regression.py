@@ -39,6 +39,12 @@ metric regresses by more than the threshold:
   matrix pass in the batched phase (higher is better; the gate fires
   on a *drop*).  Deterministic amortization tripwire for the panel
   pipeline.
+- ``service.coalesce_width`` / ``service.setup_cache_hit_rate`` /
+  ``service.panel_matrix_reuse`` — the solver-service phase's
+  deterministic headline metrics (higher is better, 2% gate), plus its
+  self-asserted ``bitwise_parity`` flag (coalesced solve == solo
+  solve): the request-coalescing, shared-cache and single-pass-panel
+  seams each have their own tripwire.
 - ``motif_seconds_per_solve`` — per-motif wall clock (spmv / symgs /
   ortho / halo).  Even noisier than the total (each motif is a slice
   of an already-noisy measurement), so motifs gate only on
@@ -102,6 +108,21 @@ HIGHER_BETTER_METRICS = {
 #: the motifs tracked within it.
 MOTIF_KEY = "motif_seconds_per_solve"
 TRACKED_MOTIFS = ("spmv", "symgs", "ortho", "halo")
+
+#: Key of the solver-service phase block in the gated record (PR 8),
+#: and its higher-is-better metrics.  All three are deterministic for
+#: a given ``--service`` configuration (fixed iteration budgets, bursts
+#: that coalesce fully, round 1 misses / later rounds hit), so they
+#: gate at a tight 2%: a batcher that stops coalescing drops
+#: ``coalesce_width`` toward 1, a solver constructed past the shared
+#: cache drops ``setup_cache_hit_rate``, and a panel path re-charging
+#: the matrix per column drops ``panel_matrix_reuse``.
+SERVICE_KEY = "service"
+SERVICE_METRICS = {
+    "coalesce_width": 0.02,
+    "setup_cache_hit_rate": 0.02,
+    "panel_matrix_reuse": 0.02,
+}
 
 
 def _compare_one(
@@ -220,6 +241,41 @@ def compare(
             notes,
             noisy=True,
         )
+    # Solver-service phase (PR 8): deterministic higher-is-better
+    # metrics nested under the "service" key.  A baseline without the
+    # block skips (pre-service baselines stay valid); a current record
+    # missing a gated key the baseline has is a failure, same as the
+    # flat metrics above.
+    base_service = baseline.get(SERVICE_KEY) or {}
+    cur_service = current.get(SERVICE_KEY) or {}
+    for key, override in SERVICE_METRICS.items():
+        if key not in base_service:
+            notes.append(f"baseline has no {SERVICE_KEY}.{key!r}; skipped")
+            continue
+        if key not in cur_service:
+            failures.append(
+                f"current record is missing {SERVICE_KEY}.{key!r}"
+            )
+            continue
+        _compare_one_higher_better(
+            f"{SERVICE_KEY}.{key}",
+            float(cur_service[key]),
+            float(base_service[key]),
+            override,
+            failures,
+            notes,
+        )
+    if base_service:
+        # The phase's self-asserted bitwise contract (client 0's
+        # coalesced solution vs its solo solve) rides the gate too: a
+        # parity break is a correctness bug, not a perf regression.
+        if not cur_service.get("bitwise_parity", False):
+            failures.append(
+                f"{SERVICE_KEY}.bitwise_parity: coalesced solve no longer "
+                f"matches the solo solve bitwise"
+            )
+        else:
+            notes.append(f"{SERVICE_KEY}.bitwise_parity: ok")
     return failures, notes
 
 

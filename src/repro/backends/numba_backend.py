@@ -618,6 +618,105 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
         _register_numba_multi(_prec)
 
     # ------------------------------------------------------------------
+    # Panel halves on the ghost-aware partitioned format
+    # ------------------------------------------------------------------
+    # The ROADMAP's PR 7 seam: the reference ``spmv_interior_multi`` /
+    # ``spmv_boundary_multi`` registrations loop the panel's columns
+    # through the single-RHS region kernels, streaming each region
+    # block N times per panel.  These kernels stream the block *once* —
+    # each block row's indices and values are read one time and the
+    # accumulation runs per column from registers, with the scatter to
+    # the owned row folded into the same pass.  Per column the
+    # accumulation order matches the single-RHS block SpMV exactly
+    # (sequential over the row's nonzeros), so the overlapped panel
+    # schedule stays bitwise-per-column equal to the looped schedule
+    # within this backend.
+
+    def _make_ell_region_spmv_multi(zero):
+        @numba.njit(parallel=True, fastmath=False, cache=True)
+        def kernel(cols, vals, X, Y, rows):
+            width = cols.shape[1]
+            ncol = X.shape[1]
+            for k in numba.prange(len(rows)):
+                i = rows[k]
+                for c in range(ncol):
+                    acc = zero
+                    for j in range(width):
+                        acc += vals[k, j] * X[cols[k, j], c]
+                    Y[i, c] = acc
+
+        return kernel
+
+    def _make_csr_region_spmv_multi(zero):
+        @numba.njit(parallel=True, fastmath=False, cache=True)
+        def kernel(indptr, indices, data, X, Y, rows):
+            ncol = X.shape[1]
+            for k in numba.prange(len(rows)):
+                i = rows[k]
+                for c in range(ncol):
+                    acc = zero
+                    for j in range(indptr[k], indptr[k + 1]):
+                        acc += data[j] * X[indices[j], c]
+                    Y[i, c] = acc
+
+        return kernel
+
+    _REGION_MULTI = {
+        "fp32": (
+            _make_csr_region_spmv_multi(np.float32(0.0)),
+            _make_ell_region_spmv_multi(np.float32(0.0)),
+        ),
+        "fp64": (
+            _make_csr_region_spmv_multi(np.float64(0.0)),
+            _make_ell_region_spmv_multi(np.float64(0.0)),
+        ),
+    }
+
+    def _region_spmv_multi_numba(P, region, X, Y, ws, csr_kernel, ell_kernel):
+        """One region's single-pass panel SpMV; defers to the reference
+        column loop for block storage the jitted kernels don't cover."""
+        from repro.backends.partitioned_ops import _block_spmv_into
+
+        blk = P.interior if region == "interior" else P.boundary
+        rows = P.interior_rows if region == "interior" else P.boundary_rows
+        if len(rows) == 0:
+            return
+        fmt = getattr(type(blk), "format_name", None)
+        if fmt == "ell":
+            ell_kernel(blk.cols, blk.vals, X, Y, rows)
+        elif fmt == "csr":
+            csr_kernel(blk.indptr, blk.indices, blk.data, X, Y, rows)
+        else:
+            for j in range(X.shape[1]):
+                _block_spmv_into(P, region, X[:, j], Y[:, j], ws)
+
+    def _register_numba_part_multi(prec: str) -> None:
+        csr_kernel, ell_kernel = _REGION_MULTI[prec]
+
+        @register(
+            "spmv_interior_multi", fmt="partitioned", precision=prec, backend="numba"
+        )
+        def spmv_interior_multi_part_numba(P, X, out=None, ws=None):
+            from repro.backends.partitioned_ops import _panel_result_buffer
+
+            Y = _panel_result_buffer(P, out, ws, X.shape[1])
+            _region_spmv_multi_numba(P, "interior", X, Y, ws, csr_kernel, ell_kernel)
+            return Y
+
+        @register(
+            "spmv_boundary_multi", fmt="partitioned", precision=prec, backend="numba"
+        )
+        def spmv_boundary_multi_part_numba(P, X, out=None, ws=None):
+            from repro.backends.partitioned_ops import _panel_result_buffer
+
+            Y = _panel_result_buffer(P, out, ws, X.shape[1])
+            _region_spmv_multi_numba(P, "boundary", X, Y, ws, csr_kernel, ell_kernel)
+            return Y
+
+    for _prec in ("fp32", "fp64"):
+        _register_numba_part_multi(_prec)
+
+    # ------------------------------------------------------------------
     # Native overlapped-SymGS halves on the color-partitioned format
     # ------------------------------------------------------------------
     # The generic color_partitioned registrations serve each block

@@ -21,6 +21,8 @@ solver) owns its own arena, mirroring per-rank device memory.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 
@@ -134,7 +136,16 @@ class WorkspacePool:
     Exhaustion (every arena leased out) raises a :class:`RuntimeError`
     naming the pool and its limit — the admission-control signal a
     service front end turns into backpressure, rather than silently
-    allocating unbounded memory.
+    allocating unbounded memory.  :meth:`try_acquire` is the
+    non-raising variant for callers that reject work instead of
+    propagating the error.
+
+    Lease accounting rides along for service telemetry: ``acquires``
+    (successful leases), ``reuses`` (the warm subset), ``exhaustions``
+    (refused leases) and ``peak_leased`` (high-water concurrency).
+    All bookkeeping happens under an internal lock, so concurrent
+    batch launchers may share one pool; the *arenas* themselves remain
+    single-owner (a lease confers exclusive use until release).
     """
 
     def __init__(self, name: str = "", max_arenas: int = 4) -> None:
@@ -145,36 +156,62 @@ class WorkspacePool:
         self._free: list[Workspace] = []
         self._created = 0
         self._leased = 0
+        self._lock = threading.Lock()
         #: Leases served by an already-warm (previously released) arena.
         self.reuses = 0
+        #: Successful leases (warm + fresh).
+        self.acquires = 0
+        #: Refused leases (every arena out) — the admission-control
+        #: rejections a service converts into retry-after responses.
+        self.exhaustions = 0
+        #: High-water mark of concurrently leased arenas.
+        self.peak_leased = 0
 
     # ------------------------------------------------------------------
+    def try_acquire(self) -> Workspace | None:
+        """Lease an arena, or return ``None`` on exhaustion.
+
+        Warm (previously released) arenas are preferred over fresh
+        ones.  The admission-control entry point: a ``None`` means the
+        pool is at capacity and the caller should shed load rather
+        than queue unboundedly.
+        """
+        with self._lock:
+            if self._free:
+                ws = self._free.pop()
+                self.reuses += 1
+            elif self._created < self.max_arenas:
+                self._created += 1
+                ws = Workspace(f"{self.name or 'pool'}-{self._created}")
+            else:
+                self.exhaustions += 1
+                return None
+            self._leased += 1
+            self.acquires += 1
+            self.peak_leased = max(self.peak_leased, self._leased)
+            return ws
+
     def acquire(self) -> Workspace:
-        """Lease an arena; warm ones are preferred over fresh ones."""
-        if self._free:
-            ws = self._free.pop()
-            self.reuses += 1
-        elif self._created < self.max_arenas:
-            self._created += 1
-            ws = Workspace(f"{self.name or 'pool'}-{self._created}")
-        else:
+        """Lease an arena; raises on exhaustion (see :meth:`try_acquire`)."""
+        ws = self.try_acquire()
+        if ws is None:
             raise RuntimeError(
                 f"workspace pool {self.name!r} exhausted: all "
                 f"{self.max_arenas} arenas are leased; release one or "
                 f"raise max_arenas"
             )
-        self._leased += 1
         return ws
 
     def release(self, ws: Workspace) -> None:
         """Return a leased arena (buffers kept warm for the next lease)."""
-        if self._leased == 0:
-            raise RuntimeError(
-                f"workspace pool {self.name!r}: release without a "
-                f"matching acquire"
-            )
-        self._leased -= 1
-        self._free.append(ws)
+        with self._lock:
+            if self._leased == 0:
+                raise RuntimeError(
+                    f"workspace pool {self.name!r}: release without a "
+                    f"matching acquire"
+                )
+            self._leased -= 1
+            self._free.append(ws)
 
     # ------------------------------------------------------------------
     @property
@@ -196,8 +233,9 @@ class WorkspacePool:
         label = f" {self.name!r}" if self.name else ""
         return (
             f"<WorkspacePool{label}: {self._leased} leased / "
-            f"{self.max_arenas} max, {len(self._free)} warm, "
-            f"{self.reuses} reuses>"
+            f"{self.max_arenas} max (peak {self.peak_leased}), "
+            f"{len(self._free)} warm, {self.reuses} reuses, "
+            f"{self.exhaustions} exhaustions>"
         )
 
 

@@ -127,6 +127,33 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
         "workspace arena)",
     )
     p.add_argument(
+        "--service",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also run the solver-service load phase with N concurrent "
+        "synthetic clients: each round's burst coalesces into one "
+        "solve_panel batch on the shared setup cache and bounded "
+        "arena pool (deterministic coalesce-width / cache-hit-rate / "
+        "matrix-reuse metrics, CI-gated)",
+    )
+    p.add_argument(
+        "--service-rounds",
+        type=int,
+        default=2,
+        metavar="R",
+        help="rounds of the service phase (round 1 builds the setup "
+        "cache, later rounds hit it)",
+    )
+    p.add_argument(
+        "--service-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the service-phase metrics (JSON) here (the CI "
+        "artifact next to --bench-out)",
+    )
+    p.add_argument(
         "--bench-out",
         type=str,
         default=None,
@@ -152,6 +179,9 @@ def cmd_run(args) -> int:
     if args.bench_out and not args.distributed:
         print("--bench-out requires --distributed", file=sys.stderr)
         return 2
+    if args.service_out and not args.service:
+        print("--service-out requires --service", file=sys.stderr)
+        return 2
     config = BenchmarkConfig(
         local_nx=args.local_nx,
         nranks=args.nranks,
@@ -171,6 +201,8 @@ def cmd_run(args) -> int:
         distributed_grid=args.distributed,
         distributed_budget_seconds=args.distributed_budget,
         rhs_panel=args.rhs_panel,
+        service_clients=args.service,
+        service_rounds=args.service_rounds,
     )
     result = run_benchmark(config)
     if args.json:
@@ -197,6 +229,10 @@ def cmd_run(args) -> int:
             },
             **result.distributed.to_dict(),
         }
+        if result.service is not None:
+            record["config"]["service_clients"] = config.service_clients
+            record["config"]["service_rounds"] = config.service_rounds
+            record["service"] = result.service.to_dict()
         # Fold the measured halo counters into the alpha-beta network
         # fit: the recorded per-byte cost (and, with multiple samples,
         # per-message latency) this machine's transport actually
@@ -220,6 +256,10 @@ def cmd_run(args) -> int:
         with open(args.bench_out, "w") as f:
             json.dump(record, f, indent=1)
         print(f"wrote benchmark record to {args.bench_out}")
+    if args.service_out and result.service is not None:
+        with open(args.service_out, "w") as f:
+            json.dump(result.service.to_dict(), f, indent=1)
+        print(f"wrote service-phase metrics to {args.service_out}")
     return 0
 
 

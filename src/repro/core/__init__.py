@@ -17,6 +17,7 @@ from repro.core.benchmark import (
     run_benchmark,
     run_distributed_phase,
 )
+from repro.core.service_phase import ServicePhaseMetrics, run_service_phase
 from repro.core.validation import ValidationResult, run_validation
 from repro.core.metrics import PhaseMetrics, motif_speedups, penalty_factor
 from repro.core.hpcg import HPCGBenchmark, HPCGConfig, HPCGResult, run_hpcg
@@ -52,6 +53,8 @@ __all__ = [
     "HPGMxPBenchmark",
     "run_benchmark",
     "run_distributed_phase",
+    "ServicePhaseMetrics",
+    "run_service_phase",
     "ValidationResult",
     "run_validation",
     "PhaseMetrics",

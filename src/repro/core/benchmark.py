@@ -24,6 +24,7 @@ from repro.core.flops import (
     hierarchy_dims,
 )
 from repro.core.metrics import PhaseMetrics, motif_speedups
+from repro.core.service_phase import ServicePhaseMetrics, run_service_phase
 from repro.core.validation import ValidationResult, run_validation
 from repro.fp.policy import PrecisionPolicy
 from repro.geometry.grid import BoxGrid
@@ -223,6 +224,7 @@ class BenchmarkResult:
     setup_seconds: float = 0.0
     speedups: dict[str, float] = field(default_factory=dict)
     distributed: DistributedPhaseMetrics | None = None
+    service: ServicePhaseMetrics | None = None
 
     @property
     def speedup(self) -> float:
@@ -641,6 +643,7 @@ class HPGMxPBenchmark:
         distributed = (
             run_distributed_phase(cfg) if cfg.distributed_grid else None
         )
+        service = run_service_phase(cfg) if cfg.service_clients else None
         return BenchmarkResult(
             config=cfg,
             validation=validation,
@@ -649,6 +652,7 @@ class HPGMxPBenchmark:
             setup_seconds=max(setup_mxp, setup_dbl),
             speedups=speedups,
             distributed=distributed,
+            service=service,
         )
 
 

@@ -163,6 +163,21 @@ class BenchmarkConfig:
     #: ``panel_matrix_reuse``), with the operator-keyed setup cache
     #: and a leased workspace arena serving the batched solver.
     rhs_panel: int = 1
+    #: Solver-service load phase (``--service N``): N concurrent
+    #: synthetic clients drive the asyncio :class:`SolverService` for
+    #: ``service_rounds`` rounds against one operator.  Each round's
+    #: burst coalesces into one ``solve_panel`` batch, so the phase's
+    #: headline metrics (coalesce width, setup-cache hit rate, matrix
+    #: reuse per request) are deterministic and CI-gated.  0 disables
+    #: the phase.
+    service_clients: int = 0
+    service_rounds: int = 2
+    #: Batching window (seconds) for the service phase's coalescer; a
+    #: round's burst is already queued when the batcher wakes, so the
+    #: window closes early and this is an upper bound, not a sleep.
+    service_batch_window: float = 0.25
+    #: Workspace arenas in the service phase's bounded pool.
+    service_max_arenas: int = 2
 
     @staticmethod
     def _auto_format(impl: str) -> str:
@@ -220,6 +235,22 @@ class BenchmarkConfig:
             raise ValueError(
                 f"rhs_panel must be >= 1, got {self.rhs_panel}"
             )
+        if self.service_clients < 0:
+            raise ValueError(
+                f"service_clients must be >= 0, got {self.service_clients}"
+            )
+        if self.service_clients:
+            if self.service_rounds < 1:
+                raise ValueError(
+                    f"service_rounds must be >= 1, got {self.service_rounds}"
+                )
+            if self.service_batch_window <= 0:
+                raise ValueError("service_batch_window must be positive")
+            if self.service_max_arenas < 1:
+                raise ValueError(
+                    f"service_max_arenas must be >= 1, "
+                    f"got {self.service_max_arenas}"
+                )
 
     # ------------------------------------------------------------------
     @property

@@ -91,6 +91,35 @@ def format_report(result: BenchmarkResult) -> str:
                 f"{d.panel_setup_cache_hits} hits / "
                 f"{d.panel_setup_cache_misses} misses"
             )
+    if result.service is not None:
+        s = result.service
+        add("")
+        add(
+            f"[Phase: service]  {s.clients} client(s) x {s.rounds} round(s), "
+            f"{s.batches} coalesced batch(es)"
+        )
+        add(
+            f"  wall seconds: {s.wall_seconds:.3f}  "
+            f"({s.completed} completed, {s.rejected} rejected, "
+            f"{s.timed_out} timed out)"
+        )
+        add(
+            f"  coalesce width: {s.coalesce_width:.2f} mean / "
+            f"{s.max_coalesce_width} max"
+        )
+        add(
+            f"  matrix reuse: {s.panel_matrix_reuse:.2f} columns/pass  "
+            f"setup cache hit rate: {100 * s.setup_cache_hit_rate:.1f}%"
+        )
+        add(
+            f"  mean queue wait: {s.mean_queue_wait_seconds * 1e3:.1f} ms  "
+            f"pool: {s.pool_peak_leased} peak leased, "
+            f"{s.pool_reuses} warm reuses, {s.pool_exhaustions} exhaustions"
+        )
+        add(
+            f"  bitwise parity vs solo solve: "
+            f"{'OK' if s.bitwise_parity else 'FAILED'}"
+        )
     return "\n".join(lines)
 
 
@@ -133,4 +162,5 @@ def result_to_dict(result: BenchmarkResult) -> dict:
         "distributed": (
             result.distributed.to_dict() if result.distributed else None
         ),
+        "service": (result.service.to_dict() if result.service else None),
     }

@@ -1,0 +1,31 @@
+"""Solver-as-a-service: asyncio front end over the panel pipeline.
+
+The production-scale shape the ROADMAP aims at: many clients, one
+shared setup cache, bounded workspace arenas, and coalesced
+``solve_panel`` batches whose per-request results are bitwise-equal to
+solo solves.  See :class:`SolverService` for the request lifecycle.
+"""
+
+from repro.service.requests import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceMetrics,
+    ServiceOverloadedError,
+    SolveKey,
+    SolveRequest,
+    SolveResponse,
+    SolveTimeoutError,
+)
+from repro.service.service import SolverService
+
+__all__ = [
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceOverloadedError",
+    "SolveKey",
+    "SolveRequest",
+    "SolveResponse",
+    "SolveTimeoutError",
+    "SolverService",
+]

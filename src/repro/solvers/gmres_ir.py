@@ -96,6 +96,9 @@ class SolverStats:
     #: time the solve finished; both zero without a cache).
     setup_cache_hits: int = 0
     setup_cache_misses: int = 0
+    #: A caller-supplied ``cancel`` callback stopped this solve (or
+    #: this panel column) at a restart boundary before convergence.
+    cancelled: bool = False
 
     @property
     def demotions(self) -> list[PrecisionEvent]:
@@ -103,7 +106,10 @@ class SolverStats:
         return [p for p in self.promotions if p.direction == "demote"]
 
     def summary(self) -> str:
-        state = "converged" if self.converged else "NOT converged"
+        if self.cancelled:
+            state = "cancelled"
+        else:
+            state = "converged" if self.converged else "NOT converged"
         n_demote = len(self.demotions)
         n_promote = len(self.promotions) - n_demote
         promo = f", {n_promote} promotion(s)" if n_promote else ""
@@ -502,6 +508,7 @@ class GMRESIRSolver:
         tol: float = 1e-9,
         maxiter: int = 300,
         target_residual: float | None = None,
+        cancel=None,
     ) -> tuple[np.ndarray, SolverStats]:
         """Solve ``A x = b``.
 
@@ -515,6 +522,14 @@ class GMRESIRSolver:
             Optional *absolute* residual-norm target overriding ``tol``
             (the full-scale validation mode converges GMRES-IR to the
             residual the double solver achieved).
+        cancel:
+            Optional zero-argument callable polled at every restart
+            boundary; returning ``True`` stops the solve there (the
+            partial iterate and a true final residual are still
+            returned, with ``stats.cancelled`` set).  Restart-boundary
+            granularity keeps the workspace and setup cache consistent
+            — a cycle either runs whole or not at all — and ``None``
+            (the default) is bitwise-identical to the historical path.
         """
         comm, timers = self.comm, self.timers
         n = self.problem.nlocal
@@ -559,6 +574,11 @@ class GMRESIRSolver:
                 stats.converged = True
                 self._export_setup_stats(stats)
                 return x, stats
+
+            # --- cancellation checkpoint (restart-boundary granularity) ---
+            if cancel is not None and cancel():
+                stats.cancelled = True
+                break
 
             # --- precision control plane: judge the restart boundary ---
             # Stagnation promotes the binding rung (whole policy in
@@ -687,6 +707,7 @@ class GMRESIRSolver:
         tol: float = 1e-9,
         maxiter: int = 300,
         target_residual: float | None = None,
+        cancel=None,
     ) -> tuple[np.ndarray, list[SolverStats]]:
         """Solve ``A X = B`` for a panel of right-hand sides at once.
 
@@ -708,6 +729,15 @@ class GMRESIRSolver:
         once per panel boundary (on the worst active column) — a rung
         change rebinds the whole panel, exactly one schedule for all
         columns.
+
+        ``cancel``, when given, is a one-argument callable polled per
+        column (``cancel(j) -> bool``) at every panel boundary: a
+        ``True`` deflates column ``j`` exactly like convergence would
+        — it leaves the panel mid-solve with ``stats[j].cancelled``
+        set and its boundary residual recorded — while the surviving
+        columns' arithmetic is untouched (deflation is already the
+        panel's contract).  ``None`` (the default) is bitwise-identical
+        to the historical path.
 
         Returns ``(X, stats)`` with one :class:`SolverStats` per
         column.
@@ -784,6 +814,11 @@ class GMRESIRSolver:
                 stats[j].final_relres = rhos[i] / rho0[j]
                 if rhos[i] <= abs_tol[j]:
                     stats[j].converged = True
+                elif cancel is not None and cancel(j):
+                    # Cancellation deflates the column at the boundary
+                    # — the panel's normal narrowing path, so the other
+                    # columns' lockstep arithmetic is unaffected.
+                    stats[j].cancelled = True
                 elif stats[j].iterations < maxiter and j not in halted:
                     cycle_cols.append((i, j))
                     relres = rhos[i] / rho0[j] if rho0[j] else np.inf
@@ -963,10 +998,15 @@ class GMRESIRSolver:
             ]
 
         # --- final true residuals for columns that exited mid-state ---
+        # Cancelled columns are excluded: their boundary residual is
+        # already recorded, and charging a matrix pass for abandoned
+        # work would bill the surviving requests for it.
         pending = [
             j
             for j in range(ncol)
-            if rho0[j] != 0.0 and not stats[j].converged
+            if rho0[j] != 0.0
+            and not stats[j].converged
+            and not stats[j].cancelled
         ]
         if pending:
             npend = len(pending)

@@ -29,6 +29,7 @@ entry is evicted FIFO.  Hit/miss counters are exported into
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Any, Callable
 
 from repro.sparse.formats import content_arrays
@@ -64,6 +65,16 @@ class SetupCache:
     cached product for ``(fingerprint, kind, params)`` or runs
     ``builder()`` and stores the result.  ``params`` must be hashable
     (tuples of primitives / frozen dataclasses).
+
+    The cache is thread-safe: a service front end runs solves on
+    worker threads, and two solvers constructed concurrently against
+    the same operator must not both build (and race to store) the same
+    product.  ``builder()`` runs *under* the cache lock — construction
+    for one key serializes, which is exactly the single-build
+    guarantee concurrent solver construction needs (setup products are
+    shared, so a duplicate build is wasted work *and* a consistency
+    hazard).  Builders must therefore not re-enter a different cache
+    from another thread; solver builders are self-contained.
     """
 
     def __init__(self, max_entries: int = 32) -> None:
@@ -71,6 +82,9 @@ class SetupCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
         self._entries: dict[tuple, Any] = {}
+        # RLock: a builder may consult the same cache for a nested
+        # product (e.g. a hierarchy builder reusing a cached partition).
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -83,15 +97,16 @@ class SetupCache:
         builder: Callable[[], Any],
     ) -> Any:
         key = (fingerprint, kind, params)
-        if key in self._entries:
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
-        value = builder()
-        while len(self._entries) >= self.max_entries:
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[key] = value
-        return value
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            value = builder()
+            while len(self._entries) >= self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = value
+            return value
 
     def invalidate(self, fingerprint: str | None = None) -> int:
         """Drop entries for one fingerprint (or all); returns the count.
@@ -100,14 +115,15 @@ class SetupCache:
         fingerprint changes); explicit invalidation frees the products
         of an operator known to be gone.
         """
-        if fingerprint is None:
-            n = len(self._entries)
-            self._entries.clear()
-            return n
-        stale = [k for k in self._entries if k[0] == fingerprint]
-        for k in stale:
-            self._entries.pop(k)
-        return len(stale)
+        with self._lock:
+            if fingerprint is None:
+                n = len(self._entries)
+                self._entries.clear()
+                return n
+            stale = [k for k in self._entries if k[0] == fingerprint]
+            for k in stale:
+                self._entries.pop(k)
+            return len(stale)
 
     # ------------------------------------------------------------------
     @property

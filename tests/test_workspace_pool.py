@@ -1,4 +1,15 @@
-"""Leased workspace pool (PR 6): bounded arenas with warm reuse."""
+"""Leased workspace pool (PR 6): bounded arenas with warm reuse.
+
+PR 8 extends the pool into the solver service's admission-control
+backend: ``try_acquire`` returns ``None`` instead of raising (the
+load-shedding entry point), and lease accounting (``acquires`` /
+``reuses`` / ``exhaustions`` / ``peak_leased``) feeds the service
+telemetry.  The tracemalloc test pins the property the service phase
+leans on: a released arena's next lease re-warms *nothing*.
+"""
+
+import gc
+import tracemalloc
 
 import numpy as np
 import pytest
@@ -65,3 +76,76 @@ class TestWorkspacePool:
         assert pool.nbytes == 0  # leased arenas are the lessee's
         pool.release(ws)
         assert pool.nbytes == 1024 * 8
+
+
+class TestPoolBackpressure:
+    """Lease accounting + load shedding (PR 8 service integration)."""
+
+    def test_try_acquire_returns_none_on_exhaustion(self):
+        pool = WorkspacePool("svc", max_arenas=1)
+        ws = pool.try_acquire()
+        assert isinstance(ws, Workspace)
+        assert pool.try_acquire() is None  # shed, don't raise
+        assert pool.exhaustions == 1
+        assert pool.try_acquire() is None
+        assert pool.exhaustions == 2
+        pool.release(ws)
+        assert pool.try_acquire() is ws  # recovered, warm
+
+    def test_raising_acquire_also_counts_exhaustions(self):
+        pool = WorkspacePool(max_arenas=1)
+        pool.acquire()
+        with pytest.raises(RuntimeError, match="exhausted"):
+            pool.acquire()
+        assert pool.exhaustions == 1
+
+    def test_lease_accounting_counters(self):
+        pool = WorkspacePool(max_arenas=3)
+        a, b = pool.acquire(), pool.acquire()
+        assert pool.acquires == 2
+        assert pool.peak_leased == 2
+        assert pool.reuses == 0  # both arenas were fresh
+        pool.release(a)
+        pool.release(b)
+        c = pool.acquire()  # warm
+        assert pool.acquires == 3
+        assert pool.reuses == 1
+        assert pool.peak_leased == 2  # high-water mark, not current
+        assert pool.leased == 1
+        pool.release(c)
+
+    def test_warm_release_allocates_nothing(self):
+        """A re-leased arena serves its buffers without a single new
+        array allocation — the zero-allocation contract the service's
+        steady-state rounds depend on (same tracemalloc idiom as
+        test_alloc_regression.py)."""
+        n = 4096
+        vector_bytes = n * 8
+        pool = WorkspacePool("warm", max_arenas=1)
+
+        def lease_and_work():
+            ws = pool.acquire()
+            ws.get("x", n, np.float64)
+            ws.get_panel("B", n, 8, np.float64)
+            ws.get("tmp", n, np.float32)
+            pool.release(ws)
+
+        lease_and_work()  # warmup lease allocates every buffer
+
+        gc.collect()
+        tracemalloc.start(15)
+        snap1 = tracemalloc.take_snapshot()
+        for _ in range(3):
+            lease_and_work()
+        snap2 = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+
+        diff = snap2.compare_to(snap1, "traceback")
+        offenders = [d for d in diff if d.size_diff > vector_bytes]
+        assert not offenders, (
+            "warm re-lease allocated array-sized memory:\n"
+            + "\n".join(
+                f"{d.size_diff} B: " + "\n".join(d.traceback.format())
+                for d in offenders
+            )
+        )
