@@ -56,6 +56,7 @@ class KernelRegistry:
     _backends: dict[str, BackendInfo] = field(default_factory=dict)
     _cache: dict[tuple, Callable] = field(default_factory=dict)
     _active: str = NUMPY_BACKEND
+    _plan: object | None = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -140,6 +141,39 @@ class KernelRegistry:
         """Every registered operation name."""
         return sorted({k[0] for k in self._kernels})
 
+    def available_variants(
+        self, op: str
+    ) -> list[tuple[str | None, str | None, str]]:
+        """Every concrete ``(format, precision, backend)`` registration
+        for ``op`` (``None`` entries are wildcards)."""
+        out = []
+        for key_op, fmt, prec, backend in self._kernels:
+            if key_op == op:
+                out.append(
+                    (fmt, prec.short_name if prec else None, backend)
+                )
+        return sorted(out, key=lambda v: tuple(x or "" for x in v))
+
+    # ------------------------------------------------------------------
+    # Dispatch plans (repro.tune)
+    # ------------------------------------------------------------------
+    @property
+    def plan(self):
+        """The installed :class:`repro.tune.DispatchPlan`, if any."""
+        return self._plan
+
+    def set_plan(self, plan) -> None:
+        """Install (or clear, with ``None``) a tuned dispatch plan.
+
+        While installed, lookups with no explicit ``backend`` consult
+        the plan's per-``(op, precision)`` backend choice before falling
+        back to the active backend.  Plans only ever name
+        parity-asserted registrations, so installing one never changes
+        numerics — only which bitwise-identical kernel runs.
+        """
+        self._plan = plan
+        self._cache.clear()
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
@@ -152,7 +186,10 @@ class KernelRegistry:
     ) -> Callable:
         """Resolve the kernel for an operation (cached)."""
         prec = None if precision is None else Precision.from_any(precision)
-        want = backend or self._active
+        want = backend
+        if want is None and self._plan is not None:
+            want = self._plan.backend_for(op, prec)
+        want = want or self._active
         cache_key = (op, fmt, prec, want)
         fn = self._cache.get(cache_key)
         if fn is not None:

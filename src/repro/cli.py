@@ -41,6 +41,36 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
         help="sparse storage layout (auto follows --impl)",
     )
     p.add_argument(
+        "--sell-chunk",
+        type=int,
+        default=32,
+        metavar="C",
+        help="SELL-C-sigma chunk height (rows per chunk)",
+    )
+    p.add_argument(
+        "--sell-sigma",
+        type=int,
+        default=128,
+        metavar="S",
+        help="SELL-C-sigma sort window (rows sorted by length per window)",
+    )
+    p.add_argument(
+        "--autotune",
+        choices=["off", "on", "force"],
+        default="off",
+        help="microbenchmark registered kernel variants on a slice of "
+        "the actual operator and adopt the fastest bitwise-identical "
+        "dispatch plan ('force' re-probes even on a tuning-cache hit)",
+    )
+    p.add_argument(
+        "--tune-cache",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="persistent tuning-cache file (default "
+        "~/.cache/repro/tune_cache.json, or $REPRO_TUNE_CACHE)",
+    )
+    p.add_argument(
         "--validation-mode", choices=["standard", "fullscale"], default="standard"
     )
     p.add_argument(
@@ -187,6 +217,10 @@ def cmd_run(args) -> int:
         nranks=args.nranks,
         impl=args.impl,
         matrix_format=args.matrix_format,
+        sell_chunk=args.sell_chunk,
+        sell_sigma=args.sell_sigma,
+        autotune=args.autotune,
+        tune_cache=args.tune_cache,
         validation_mode=args.validation_mode,
         precision_ladder=args.precision_ladder,
         escalation=not args.no_escalation,
@@ -226,9 +260,17 @@ def cmd_run(args) -> int:
                 "overlap_symgs": config.overlap_symgs,
                 "fusion": config.fusion,
                 "rhs_panel": config.rhs_panel,
+                "autotune": config.autotune,
             },
             **result.distributed.to_dict(),
         }
+        # A machine-fingerprint block (STREAM-style triad/copy bandwidth
+        # plus dispatch latency) so a recorded run names the hardware it
+        # measured and the network fit gets a measured-bandwidth prior.
+        from repro.perf.machine import probe_machine
+
+        machine = probe_machine()
+        record["machine"] = machine.to_dict()
         if result.service is not None:
             record["config"]["service_clients"] = config.service_clients
             record["config"]["service_rounds"] = config.service_rounds
@@ -241,7 +283,7 @@ def cmd_run(args) -> int:
 
         samples = halo_samples_from_records([record])
         if samples:
-            fit = fit_alpha_beta(samples)
+            fit = fit_alpha_beta(samples, bandwidth_prior=machine.copy_bandwidth)
             record["network_fit"] = {
                 "alpha_seconds_per_message": fit.alpha,
                 "beta_seconds_per_byte": fit.beta,
@@ -260,6 +302,79 @@ def cmd_run(args) -> int:
         with open(args.service_out, "w") as f:
             json.dump(result.service.to_dict(), f, indent=1)
         print(f"wrote service-phase metrics to {args.service_out}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.backends import registry
+    from repro.core import BenchmarkConfig
+    from repro.tune import PlanCache, apply_plan_to_config, tune_for_config
+
+    config = BenchmarkConfig(
+        local_nx=args.local_nx,
+        impl=args.impl,
+        matrix_format=args.matrix_format,
+        sell_chunk=args.sell_chunk,
+        sell_sigma=args.sell_sigma,
+        precision_ladder=args.precision_ladder,
+        fusion=not args.no_fusion,
+        autotune="force" if args.force else "on",
+        tune_cache=args.cache,
+    )
+    cache = PlanCache(config.tune_cache)
+    plan, cache_hit = tune_for_config(config, cache=cache, force=args.force)
+    tuned = apply_plan_to_config(config, plan)
+
+    if args.json:
+        out = plan.to_dict(probes=args.report)
+        out["cache_hit"] = cache_hit
+        out["cache"] = cache.stats()
+        print(json.dumps(out, indent=1))
+        return 0
+
+    print(f"operator {plan.operator_fingerprint}  "
+          f"machine {plan.machine_fingerprint}")
+    src = "tuning cache" if cache_hit else "fresh probe"
+    print(f"plan source: {src}  ({cache.path})")
+    print(f"probe speedup over baseline dispatch: {plan.speedup():.3f}x")
+    print(
+        "solver-wide consensus: format="
+        f"{tuned.matrix_format} fusion={tuned.fusion}"
+        + (
+            f" chunk={tuned.sell_chunk} sigma={tuned.sell_sigma}"
+            if tuned.matrix_format == "sellcs"
+            else ""
+        )
+    )
+    print("\nchosen plan (per op x precision rung):")
+    for (op, rung), choice in sorted(plan.entries.items()):
+        print(
+            f"  {op + '@' + rung:<22} -> {choice.fmt}"
+            + (
+                "[" + ",".join(f"{k}={v}" for k, v in choice.fmt_params) + "]"
+                if choice.fmt_params
+                else ""
+            )
+            + f"/{choice.backend}/"
+            + ("fused" if choice.fused else "unfused")
+            + f"  {choice.speedup:.3f}x"
+        )
+    if args.report:
+        print("\nprobe report (all measured variants):")
+        print(plan.table())
+        print("\nregistered variants per op:")
+        for op in sorted({r.op for r in plan.probes}):
+            variants = registry.available_variants(op)
+            rendered = ", ".join(
+                "/".join(str(part) for part in v if part is not None)
+                for v in variants
+            )
+            print(f"  {op:<18} {rendered}")
+        stats = cache.stats()
+        print(
+            "\ntuning cache: "
+            + "  ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+        )
     return 0
 
 
@@ -494,6 +609,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", type=int, nargs="*", default=None)
     p.add_argument("--mixed", action="store_true")
     p.set_defaults(fn=cmd_fit)
+
+    p = sub.add_parser(
+        "tune", help="probe kernel variants and print the dispatch plan"
+    )
+    p.add_argument("--local-nx", type=int, default=32, help="local box edge")
+    p.add_argument("--impl", choices=["optimized", "reference"], default="optimized")
+    p.add_argument(
+        "--format",
+        dest="matrix_format",
+        choices=_format_choices(),
+        default="auto",
+        help="baseline sparse storage layout (auto follows --impl)",
+    )
+    p.add_argument("--sell-chunk", type=int, default=32, metavar="C")
+    p.add_argument("--sell-sigma", type=int, default=128, metavar="S")
+    p.add_argument("--precision-ladder", type=str, default=None, metavar="SPEC")
+    p.add_argument("--no-fusion", action="store_true")
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="re-probe even when the tuning cache already has a plan",
+    )
+    p.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="tuning-cache file (default ~/.cache/repro/tune_cache.json)",
+    )
+    p.add_argument(
+        "--report",
+        action="store_true",
+        help="also dump every measured variant (timings, parity, "
+        "selection), the registry's registered variants per op, and "
+        "tuning-cache hit counters",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser(
         "compliance", help="check a configuration against the official rules"

@@ -178,6 +178,21 @@ class BenchmarkConfig:
     service_batch_window: float = 0.25
     #: Workspace arenas in the service phase's bounded pool.
     service_max_arenas: int = 2
+    #: SELL-C-σ chunk width C (rows per chunk; only meaningful when the
+    #: solver's storage format is ``"sellcs"``).  One of the autotuner's
+    #: search axes.
+    sell_chunk: int = 32
+    #: SELL-C-σ sort window σ (rows sorted together before chunking).
+    sell_sigma: int = 128
+    #: Measured kernel autotuning (``repro.tune``): ``"off"`` runs the
+    #: configured dispatch untouched; ``"on"`` probes kernel variants on
+    #: a representative slice of the actual operator (consulting the
+    #: persistent plan cache first) and installs the winning
+    #: parity-asserted plan; ``"force"`` re-probes even on a cache hit.
+    autotune: str = "off"
+    #: Plan-cache path override (default: ``REPRO_TUNE_CACHE`` or the
+    #: user cache dir).
+    tune_cache: str | None = None
 
     @staticmethod
     def _auto_format(impl: str) -> str:
@@ -239,6 +254,15 @@ class BenchmarkConfig:
             raise ValueError(
                 f"service_clients must be >= 0, got {self.service_clients}"
             )
+        if self.autotune not in ("off", "on", "force"):
+            raise ValueError(
+                f"autotune must be 'off', 'on' or 'force', "
+                f"got {self.autotune!r}"
+            )
+        if self.sell_chunk < 1:
+            raise ValueError(f"sell_chunk must be >= 1, got {self.sell_chunk}")
+        if self.sell_sigma < 1:
+            raise ValueError(f"sell_sigma must be >= 1, got {self.sell_sigma}")
         if self.service_clients:
             if self.service_rounds < 1:
                 raise ValueError(
@@ -284,6 +308,15 @@ class BenchmarkConfig:
     def distributed_ranks(self) -> int:
         shape = self.distributed_shape
         return shape[0] * shape[1] * shape[2] if shape else 0
+
+    @property
+    def format_params(self) -> dict:
+        """Storage-format construction parameters for the solver's
+        ``to_format`` calls — SELL-C-σ's (chunk, sigma); empty for
+        parameter-free formats, keeping their setup-cache keys stable."""
+        if self.matrix_format == "sellcs":
+            return {"chunk": self.sell_chunk, "sigma": self.sell_sigma}
+        return {}
 
     def mg_config(self) -> MGConfig:
         """Multigrid configuration implied by the impl choice."""

@@ -79,6 +79,7 @@ def _validation_solve(
         restart=config.restart,
         ortho=config.ortho,
         matrix_format=config.matrix_format,
+        format_params=config.format_params,
         escalation=config.escalation_config(),
         control=config.control_config(),
     )

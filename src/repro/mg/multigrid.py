@@ -170,6 +170,7 @@ class MultigridPreconditioner:
         workspace: Workspace | None = None,
         transfer_precision: "str | Precision | tuple | None" = None,
         overlap: bool = False,
+        format_params: dict | None = None,
     ) -> "MultigridPreconditioner":
         """Build the hierarchy under ``problem``'s fine grid.
 
@@ -213,6 +214,7 @@ class MultigridPreconditioner:
         no split and silently keeps the blocking exchange.
         """
         config = config or MGConfig()
+        format_params = dict(format_params or {})
         schedule = schedule_for_levels(precision, config.nlevels)
         if transfer_precision is None:
             transfers = tuple(schedule[lvl + 1] for lvl in range(config.nlevels - 1))
@@ -224,6 +226,7 @@ class MultigridPreconditioner:
         spec = problem.spec
         if config.smoother == "levelsched":
             matrix_format = "ell"
+            format_params = {}
             if any(p is Precision.HALF for p in schedule):
                 raise ValueError(
                     "the level-scheduled smoother has no fp16 triangular "
@@ -237,6 +240,13 @@ class MultigridPreconditioner:
                 )
             if matrix_format_of(fine_matrix) != matrix_format:
                 fine_matrix = None  # format mismatch: build, don't share
+            elif matrix_format == "sellcs" and format_params:
+                want = (
+                    format_params.get("chunk", fine_matrix.C),
+                    format_params.get("sigma", fine_matrix.sigma),
+                )
+                if (fine_matrix.C, fine_matrix.sigma) != want:
+                    fine_matrix = None  # parameter mismatch: build fresh
 
         levels: list[MGLevel] = []
         sub = problem.sub
@@ -247,7 +257,8 @@ class MultigridPreconditioner:
                 A = fine_matrix
             else:
                 A = to_precision(
-                    to_format(level_problem.A, matrix_format), prec
+                    to_format(level_problem.A, matrix_format, **format_params),
+                    prec,
                 )
             halo_ex = HaloExchange(level_problem.halo, comm, workspace=ws)
             diag = A.diagonal()

@@ -156,29 +156,54 @@ class NetworkFit:
 
 def fit_alpha_beta(
     samples: "Iterable[tuple[float, float, float]]",
+    bandwidth_prior: float | None = None,
 ) -> NetworkFit:
     """Least-squares alpha-beta fit over measured exchange windows.
 
     Each sample is ``(messages, bytes, seconds)`` — e.g. one
     distributed-phase run's halo counters
-    (:func:`halo_samples_from_records`).  A single sample cannot
-    separate latency from bandwidth, so alpha collapses to zero and
-    beta to ``seconds / bytes`` (the aggregate cost-per-byte); two or
-    more samples with different message/byte mixes resolve both.
-    Negative solutions are clamped to zero (a latency below zero is
-    measurement noise, not physics).
+    (:func:`halo_samples_from_records`).  Without a prior, a single
+    sample cannot separate latency from bandwidth, so alpha collapses
+    to zero and beta to ``seconds / bytes`` (the aggregate
+    cost-per-byte); two or more samples with different message/byte
+    mixes resolve both.  Negative solutions are clamped to zero (a
+    latency below zero is measurement noise, not physics).
+
+    ``bandwidth_prior`` (bytes/s) is a measured memory-bandwidth figure
+    — e.g. :func:`repro.perf.machine.probe_machine`'s copy bandwidth,
+    the transport floor of the thread-SPMD memcpy exchanges.  It breaks
+    the single-sample degeneracy (beta pinned to ``1 / prior``, the
+    latency residual attributed to alpha) and replaces a degenerate
+    multi-sample beta that clamped to zero.
     """
     rows = [(float(m), float(b), float(s)) for m, b, s in samples]
     if not rows:
         raise ValueError("fit_alpha_beta needs at least one sample")
+    prior_beta = (
+        1.0 / bandwidth_prior
+        if bandwidth_prior is not None and bandwidth_prior > 0
+        else None
+    )
     if len(rows) == 1:
         m, b, s = rows[0]
+        if prior_beta is not None and m > 0:
+            beta = prior_beta
+            alpha = max((s - beta * b) / m, 0.0)
+            return NetworkFit(
+                alpha=alpha, beta=beta, residual=0.0, nsamples=1
+            )
         beta = s / b if b > 0 else 0.0
         return NetworkFit(alpha=0.0, beta=beta, residual=0.0, nsamples=1)
     A = np.array([[m, b] for m, b, _ in rows])
     y = np.array([s for _, _, s in rows])
     sol, *_ = np.linalg.lstsq(A, y, rcond=None)
     alpha, beta = (max(float(v), 0.0) for v in sol)
+    if beta == 0.0 and prior_beta is not None:
+        beta = prior_beta
+        resid_y = y - A @ [0.0, beta]
+        msgs = A[:, 0]
+        denom = float(msgs @ msgs)
+        alpha = max(float(msgs @ resid_y) / denom, 0.0) if denom > 0 else 0.0
     resid = float(np.sqrt(np.mean((A @ [alpha, beta] - y) ** 2)))
     return NetworkFit(alpha=alpha, beta=beta, residual=resid, nsamples=len(rows))
 

@@ -159,3 +159,122 @@ MACHINES: dict[str, MachineSpec] = {
     "frontier": FRONTIER_GCD,
     "k80": NVIDIA_K80,
 }
+
+
+# ----------------------------------------------------------------------
+# Measured machine characterization (STREAM-style probes)
+# ----------------------------------------------------------------------
+def machine_fingerprint() -> str:
+    """A stable identity hash for this execution environment.
+
+    Keys the on-disk tuning-plan cache (``repro.tune``), so it hashes
+    only attributes that are *reproducible across runs* — platform,
+    core count, NumPy/Python versions — never measured timings, which
+    jitter run-to-run and would defeat caching.  ``REPRO_MACHINE_ID``
+    overrides the whole fingerprint (shared filesystems spanning
+    heterogeneous nodes).
+    """
+    import hashlib
+    import os
+    import platform
+    import sys
+
+    import numpy as np
+
+    forced = os.environ.get("REPRO_MACHINE_ID")
+    if forced:
+        return forced
+    key = "|".join(
+        (
+            platform.system(),
+            platform.machine(),
+            platform.processor() or "",
+            str(os.cpu_count() or 0),
+            np.__version__,
+            f"{sys.version_info.major}.{sys.version_info.minor}",
+        )
+    )
+    return hashlib.blake2b(key.encode(), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class MachineProbe:
+    """Measured STREAM-style characteristics of this host.
+
+    The *fingerprint* is the stable cache key
+    (:func:`machine_fingerprint`); the bandwidth/latency figures are
+    the measured payload — recorded into the benchmark JSON's machine
+    block and fed to :func:`repro.perf.calibrate.fit_alpha_beta` as a
+    memory-bandwidth prior.
+    """
+
+    fingerprint: str
+    triad_bandwidth: float  # bytes/s, a = 2*b + c
+    copy_bandwidth: float  # bytes/s, a[:] = b
+    dispatch_latency: float  # seconds per NumPy call
+    cpu_count: int
+    platform: str
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "triad_bandwidth": self.triad_bandwidth,
+            "copy_bandwidth": self.copy_bandwidth,
+            "dispatch_latency": self.dispatch_latency,
+            "cpu_count": self.cpu_count,
+            "platform": self.platform,
+        }
+
+
+def probe_machine(nbytes: int = 1 << 24, repeats: int = 3) -> MachineProbe:
+    """Run the STREAM-style probes and return the measured profile.
+
+    Triad (``a = 2*b + c``) and copy (``a[:] = b``) bandwidths bracket
+    the streaming behaviour the byte-counting performance model
+    assumes; dispatch latency is the per-call overhead floor.  Sizes
+    default small enough to stay cheap at import-adjacent call sites
+    while still exceeding typical last-level caches.
+    """
+    import os
+    import platform
+    import time
+
+    import numpy as np
+
+    n = max(nbytes // 8, 1024)
+    a = np.zeros(n)
+    b = np.random.default_rng(0).random(n)
+    c = np.random.default_rng(1).random(n)
+
+    triad_best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.multiply(b, 2.0, out=a)
+        a += c
+        triad_best = min(triad_best, time.perf_counter() - t0)
+    # Triad moves 4 arrays' worth per pass (b read, c read, a write x2).
+    triad_bw = 4 * n * 8 / triad_best
+
+    copy_best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.copyto(a, b)
+        copy_best = min(copy_best, time.perf_counter() - t0)
+    # Copy moves 2 arrays' worth per pass (b read, a write).
+    copy_bw = 2 * n * 8 / copy_best
+
+    small = np.zeros(8)
+    calls = 2000
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        np.add(small, 1.0, out=small)
+    latency = (time.perf_counter() - t0) / calls
+
+    return MachineProbe(
+        fingerprint=machine_fingerprint(),
+        triad_bandwidth=triad_bw,
+        copy_bandwidth=copy_bw,
+        dispatch_latency=latency,
+        cpu_count=os.cpu_count() or 1,
+        platform=f"{platform.system()}-{platform.machine()}",
+    )

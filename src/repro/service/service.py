@@ -123,6 +123,7 @@ class SolverService:
         restart: int = 30,
         ortho: str = "cgs2",
         matrix_format: str = "ell",
+        format_params: dict | None = None,
     ) -> None:
         if batch_window <= 0:
             raise ValueError("batch_window must be positive")
@@ -140,6 +141,7 @@ class SolverService:
         self.restart = restart
         self.ortho = ortho
         self.matrix_format = matrix_format
+        self.format_params = dict(format_params or {})
         self.metrics = ServiceMetrics()
         self._problems: dict[str, Problem] = {}
         self._queue: asyncio.Queue[_Pending] = asyncio.Queue()
@@ -161,6 +163,16 @@ class SolverService:
         fp = operator_fingerprint(problem.A)
         self._problems.setdefault(fp, problem)
         return fp
+
+    def install_plan(self, fingerprint: str, plan) -> None:
+        """Attach a tuned dispatch plan to a registered operator.
+
+        Stored in the shared setup cache, so every batch solver the
+        service constructs against this operator adopts the plan's
+        parity-asserted choices — tuned dispatch with no per-request
+        plumbing.
+        """
+        self.setup_cache.store_plan(fingerprint, plan)
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -407,6 +419,7 @@ class SolverService:
             restart=self.restart,
             ortho=self.ortho,
             matrix_format=self.matrix_format,
+            format_params=self.format_params,
             control=control,
             setup_cache=self.setup_cache,
             workspace=arena,

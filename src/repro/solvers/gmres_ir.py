@@ -165,6 +165,7 @@ class GMRESIRSolver:
         fusion: bool = True,
         setup_cache: SetupCache | None = None,
         workspace: Workspace | None = None,
+        format_params: dict | None = None,
     ) -> None:
         if ortho not in ORTHO_METHODS:
             raise ValueError(f"unknown orthogonalization {ortho!r}")
@@ -178,6 +179,9 @@ class GMRESIRSolver:
         self.restart = restart
         self.ortho_name = ortho
         self.matrix_format = matrix_format
+        # Storage-format construction parameters (SELL-C-σ chunk/sigma);
+        # folded into every format-derived setup-cache key.
+        self.format_params = dict(format_params or {})
         # Overlap interior SpMV with the halo exchange through the
         # ghost-aware partitioned layout.  "auto": on whenever there
         # are neighbor ranks to exchange with (the partition is pure
@@ -219,6 +223,32 @@ class GMRESIRSolver:
         self._fingerprint = (
             operator_fingerprint(problem.A) if setup_cache is not None else None
         )
+        # Autotuned dispatch: a plan stored next to this operator's
+        # cached hierarchy (repro.tune) retargets the storage format,
+        # SELL-C-σ parameters and fusion — parity-asserted choices
+        # only, so adoption never changes numerics.  This is the seam
+        # through which solve_panel and the SolverService inherit tuned
+        # dispatch: they share the SetupCache, nothing else.
+        self.dispatch_plan = None
+        if setup_cache is not None:
+            plan = setup_cache.plan_for(self._fingerprint)
+            if plan is not None and plan.applies_to(
+                self.matrix_format,
+                tuple(sorted(self.format_params.items())),
+                self.fusion,
+            ):
+                plan.assert_parity()
+                self.dispatch_plan = plan
+                self.matrix_format = plan.solver_format()
+                self.format_params = dict(plan.solver_format_params())
+                self.fusion = plan.solver_fusion()
+                self._ortho_fused = (
+                    cgs2_fused if (self.fusion and ortho == "cgs2") else None
+                )
+        self._format_key = (
+            self.matrix_format,
+            tuple(sorted(self.format_params.items())),
+        )
         if escalation is None:
             # fp16 rungs cannot reach double tolerances without climbing,
             # so the controller defaults on for them; fp32/fp64 policies
@@ -253,7 +283,11 @@ class GMRESIRSolver:
         # reference implementation uses CSR, the optimized one ELL;
         # SELL-C-σ is the GPU-general layout).
         self.A64 = self._setup(
-            "A64", (matrix_format,), lambda: to_format(problem.A, matrix_format)
+            "A64",
+            self._format_key,
+            lambda: to_format(
+                problem.A, self.matrix_format, **self.format_params
+            ),
         )
 
         # Double-precision operator for outer residuals, and the outer
@@ -304,7 +338,7 @@ class GMRESIRSolver:
             return None
         return self._setup(
             "partition",
-            (self.matrix_format, prec_name, self.comm.size, self.comm.rank),
+            (self._format_key, prec_name, self.comm.size, self.comm.rank),
             lambda: partition_matrix(A, self.problem.halo),
         )
 
@@ -330,7 +364,7 @@ class GMRESIRSolver:
             prec_name = policy.matrix.short_name
             self.A_low = self._setup(
                 "A_low",
-                (self.matrix_format, prec_name),
+                (self._format_key, prec_name),
                 lambda: to_precision(self.A64, policy.matrix),
             )
             self.op_inner = DistributedOperator(
@@ -365,6 +399,7 @@ class GMRESIRSolver:
                     timers=self.timers,
                     fine_matrix=shared,
                     matrix_format=self.matrix_format,
+                    format_params=self.format_params,
                     workspace=self.ws,
                     # Per-ingredient mode schedules the grid transfers
                     # apart from the levels; None preserves the
@@ -380,7 +415,7 @@ class GMRESIRSolver:
             self.M = self._setup(
                 "mg",
                 (
-                    self.matrix_format,
+                    self._format_key,
                     tuple(mg_schedule),
                     tuple(transfer_schedule) if transfer_schedule else None,
                     self.mg_config,

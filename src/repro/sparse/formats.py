@@ -65,20 +65,48 @@ def known_formats() -> list[str]:
     return usable if usable else sorted(MATRIX_FORMATS)
 
 
-def to_format(A, fmt: str):
+def to_format(A, fmt: str, *, chunk: int | None = None, sigma: int | None = None):
     """Convert a matrix to the named storage format.
 
     Conversion between any pair goes through CSR (the interchange
-    format); identity conversions return the input unchanged.
+    format); identity conversions return the input unchanged.  For
+    SELL-C-σ, ``chunk``/``sigma`` select the chunk width C and sort
+    window σ (``None`` keeps the format defaults); an identity
+    conversion repacks when the requested parameters differ from the
+    matrix's own.
     """
     if fmt not in MATRIX_FORMATS:
         raise ValueError(
             f"unknown matrix format {fmt!r}; registered formats: "
             f"{known_formats()}"
         )
+    if fmt != SELLCSMatrix.format_name and (
+        chunk is not None or sigma is not None
+    ):
+        raise ValueError(
+            f"format parameters chunk/sigma only apply to "
+            f"{SELLCSMatrix.format_name!r}, not {fmt!r}"
+        )
     if matrix_format_of(A) == fmt:
-        return A
+        if fmt != SELLCSMatrix.format_name:
+            return A
+        want_chunk = A.C if chunk is None else chunk
+        want_sigma = A.sigma if sigma is None else sigma
+        if (A.C, A.sigma) == (want_chunk, want_sigma):
+            return A
+        return SELLCSMatrix.from_csr(
+            A.to_csr(), chunk=want_chunk, sigma=want_sigma
+        )
     csr = A if isinstance(A, CSRMatrix) else A.to_csr()
     if fmt == CSRMatrix.format_name:
         return csr
+    if fmt == SELLCSMatrix.format_name and (
+        chunk is not None or sigma is not None
+    ):
+        kwargs = {}
+        if chunk is not None:
+            kwargs["chunk"] = chunk
+        if sigma is not None:
+            kwargs["sigma"] = sigma
+        return SELLCSMatrix.from_csr(csr, **kwargs)
     return MATRIX_FORMATS[fmt].from_csr(csr)

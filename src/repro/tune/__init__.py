@@ -1,0 +1,40 @@
+"""Measured kernel autotuning: machine-probed dispatch plans.
+
+The registry (``repro.backends``) can serve every hot motif under
+multiple storage formats, backends, and fusion variants; this package
+decides *which* — by measurement, not configuration.  The prober times
+the registered variants on a representative slice of the actual
+operator, the resulting :class:`DispatchPlan` records the winning
+(format, backend, fusion) per (op, rung), a persistent
+:class:`PlanCache` keyed by (operator content x machine fingerprint)
+makes warm runs free, and the registry consults the installed plan at
+dispatch time.  A plan can only ever select variants whose probe
+output was bitwise-identical to the untuned default — tuning changes
+speed, never numerics.
+"""
+
+from repro.tune.autotune import (
+    apply_plan_to_config,
+    autotune_operator,
+    config_rungs,
+    tune_for_config,
+)
+from repro.tune.cache import PlanCache, default_cache_path
+from repro.tune.plan import DispatchPlan, PlanChoice, PlanParityError, ProbeRecord
+from repro.tune.probe import SELL_GRID, OperatorProber, representative_slice
+
+__all__ = [
+    "SELL_GRID",
+    "DispatchPlan",
+    "OperatorProber",
+    "PlanCache",
+    "PlanChoice",
+    "PlanParityError",
+    "ProbeRecord",
+    "apply_plan_to_config",
+    "autotune_operator",
+    "config_rungs",
+    "default_cache_path",
+    "representative_slice",
+    "tune_for_config",
+]

@@ -1,0 +1,163 @@
+"""The autotuner front end: probe, select, persist, install.
+
+:func:`autotune_operator` turns one operator into a
+:class:`~repro.tune.plan.DispatchPlan` — consulting the persistent
+:class:`~repro.tune.cache.PlanCache` first (keyed operator-content x
+machine fingerprint), probing only on a miss or under ``force`` — and
+re-asserts the bitwise-parity invariant before returning.
+
+:func:`tune_for_config` is the benchmark's entry: it builds the
+representative rank-local operator a :class:`BenchmarkConfig` implies
+and derives the precision rungs from the config's ladder, and
+:func:`apply_plan_to_config` folds the plan's solver-wide consensus
+choices (format, SELL-C-σ parameters, fusion) back into the config the
+workers run with.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from repro.perf.machine import machine_fingerprint, probe_machine
+from repro.solvers.setup_cache import operator_fingerprint
+from repro.tune.cache import PlanCache
+from repro.tune.plan import DispatchPlan
+from repro.tune.probe import SELL_GRID, OperatorProber
+
+logger = logging.getLogger(__name__)
+
+
+def autotune_operator(
+    A,
+    *,
+    baseline_format: str = "ell",
+    baseline_params: dict | None = None,
+    fusion: bool = True,
+    rungs: tuple = ("fp64", "fp32"),
+    formats: tuple = ("csr", "ell", "sellcs"),
+    sell_grid: tuple = SELL_GRID,
+    max_rows: int = 4096,
+    repeats: int = 3,
+    cache: PlanCache | None = None,
+    force: bool = False,
+) -> tuple[DispatchPlan, bool]:
+    """Tune dispatch for one operator; returns ``(plan, cache_hit)``.
+
+    With a ``cache``, a plan recorded for this exact operator content
+    on this machine is returned without probing (unless ``force``);
+    fresh plans are stored back.  Either way the returned plan has its
+    per-(op, rung) parity invariant re-asserted.
+    """
+    op_fp = operator_fingerprint(A)
+    mach_fp = machine_fingerprint()
+    if cache is not None and not force:
+        plan = cache.load(op_fp, mach_fp)
+        if plan is not None:
+            plan.assert_parity()
+            return plan, True
+
+    probe = probe_machine()
+    prober = OperatorProber(
+        A,
+        baseline_format=baseline_format,
+        baseline_params=baseline_params,
+        fusion=fusion,
+        rungs=rungs,
+        formats=formats,
+        sell_grid=sell_grid,
+        max_rows=max_rows,
+        repeats=repeats,
+    )
+    entries, records = prober.probe_all()
+    plan = DispatchPlan(
+        operator_fingerprint=op_fp,
+        machine_fingerprint=mach_fp,
+        baseline_format=baseline_format,
+        baseline_params=tuple(
+            sorted((str(k), int(v)) for k, v in (baseline_params or {}).items())
+        )
+        if baseline_format == "sellcs"
+        else (),
+        baseline_fusion=bool(fusion),
+        baseline_backend=prober.baseline_backend,
+        entries=entries,
+        probes=tuple(records),
+        machine=probe.to_dict(),
+    )
+    plan.assert_parity()
+    if cache is not None:
+        cache.store(plan)
+    logger.info(
+        "autotuned %d (op, rung) entries on %s: probe speedup %.3fx",
+        len(entries),
+        mach_fp,
+        plan.speedup(),
+    )
+    return plan, False
+
+
+def config_rungs(config) -> tuple[str, ...]:
+    """The precision rungs a config's ladder exercises (fp64 always —
+    the outer iterative-refinement loop runs there)."""
+    rungs = ["fp64"]
+    ladder = getattr(config, "precision_ladder", None)
+    if ladder:
+        for rung in str(ladder).replace(",", ":").split(":"):
+            rung = rung.strip()
+            if rung and rung not in rungs and rung != "fp16":
+                rungs.append(rung)
+    elif getattr(config, "impl", "optimized") == "optimized":
+        rungs.append("fp32")
+    return tuple(rungs)
+
+
+def representative_problem(config):
+    """The rank-local operator the tuner probes: the serial subdomain
+    at the config's local dims (deterministic for a given config, so
+    its content fingerprint keys warm cache hits across runs)."""
+    from repro.geometry.partition import Subdomain
+    from repro.stencil.poisson27 import ProblemSpec, generate_problem
+
+    nx, ny, nz = config.local_dims
+    sub = Subdomain.serial(nx, ny, nz)
+    return generate_problem(sub, spec=ProblemSpec(kind=config.matrix_kind))
+
+
+def tune_for_config(
+    config, cache: PlanCache | None = None, force: bool = False
+) -> tuple[DispatchPlan, bool]:
+    """Autotune for a benchmark config; returns ``(plan, cache_hit)``."""
+    problem = representative_problem(config)
+    params = dict(config.format_params)
+    return autotune_operator(
+        problem.A,
+        baseline_format=config.matrix_format,
+        baseline_params=params,
+        fusion=config.fusion,
+        rungs=config_rungs(config),
+        cache=cache,
+        force=force,
+    )
+
+
+def apply_plan_to_config(config, plan: DispatchPlan):
+    """The config with the plan's solver-wide consensus folded in.
+
+    Only parity-asserted unanimous choices move the knobs (format,
+    SELL-C-σ chunk/sigma, fusion); everything else is untouched, so a
+    plan that found nothing better leaves the config bitwise-identical
+    in behaviour.
+    """
+    updates = {}
+    fmt = plan.solver_format()
+    if fmt != config.matrix_format:
+        updates["matrix_format"] = fmt
+    fmt_params = dict(plan.solver_format_params())
+    if fmt == "sellcs" and fmt_params:
+        if fmt_params.get("chunk", config.sell_chunk) != config.sell_chunk:
+            updates["sell_chunk"] = int(fmt_params["chunk"])
+        if fmt_params.get("sigma", config.sell_sigma) != config.sell_sigma:
+            updates["sell_sigma"] = int(fmt_params["sigma"])
+    if plan.solver_fusion() != config.fusion:
+        updates["fusion"] = plan.solver_fusion()
+    return config.with_updates(**updates) if updates else config

@@ -1,0 +1,187 @@
+"""On-disk persistence for dispatch plans.
+
+One JSON file maps ``operator-fingerprint:machine-fingerprint`` keys to
+serialized :class:`~repro.tune.plan.DispatchPlan` dicts, so a warm
+process (same operator content, same machine) pays zero tuning cost.
+
+Failure policy: the cache must never take the solver down.  A missing
+file is a miss; a corrupted file is a logged warning plus a miss (the
+caller falls back to untuned dispatch or re-tunes); an entry recorded
+under a different machine fingerprint is stale and ignored.  Writes
+are atomic (temp file + ``os.replace``) so a crash mid-store can't
+corrupt an existing cache.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import tempfile
+
+from repro.tune.plan import PLAN_VERSION, DispatchPlan
+
+logger = logging.getLogger(__name__)
+
+#: Cache-file schema version.
+CACHE_VERSION = 1
+
+#: Environment override for the default cache location.
+CACHE_ENV = "REPRO_TUNE_CACHE"
+
+#: Default on-disk location (under the user cache dir).
+DEFAULT_CACHE_PATH = os.path.join(
+    os.path.expanduser("~"), ".cache", "repro", "tune_cache.json"
+)
+
+
+def default_cache_path() -> str:
+    """The plan-cache path: ``REPRO_TUNE_CACHE`` or the user cache dir."""
+    return os.environ.get(CACHE_ENV) or DEFAULT_CACHE_PATH
+
+
+class PlanCache:
+    """A JSON-file plan cache keyed by (operator x machine) fingerprint."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path or default_cache_path()
+        self.hits = 0
+        self.misses = 0
+        self.stale = 0
+        self.corrupt = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(operator_fingerprint: str, machine_fingerprint: str) -> str:
+        return f"{operator_fingerprint}:{machine_fingerprint}"
+
+    def _read_file(self) -> dict:
+        """The raw plans mapping; {} (with a warning) on any damage."""
+        if not os.path.exists(self.path):
+            return {}
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                data = json.load(fh)
+            if (
+                not isinstance(data, dict)
+                or data.get("version") != CACHE_VERSION
+                or not isinstance(data.get("plans"), dict)
+            ):
+                raise ValueError(f"unrecognized cache layout in {self.path}")
+            return data["plans"]
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            self.corrupt += 1
+            logger.warning(
+                "tuning-plan cache %s is unreadable (%s); "
+                "falling back to untuned dispatch",
+                self.path,
+                exc,
+            )
+            return {}
+
+    # ------------------------------------------------------------------
+    def load(
+        self, operator_fingerprint: str, machine_fingerprint: str
+    ) -> DispatchPlan | None:
+        """The cached plan for this operator on this machine, or None.
+
+        Misses on absent/corrupt files and on entries whose recorded
+        machine fingerprint does not match the requested one (a cache
+        copied from, or shared with, another machine is stale there).
+        """
+        plans = self._read_file()
+        raw = plans.get(self._key(operator_fingerprint, machine_fingerprint))
+        if raw is None:
+            self.misses += 1
+            return None
+        try:
+            plan = DispatchPlan.from_dict(raw)
+        except (KeyError, TypeError, ValueError) as exc:
+            self.corrupt += 1
+            self.misses += 1
+            logger.warning(
+                "tuning-plan cache entry for %s is malformed (%s); ignoring",
+                operator_fingerprint,
+                exc,
+            )
+            return None
+        if (
+            plan.machine_fingerprint != machine_fingerprint
+            or plan.operator_fingerprint != operator_fingerprint
+        ):
+            self.stale += 1
+            self.misses += 1
+            logger.warning(
+                "tuning-plan cache entry fingerprint mismatch "
+                "(stored machine %s, current %s); re-tuning",
+                plan.machine_fingerprint,
+                machine_fingerprint,
+            )
+            return None
+        self.hits += 1
+        return plan
+
+    def store(self, plan: DispatchPlan) -> None:
+        """Persist a plan (atomic write; existing entries preserved).
+
+        Entries recorded under the *same* key whose payload disagrees
+        with its key are dropped on the way through — the cache
+        self-heals instead of accumulating unloadable entries.
+        """
+        plans = self._read_file()
+        cleaned = {}
+        for key, raw in plans.items():
+            try:
+                mach = raw["machine_fingerprint"]
+                op_fp = raw["operator_fingerprint"]
+            except (TypeError, KeyError):
+                self.corrupt += 1
+                continue
+            if key != self._key(op_fp, mach):
+                self.stale += 1
+                continue
+            cleaned[key] = raw
+        cleaned[self._key(plan.operator_fingerprint, plan.machine_fingerprint)] = (
+            plan.to_dict()
+        )
+        payload = {"version": CACHE_VERSION, "plans": cleaned}
+        dirname = os.path.dirname(self.path) or "."
+        os.makedirs(dirname, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=dirname, prefix=".tune_cache.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            logger.warning(
+                "could not persist tuning plan to %s (%s)", self.path, exc
+            )
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "path": self.path,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stale": self.stale,
+            "corrupt": self.corrupt,
+        }
+
+    def entries(self) -> dict:
+        """Raw key -> plan-dict mapping (report/introspection)."""
+        return self._read_file()
+
+
+__all__ = [
+    "CACHE_ENV",
+    "CACHE_VERSION",
+    "PLAN_VERSION",
+    "PlanCache",
+    "default_cache_path",
+]

@@ -1,0 +1,431 @@
+"""Microbenchmark harness: measure kernel variants on the real operator.
+
+The prober takes a **representative slice** of the actual operator (a
+principal submatrix, so the nonzero structure and row widths are the
+workload's own, not a synthetic stencil's), converts it into every
+candidate storage format — including a SELL-C-σ (chunk, sigma)
+parameter grid, the tuner's real search axis — and times every
+registered kernel variant of each hot motif at each requested
+precision rung.
+
+Every candidate's output is compared **bitwise** against the untuned
+default (the baseline format under the active backend with fusion on).
+Variants that differ are still recorded (the report shows them with
+``parity=no``) but are never selectable — a plan choice must not
+change numerics.  The baseline variant always competes, so the
+selected time is never worse than the baseline time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from repro.backends.registry import KernelNotFoundError, registry
+from repro.fp.precision import Precision
+from repro.sparse.coloring import color_sets, greedy_coloring
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.formats import to_format
+from repro.sparse.scaled import to_precision
+from repro.tune.plan import FUSED_OPS, PlanChoice, ProbeRecord
+
+#: Default SELL-C-σ (chunk, sigma) search grid.
+SELL_GRID: tuple[tuple[int, int], ...] = ((16, 64), (32, 128), (64, 256))
+
+#: Panel width used for the ``_multi`` motif probes.
+PROBE_PANEL = 4
+
+#: Ops the tuner probes: the solver's hot motifs.
+MATRIX_PROBE_OPS = (
+    "spmv",
+    "symgs_sweep",
+    "spmv_dot",
+    "spmv_multi",
+    "symgs_sweep_multi",
+    "spmv_dot_multi",
+)
+VECTOR_PROBE_OPS = ("waxpby_dot", "waxpby_dot_multi")
+
+
+def representative_slice(A, max_rows: int = 4096) -> CSRMatrix:
+    """A principal ``m x m`` CSR submatrix of the operator.
+
+    Keeps the operator's own row-width distribution (what SELL-C-σ
+    packing efficiency and CSR reduceat cost actually depend on);
+    entries whose column falls outside the slice are dropped, which
+    preserves symmetry of the kept block.
+    """
+    csr = to_format(A, "csr")
+    m = min(csr.nrows, max_rows)
+    keep_rows = np.arange(m)
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    cols, vals = [], []
+    for i in keep_rows:
+        lo, hi = csr.indptr[i], csr.indptr[i + 1]
+        c = csr.indices[lo:hi]
+        mask = c < m
+        cols.append(c[mask])
+        vals.append(csr.data[lo:hi][mask])
+        indptr[i + 1] = indptr[i] + int(mask.sum())
+    return CSRMatrix(
+        indptr=indptr,
+        indices=np.concatenate(cols) if cols else np.zeros(0, np.int32),
+        data=np.concatenate(vals) if vals else np.zeros(0, csr.dtype),
+        ncols=m,
+    )
+
+
+def _time(call: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        call()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bitwise_equal(a, b) -> bool:
+    if isinstance(a, tuple) or isinstance(b, tuple):
+        if not (isinstance(a, tuple) and isinstance(b, tuple)):
+            return False
+        return len(a) == len(b) and all(
+            _bitwise_equal(x, y) for x, y in zip(a, b)
+        )
+    return np.array_equal(np.asarray(a), np.asarray(b))
+
+
+def _params_tuple(fmt: str, params: dict | None) -> tuple:
+    if fmt != "sellcs" or not params:
+        return ()
+    return tuple(sorted((str(k), int(v)) for k, v in params.items()))
+
+
+class OperatorProber:
+    """Probe every hot motif's kernel variants on one operator slice."""
+
+    def __init__(
+        self,
+        A,
+        *,
+        baseline_format: str = "ell",
+        baseline_params: dict | None = None,
+        fusion: bool = True,
+        rungs: tuple = ("fp64", "fp32"),
+        formats: tuple = ("csr", "ell", "sellcs"),
+        sell_grid: tuple = SELL_GRID,
+        max_rows: int = 4096,
+        panel: int = PROBE_PANEL,
+        repeats: int = 3,
+        seed: int = 0,
+    ) -> None:
+        self.slice = representative_slice(A, max_rows)
+        self.baseline_format = baseline_format
+        self.baseline_params = dict(baseline_params or {})
+        self.fusion = bool(fusion)
+        self.rungs = tuple(Precision.from_any(r) for r in rungs)
+        self.panel = panel
+        self.repeats = repeats
+        self.rng = np.random.default_rng(seed)
+        self.baseline_backend = registry.active_backend
+
+        # Format variants: every plain format plus the SELL-C-σ grid
+        # (the baseline's own parameters always included).
+        variants: list[tuple[str, dict]] = []
+        for fmt in formats:
+            if fmt == "sellcs":
+                grid = {tuple(p) for p in sell_grid}
+                if baseline_format == "sellcs" and self.baseline_params:
+                    grid.add(
+                        (
+                            int(self.baseline_params.get("chunk", 32)),
+                            int(self.baseline_params.get("sigma", 128)),
+                        )
+                    )
+                for chunk, sigma in sorted(grid):
+                    variants.append((fmt, {"chunk": chunk, "sigma": sigma}))
+            else:
+                variants.append((fmt, {}))
+        self.format_variants = variants
+
+        self._vec_cache: dict[Precision, tuple] = {}
+
+        # One coloring shared by every candidate: the color ordering
+        # *is* part of the SymGS numerics, so it must not vary with the
+        # storage format being probed.
+        ell = to_format(self.slice, "ell")
+        self.sets = color_sets(greedy_coloring(ell))
+
+        # Materialize each (format, params, rung) matrix once.
+        self._mats: dict[tuple, object] = {}
+        for fmt, params in variants:
+            base = to_format(self.slice, fmt, **params)
+            for prec in self.rungs:
+                self._mats[(fmt, _params_tuple(fmt, params), prec)] = (
+                    to_precision(base, prec)
+                )
+
+    # ------------------------------------------------------------------
+    def _vectors(self, prec: Precision):
+        """Probe inputs for one rung — memoized, because every variant
+        of an (op, rung) must see the *same* inputs for the bitwise
+        parity comparison to mean anything."""
+        cached = self._vec_cache.get(prec)
+        if cached is not None:
+            return cached
+        n = self.slice.nrows
+        dtype = prec.dtype
+        x = self.rng.standard_normal(n).astype(dtype)
+        b = self.rng.standard_normal(n).astype(dtype)
+        X = np.asfortranarray(
+            self.rng.standard_normal((n, self.panel)).astype(dtype)
+        )
+        B = np.asfortranarray(
+            self.rng.standard_normal((n, self.panel)).astype(dtype)
+        )
+        self._vec_cache[prec] = (x, b, X, B)
+        return x, b, X, B
+
+    def _runner(self, op: str, M, prec: Precision, fused: bool):
+        """A zero-arg callable executing one probe iteration, returning
+        the output to parity-check.  ``fused=False`` composes the
+        motif from its unfused kernels exactly as the solver's
+        ``fusion=False`` path does."""
+        x, b, X, B = self._vectors(prec)
+        sets = self.sets
+        fmt = M.format_name
+
+        def k(name):
+            return registry.lookup(name, fmt, prec, backend=self._backend)
+
+        if op == "spmv":
+            fn = k("spmv")
+            return lambda: fn(M, x)
+        if op == "spmv_multi":
+            fn = k("spmv_multi")
+            return lambda: fn(M, X)
+        if op == "symgs_sweep":
+            fn = k("symgs_sweep")
+            diag = M.diagonal()
+            diag_sets = [diag[rows] for rows in sets]
+
+            def run_symgs():
+                xw = x.copy()
+                fn(M, b, xw, sets, diag_sets, direction="forward")
+                return xw
+
+            return run_symgs
+        if op == "symgs_sweep_multi":
+            fn = k("symgs_sweep_multi")
+            diag = M.diagonal()
+            diag_sets = [diag[rows] for rows in sets]
+
+            def run_symgs_multi():
+                Xw = X.copy(order="F")
+                fn(M, B, Xw, sets, diag_sets, direction="forward")
+                return Xw
+
+            return run_symgs_multi
+        if op == "spmv_dot":
+            if fused:
+                fn = k("spmv_dot")
+                return lambda: fn(M, x, b)
+            spmv = k("spmv")
+            dot = k("dot")
+
+            def run_unfused():
+                r = np.subtract(b, spmv(M, x))
+                return r, dot(r, r)
+
+            return run_unfused
+        if op == "spmv_dot_multi":
+            if fused:
+                fn = k("spmv_dot_multi")
+                return lambda: fn(M, X, B)
+            spmv_multi = k("spmv_multi")
+            dot = k("dot")
+
+            def run_unfused_multi():
+                R = np.subtract(B, spmv_multi(M, X), order="F")
+                return R, np.array(
+                    [dot(R[:, j], R[:, j]) for j in range(R.shape[1])]
+                )
+
+            return run_unfused_multi
+        if op == "waxpby_dot":
+            if fused:
+                fn = registry.lookup(
+                    op, None, prec, backend=self._backend
+                )
+                return lambda: fn(1.0, x, -0.5, b)
+            waxpby = registry.lookup(
+                "waxpby", None, prec, backend=self._backend
+            )
+            dot = registry.lookup("dot", None, prec, backend=self._backend)
+
+            def run_wd_unfused():
+                w = waxpby(1.0, x, -0.5, b)
+                return w, dot(w, w)
+
+            return run_wd_unfused
+        if op == "waxpby_dot_multi":
+            if fused:
+                fn = registry.lookup(
+                    op, None, prec, backend=self._backend
+                )
+                return lambda: fn(1.0, X, -0.5, B)
+            waxpby_multi = registry.lookup(
+                "waxpby_multi", None, prec, backend=self._backend
+            )
+            dot = registry.lookup("dot", None, prec, backend=self._backend)
+
+            def run_wdm_unfused():
+                W = waxpby_multi(1.0, X, -0.5, B)
+                return W, np.array(
+                    [dot(W[:, j], W[:, j]) for j in range(W.shape[1])]
+                )
+
+            return run_wdm_unfused
+        raise ValueError(f"unknown probe op {op!r}")
+
+    # ------------------------------------------------------------------
+    def _candidates(self, op: str):
+        """Yield ``(fmt, params_tuple, backend, fused)`` candidates."""
+        is_matrix = op in MATRIX_PROBE_OPS
+        fused_axis = (
+            (True, False) if op in FUSED_OPS else (self.fusion,)
+        )
+        backends = registry.backends()
+        if is_matrix:
+            for fmt, params in self.format_variants:
+                pt = _params_tuple(fmt, params)
+                for backend in backends:
+                    for fused in fused_axis:
+                        yield fmt, pt, backend, fused
+        else:
+            for backend in backends:
+                for fused in fused_axis:
+                    yield self.baseline_format, _params_tuple(
+                        self.baseline_format, self.baseline_params
+                    ), backend, fused
+
+    def _baseline_key(self, op: str):
+        return (
+            self.baseline_format,
+            _params_tuple(self.baseline_format, self.baseline_params),
+            self.baseline_backend,
+            self.fusion,
+        )
+
+    def _primary_kernel(self, op: str, fmt: str, prec, fused: bool):
+        """The registration a candidate's numerics hinge on — used to
+        dedupe backends that merely fall back to the same kernel."""
+        if op in FUSED_OPS and not fused:
+            name = {
+                "spmv_dot": "spmv",
+                "spmv_dot_multi": "spmv_multi",
+                "waxpby_dot": "waxpby",
+                "waxpby_dot_multi": "waxpby_multi",
+            }[op]
+        else:
+            name = op
+        lookup_fmt = fmt if op in MATRIX_PROBE_OPS else None
+        return registry.lookup(name, lookup_fmt, prec, backend=self._backend)
+
+    # ------------------------------------------------------------------
+    def probe_op(self, op: str, prec: Precision):
+        """Measure every variant of ``op`` at rung ``prec``.
+
+        Returns ``(choice, records)`` — the parity-constrained winner
+        and the full probe evidence — or ``(None, [])`` when the op has
+        no resolvable kernels at this rung.
+        """
+        records: list[ProbeRecord] = []
+        measured: dict[tuple, tuple[float, object]] = {}
+        baseline_key = self._baseline_key(op)
+        seen_fns: dict[tuple, tuple] = {}
+
+        for fmt, pt, backend, fused in self._candidates(op):
+            key = (fmt, pt, backend, fused)
+            M = None
+            if op in MATRIX_PROBE_OPS:
+                M = self._mats.get((fmt, pt, prec))
+                if M is None:
+                    continue
+            self._backend = backend
+            try:
+                primary = self._primary_kernel(op, fmt, prec, fused)
+                # Dedupe: a backend with no registration of its own
+                # resolves to the same kernel as the fallback —
+                # measuring it twice only adds noise (the baseline key
+                # is never deduped away).
+                fn_id = (fmt, pt, fused, id(primary))
+                if key != baseline_key and fn_id in seen_fns:
+                    continue
+                seen_fns[fn_id] = key
+                run = self._runner(
+                    op, M if M is not None else self.slice, prec, fused
+                )
+            except KernelNotFoundError:
+                continue
+            out = run()
+            seconds = _time(run, self.repeats)
+            measured[key] = (seconds, out)
+
+        if baseline_key not in measured:
+            return None, []
+
+        base_seconds, base_out = measured[baseline_key]
+        best_key, best_seconds = baseline_key, base_seconds
+        for key, (seconds, out) in measured.items():
+            parity = key == baseline_key or _bitwise_equal(out, base_out)
+            records.append(
+                ProbeRecord(
+                    op=op,
+                    rung=prec.short_name,
+                    fmt=key[0],
+                    fmt_params=key[1],
+                    backend=key[2],
+                    fused=key[3],
+                    seconds=seconds,
+                    parity=parity,
+                )
+            )
+            if parity and seconds < best_seconds:
+                best_key, best_seconds = key, seconds
+
+        choice = PlanChoice(
+            fmt=best_key[0],
+            fmt_params=best_key[1],
+            backend=best_key[2],
+            fused=best_key[3],
+            seconds=best_seconds,
+            baseline_seconds=base_seconds,
+            parity=True,
+        )
+        records = [
+            replace(
+                r,
+                selected=(r.fmt, r.fmt_params, r.backend, r.fused)
+                == best_key,
+            )
+            for r in records
+        ]
+        return choice, records
+
+    def probe_all(self):
+        """Probe every hot motif at every rung.
+
+        Returns ``(entries, records)`` in :class:`DispatchPlan` shape.
+        """
+        entries: dict[tuple, PlanChoice] = {}
+        records: list[ProbeRecord] = []
+        for op in MATRIX_PROBE_OPS + VECTOR_PROBE_OPS:
+            for prec in self.rungs:
+                choice, recs = self.probe_op(op, prec)
+                if choice is not None:
+                    entries[(op, prec.short_name)] = choice
+                    records.extend(recs)
+        return entries, records

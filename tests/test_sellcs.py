@@ -256,3 +256,86 @@ class TestCrossFormatParity:
         x, stats = solver.solve(problem16.b, tol=1e-9, maxiter=200)
         assert stats.converged
         np.testing.assert_allclose(x, problem16.x_exact, rtol=1e-7)
+
+
+class TestChunkSigmaParameterization:
+    """SELL-C-σ chunk/sort-window knobs through to_format and the
+    benchmark config (PR 9 satellite): every (C, σ) point must agree
+    with CSR to rounding, and the conversion layer must repack rather
+    than silently keep a mismatched layout."""
+
+    GRID = [(8, 1), (16, 64), (32, 128), (64, 256)]
+
+    @pytest.mark.parametrize("chunk,sigma", GRID)
+    def test_spmv_parity_across_the_grid(self, problem16, rng, chunk, sigma):
+        A = problem16.A
+        S = to_format(A, "sellcs", chunk=chunk, sigma=sigma)
+        assert (S.C, S.sigma) == (chunk, sigma)
+        x = rng.standard_normal(A.to_csr().ncols)
+        np.testing.assert_allclose(
+            S.spmv(x), to_format(A, "csr").spmv(x), rtol=1e-13, atol=1e-13
+        )
+
+    @pytest.mark.parametrize("chunk,sigma", GRID)
+    def test_symgs_parity_across_the_grid(self, problem16, rng, chunk, sigma):
+        from repro.sparse.coloring import color_sets, greedy_coloring
+
+        ell = to_format(problem16.A, "ell")
+        sets = color_sets(greedy_coloring(ell))
+        r = rng.standard_normal(ell.nrows)
+        results = {}
+        for M in (ell, to_format(problem16.A, "sellcs", chunk=chunk, sigma=sigma)):
+            diag = M.diagonal()
+            diag_sets = [diag[rows] for rows in sets]
+            x = np.zeros(M.nrows)
+            dispatch.symgs_sweep(M, r, x, sets, diag_sets, "forward")
+            results[type(M).__name__] = x.copy()
+        np.testing.assert_allclose(
+            results["SELLCSMatrix"], results["ELLMatrix"],
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_identity_conversion_repacks_on_parameter_mismatch(self, problem16):
+        S = to_format(problem16.A, "sellcs", chunk=32, sigma=128)
+        same = to_format(S, "sellcs", chunk=32, sigma=128)
+        assert same is S  # matching layout: no copy
+        repacked = to_format(S, "sellcs", chunk=16, sigma=64)
+        assert repacked is not S
+        assert (repacked.C, repacked.sigma) == (16, 64)
+
+    def test_chunk_kwargs_rejected_for_other_formats(self, problem16):
+        with pytest.raises(ValueError, match="sellcs"):
+            to_format(problem16.A, "ell", chunk=16)
+        with pytest.raises(ValueError, match="sellcs"):
+            to_format(problem16.A, "csr", sigma=64)
+
+    def test_config_format_params(self):
+        from repro.core.config import BenchmarkConfig
+
+        cfg = BenchmarkConfig(
+            matrix_format="sellcs", sell_chunk=16, sell_sigma=64
+        )
+        assert cfg.format_params == {"chunk": 16, "sigma": 64}
+        assert BenchmarkConfig(matrix_format="ell").format_params == {}
+        with pytest.raises(ValueError):
+            BenchmarkConfig(sell_chunk=0)
+
+    def test_solver_threads_format_params(self, problem16, comm):
+        from repro.fp import DOUBLE_POLICY
+        from repro.solvers import GMRESIRSolver
+
+        tuned = GMRESIRSolver(
+            problem16,
+            comm,
+            policy=DOUBLE_POLICY,
+            matrix_format="sellcs",
+            format_params={"chunk": 16, "sigma": 64},
+        )
+        default = GMRESIRSolver(
+            problem16, comm, policy=DOUBLE_POLICY, matrix_format="sellcs"
+        )
+        x_t, _ = tuned.solve(problem16.b, tol=0.0, maxiter=5)
+        x_d, _ = default.solve(problem16.b, tol=0.0, maxiter=5)
+        # Different chunk/sigma layouts agree to rounding (not bitwise:
+        # the chunk reduction order differs by construction).
+        np.testing.assert_allclose(x_t, x_d, rtol=1e-10, atol=1e-12)

@@ -1,0 +1,296 @@
+"""End-to-end autotuner integration: probe -> plan -> dispatch -> solve.
+
+The contract under test is the tentpole invariant: a tuned dispatch
+plan changes *which* registered kernel runs, never the bits it
+produces.  A solver adopting a plan through the shared setup cache must
+therefore solve bitwise-identically to the untuned default, and the
+benchmark's recorded ``autotune_speedup`` can never drop below 1.0
+because the untuned baseline always competes in the probe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.registry import KernelRegistry, registry
+from repro.fp import MIXED_DS_POLICY
+from repro.mg.multigrid import MGConfig
+from repro.parallel.comm import SerialComm
+from repro.solvers.gmres_ir import GMRESIRSolver
+from repro.solvers.setup_cache import SetupCache, operator_fingerprint
+from repro.tune import (
+    DispatchPlan,
+    OperatorProber,
+    PlanCache,
+    PlanChoice,
+    apply_plan_to_config,
+    autotune_operator,
+    config_rungs,
+    representative_slice,
+    tune_for_config,
+)
+from repro.tune.plan import FUSED_OPS
+
+
+@pytest.fixture(scope="module")
+def plan8(problem8):
+    """One real probe session over the 8^3 operator (fp64 only,
+    single repeat — the suite tests plumbing, not timing quality)."""
+    plan, hit = autotune_operator(
+        problem8.A, baseline_format="ell", rungs=("fp64",), repeats=1
+    )
+    assert not hit  # no cache passed
+    return plan
+
+
+class TestProbe:
+    def test_representative_slice_is_principal_square(self, problem8):
+        s = representative_slice(problem8.A, max_rows=100)
+        assert (s.nrows, s.ncols) == (100, 100)
+
+    def test_slice_of_small_operator_is_whole(self, problem8):
+        s = representative_slice(problem8.A, max_rows=10**6)
+        assert s.nrows == problem8.A.to_csr().nrows
+
+    def test_prober_baseline_always_has_parity(self, problem8):
+        prober = OperatorProber(
+            problem8.A, baseline_format="ell", rungs=("fp64",), repeats=1
+        )
+        entries, records = prober.probe_all()
+        assert entries  # something was tuned
+        for rec in records:
+            if rec.selected:
+                assert rec.parity
+        # Every probed (op, rung) has at least one parity-true record
+        # (the untuned default itself).
+        for op, rung in {(r.op, r.rung) for r in records}:
+            assert any(
+                r.parity for r in records if (r.op, r.rung) == (op, rung)
+            )
+
+
+class TestPlanFromProbe:
+    def test_entries_cover_fp64(self, plan8):
+        assert plan8.entries
+        assert all(rung == "fp64" for _, rung in plan8.entries)
+
+    def test_parity_asserted(self, plan8):
+        plan8.assert_parity()
+
+    def test_speedup_floor(self, plan8):
+        assert plan8.speedup() >= 1.0
+
+    def test_fingerprints_bound_to_operator_and_machine(
+        self, plan8, problem8
+    ):
+        from repro.perf.machine import machine_fingerprint
+
+        assert plan8.operator_fingerprint == operator_fingerprint(problem8.A)
+        assert plan8.machine_fingerprint == machine_fingerprint()
+
+    def test_cache_round_trip_hits(self, problem8, tmp_path):
+        cache = PlanCache(str(tmp_path / "cache.json"))
+        plan, hit = autotune_operator(
+            problem8.A, rungs=("fp64",), repeats=1, cache=cache
+        )
+        assert not hit
+        again, hit = autotune_operator(
+            problem8.A, rungs=("fp64",), repeats=1, cache=cache
+        )
+        assert hit
+        assert again.entries == plan.entries
+
+
+class TestRegistryPlanDispatch:
+    def test_plan_backend_preference_wins_dispatch(self):
+        reg = KernelRegistry()
+
+        @reg.register("spmv", backend="numpy")
+        def spmv_ref():
+            return "ref"
+
+        @reg.register("spmv", backend="alt")
+        def spmv_alt():
+            return "alt"
+
+        class StubPlan:
+            def backend_for(self, op, prec):
+                return "alt" if op == "spmv" else None
+
+        assert reg.lookup("spmv", "ell", "fp64")() == "ref"
+        reg.set_plan(StubPlan())
+        assert reg.lookup("spmv", "ell", "fp64")() == "alt"
+        # An explicit backend request still overrides the plan.
+        assert reg.lookup("spmv", "ell", "fp64", backend="numpy")() == "ref"
+        reg.set_plan(None)
+        assert reg.lookup("spmv", "ell", "fp64")() == "ref"
+
+    def test_global_registry_set_plan_round_trip(self, plan8):
+        try:
+            registry.set_plan(plan8)
+            assert registry.plan is plan8
+            registry.lookup("spmv", "ell", "fp64")  # resolves under plan
+        finally:
+            registry.set_plan(None)
+        assert registry.plan is None
+
+    def test_available_variants_lists_registrations(self):
+        variants = registry.available_variants("spmv")
+        assert ("ell", None, "numpy") in variants
+        assert ("csr", None, "numpy") in variants
+
+
+class TestSolverAdoption:
+    def test_solver_adopts_plan_from_setup_cache(self, problem8, plan8):
+        cache = SetupCache()
+        cache.store_plan(operator_fingerprint(problem8.A), plan8)
+        solver = GMRESIRSolver(
+            problem8,
+            SerialComm(),
+            policy=MIXED_DS_POLICY,
+            mg_config=MGConfig(nlevels=2),
+            matrix_format="ell",
+            setup_cache=cache,
+        )
+        assert solver.dispatch_plan is plan8
+
+    def test_mismatched_baseline_is_not_adopted(self, problem8, plan8):
+        cache = SetupCache()
+        cache.store_plan(operator_fingerprint(problem8.A), plan8)
+        solver = GMRESIRSolver(
+            problem8,
+            SerialComm(),
+            policy=MIXED_DS_POLICY,
+            mg_config=MGConfig(nlevels=2),
+            matrix_format="csr",  # plan was tuned from the ell baseline
+            setup_cache=cache,
+        )
+        assert solver.dispatch_plan is None
+
+    def test_tuned_solve_is_bitwise_equal_to_untuned(self, problem8, plan8):
+        kw = dict(
+            policy=MIXED_DS_POLICY,
+            mg_config=MGConfig(nlevels=2),
+            restart=10,
+            matrix_format="ell",
+        )
+        plain = GMRESIRSolver(problem8, SerialComm(), **kw)
+        x_plain, _ = plain.solve(problem8.b, tol=0.0, maxiter=10)
+
+        cache = SetupCache()
+        cache.store_plan(operator_fingerprint(problem8.A), plan8)
+        tuned = GMRESIRSolver(
+            problem8, SerialComm(), setup_cache=cache, **kw
+        )
+        assert tuned.dispatch_plan is plan8
+        try:
+            registry.set_plan(plan8)  # the benchmark driver's install
+            x_tuned, _ = tuned.solve(problem8.b, tol=0.0, maxiter=10)
+        finally:
+            registry.set_plan(None)
+        assert np.array_equal(x_tuned, x_plain)
+
+
+class TestConfigPlumbing:
+    def test_config_rungs_follow_the_ladder(self):
+        from repro.core.config import BenchmarkConfig
+
+        assert config_rungs(BenchmarkConfig(impl="reference")) == ("fp64",)
+        assert config_rungs(BenchmarkConfig(impl="optimized")) == (
+            "fp64",
+            "fp32",
+        )
+        cfg = BenchmarkConfig(precision_ladder="fp16:fp32:fp64")
+        assert config_rungs(cfg) == ("fp64", "fp32")  # fp16 not probed
+
+    def test_apply_plan_noop_when_consensus_is_baseline(self):
+        from repro.core.config import BenchmarkConfig
+
+        cfg = BenchmarkConfig()
+        plan = DispatchPlan(
+            operator_fingerprint="op",
+            machine_fingerprint="mach",
+            baseline_format=cfg.matrix_format,
+            baseline_params=(),
+            baseline_fusion=True,
+            baseline_backend="numpy",
+        )
+        assert apply_plan_to_config(cfg, plan) is cfg
+
+    def test_apply_plan_folds_unanimous_fusion(self):
+        from repro.core.config import BenchmarkConfig
+
+        cfg = BenchmarkConfig()
+        entries = {
+            (op, "fp64"): PlanChoice(
+                fmt="ell",
+                fmt_params=(),
+                backend="numpy",
+                fused=False,
+                seconds=1.0,
+                baseline_seconds=2.0,
+            )
+            for op in sorted(FUSED_OPS)
+        }
+        plan = DispatchPlan(
+            operator_fingerprint="op",
+            machine_fingerprint="mach",
+            baseline_format=cfg.matrix_format,
+            baseline_params=(),
+            baseline_fusion=True,
+            baseline_backend="numpy",
+            entries=entries,
+        )
+        assert apply_plan_to_config(cfg, plan).fusion is False
+
+    def test_tune_for_config_uses_the_cache(self, tmp_path):
+        from repro.core.config import BenchmarkConfig
+
+        cfg = BenchmarkConfig(local_nx=8, nlevels=2, impl="reference")
+        cache = PlanCache(str(tmp_path / "cache.json"))
+        _, hit = tune_for_config(cfg, cache=cache)
+        assert not hit
+        _, hit = tune_for_config(cfg, cache=cache)
+        assert hit
+
+
+class TestBenchmarkAutotune:
+    def test_distributed_phase_records_the_plan(self, tmp_path):
+        from repro.core.benchmark import run_distributed_phase
+        from repro.core.config import BenchmarkConfig
+
+        cfg = BenchmarkConfig(
+            local_nx=8,
+            nlevels=2,
+            impl="reference",
+            max_iters_per_solve=2,
+            distributed_grid="1x1x1",
+            distributed_budget_seconds=0.05,
+            rhs_panel=2,
+            autotune="on",
+            tune_cache=str(tmp_path / "cache.json"),
+        )
+        metrics = run_distributed_phase(cfg)
+        assert metrics.autotune_speedup >= 1.0
+        assert metrics.autotune["enabled"]
+        assert metrics.autotune["plan"]["entries"]
+        assert registry.plan is None  # uninstalled after the phase
+        # The record the CI gate consumes is JSON-clean.
+        import json
+
+        json.dumps(metrics.to_dict())
+
+    def test_autotune_off_records_nothing(self):
+        from repro.core.benchmark import run_distributed_phase
+        from repro.core.config import BenchmarkConfig
+
+        cfg = BenchmarkConfig(
+            local_nx=8,
+            nlevels=2,
+            impl="reference",
+            max_iters_per_solve=2,
+            distributed_grid="1x1x1",
+            distributed_budget_seconds=0.05,
+        )
+        metrics = run_distributed_phase(cfg)
+        assert metrics.autotune_speedup == 1.0
+        assert metrics.autotune == {}
