@@ -38,12 +38,25 @@ def matrix_format(A) -> str:
     return fmt
 
 
+def matrix_format_params(A) -> tuple:
+    """The format parameters a tuned plan choice is keyed by —
+    SELL-C-σ's sorted ``(chunk, sigma)`` pairs; ``()`` for
+    parameter-free formats.  Passed to lookups so an installed plan
+    only steers the exact parameter combination it parity-verified."""
+    if getattr(type(A), "format_name", None) == "sellcs":
+        return (("chunk", int(A.C)), ("sigma", int(A.sigma)))
+    return ()
+
+
 # ----------------------------------------------------------------------
 # Sparse motifs
 # ----------------------------------------------------------------------
 def spmv(A, x: np.ndarray, out: np.ndarray | None = None, ws=None):
     """``y = A @ x`` through the registered kernel for A's format."""
-    fn = registry.lookup("spmv", matrix_format(A), _prec(A.dtype))
+    fn = registry.lookup(
+        "spmv", matrix_format(A), _prec(A.dtype),
+        fmt_params=matrix_format_params(A),
+    )
     return fn(A, x, out=out, ws=ws)
 
 
@@ -75,7 +88,10 @@ def symgs_sweep(
     ws=None,
 ) -> None:
     """One multicolor Gauss-Seidel sweep (all color passes)."""
-    fn = registry.lookup("symgs_sweep", matrix_format(A), _prec(A.dtype))
+    fn = registry.lookup(
+        "symgs_sweep", matrix_format(A), _prec(A.dtype),
+        fmt_params=matrix_format_params(A),
+    )
     return fn(A, r, xfull, sets, diag_sets, direction=direction, ws=ws)
 
 
@@ -124,7 +140,10 @@ def spmv_dot(A, x: np.ndarray, b: np.ndarray, out=None, ws=None):
     kernels operation-for-operation — bitwise-identical to the
     unfused call sequence.
     """
-    fn = registry.lookup("spmv_dot", matrix_format(A), _prec(A.dtype))
+    fn = registry.lookup(
+        "spmv_dot", matrix_format(A), _prec(A.dtype),
+        fmt_params=matrix_format_params(A),
+    )
     return fn(A, x, b, out=out, ws=ws)
 
 
@@ -169,7 +188,10 @@ def spmv_multi(A, X: np.ndarray, out: np.ndarray | None = None, ws=None):
     under every backend (the panel kernels keep each column's
     reduction order identical to the single-RHS kernel's).
     """
-    fn = registry.lookup("spmv_multi", matrix_format(A), _prec(A.dtype))
+    fn = registry.lookup(
+        "spmv_multi", matrix_format(A), _prec(A.dtype),
+        fmt_params=matrix_format_params(A),
+    )
     return fn(A, X, out=out, ws=ws)
 
 
@@ -226,7 +248,10 @@ def symgs_sweep_multi(
     stream each color's matrix rows once across the panel while
     staying bitwise-equal per column to the looped sweep.
     """
-    fn = registry.lookup("symgs_sweep_multi", matrix_format(A), _prec(A.dtype))
+    fn = registry.lookup(
+        "symgs_sweep_multi", matrix_format(A), _prec(A.dtype),
+        fmt_params=matrix_format_params(A),
+    )
     return fn(A, R, Xfull, sets, diag_sets, direction=direction, ws=ws)
 
 
@@ -248,7 +273,10 @@ def spmv_dot_multi(A, X, B, out=None, ws=None):
     ``locals[j]`` the local ``R[:, j] . R[:, j]`` — each column
     bitwise-equal to the single-RHS fused motif.
     """
-    fn = registry.lookup("spmv_dot_multi", matrix_format(A), _prec(A.dtype))
+    fn = registry.lookup(
+        "spmv_dot_multi", matrix_format(A), _prec(A.dtype),
+        fmt_params=matrix_format_params(A),
+    )
     return fn(A, X, B, out=out, ws=ws)
 
 

@@ -377,7 +377,10 @@ def _register_spmv_multi(fmt):
 
         _check_panel(X, out)
         ncol = X.shape[1]
-        fn = registry.lookup("spmv", fmt, dispatch._prec(A.dtype))
+        fn = registry.lookup(
+            "spmv", fmt, dispatch._prec(A.dtype),
+            fmt_params=dispatch.matrix_format_params(A),
+        )
         Y = (
             out
             if out is not None

@@ -167,9 +167,12 @@ class KernelRegistry:
 
         While installed, lookups with no explicit ``backend`` consult
         the plan's per-``(op, precision)`` backend choice before falling
-        back to the active backend.  Plans only ever name
-        parity-asserted registrations, so installing one never changes
-        numerics — only which bitwise-identical kernel runs.
+        back to the active backend.  The lookup's format context
+        (``fmt``, ``fmt_params``) is handed to the plan so it only ever
+        steers the exact ``(op, format, params)`` combination whose
+        bitwise parity the probe verified; any other combination falls
+        back to the active backend.  Installing a plan therefore never
+        changes numerics — only which bitwise-identical kernel runs.
         """
         self._plan = plan
         self._cache.clear()
@@ -183,12 +186,19 @@ class KernelRegistry:
         fmt: str | None = None,
         precision: "Precision | str | None" = None,
         backend: str | None = None,
+        fmt_params: tuple | None = None,
     ) -> Callable:
-        """Resolve the kernel for an operation (cached)."""
+        """Resolve the kernel for an operation (cached).
+
+        ``fmt_params`` (e.g. SELL-C-σ ``(("chunk", C), ("sigma", σ))``)
+        only scopes an installed plan's backend preference to the
+        parity-verified format parameters; resolution itself keys on
+        ``fmt`` alone.
+        """
         prec = None if precision is None else Precision.from_any(precision)
         want = backend
         if want is None and self._plan is not None:
-            want = self._plan.backend_for(op, prec)
+            want = self._plan.backend_for(op, prec, fmt, fmt_params)
         want = want or self._active
         cache_key = (op, fmt, prec, want)
         fn = self._cache.get(cache_key)

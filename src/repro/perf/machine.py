@@ -252,8 +252,9 @@ def probe_machine(nbytes: int = 1 << 24, repeats: int = 3) -> MachineProbe:
         np.multiply(b, 2.0, out=a)
         a += c
         triad_best = min(triad_best, time.perf_counter() - t0)
-    # Triad moves 4 arrays' worth per pass (b read, c read, a write x2).
-    triad_bw = 4 * n * 8 / triad_best
+    # NumPy has no fused a = 2b + c, so the triad runs as two passes
+    # moving 5 arrays' worth of traffic (b r, a w, a r, c r, a w).
+    triad_bw = 5 * n * 8 / triad_best
 
     copy_best = float("inf")
     for _ in range(repeats):

@@ -9,15 +9,23 @@ file is a miss; a corrupted file is a logged warning plus a miss (the
 caller falls back to untuned dispatch or re-tunes); an entry recorded
 under a different machine fingerprint is stale and ignored.  Writes
 are atomic (temp file + ``os.replace``) so a crash mid-store can't
-corrupt an existing cache.
+corrupt an existing cache, and the store's read-merge-write runs under
+an advisory ``flock`` so concurrent runs sharing one cache file don't
+silently drop each other's entries.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import os
 import tempfile
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: degrade to unlocked stores
+    fcntl = None
 
 from repro.tune.plan import PLAN_VERSION, DispatchPlan
 
@@ -121,47 +129,84 @@ class PlanCache:
         self.hits += 1
         return plan
 
+    @contextlib.contextmanager
+    def _write_lock(self):
+        """Advisory inter-process lock for read-merge-write stores.
+
+        Serializes concurrent tuned runs sharing one cache file so
+        neither silently discards the other's freshly-added entry.
+        Degrades to unlocked (best-effort) where flock is unavailable
+        or the sidecar lock file cannot be opened — the atomic replace
+        still prevents corruption in that case.
+        """
+        fh = None
+        if fcntl is not None:
+            try:
+                fh = open(self.path + ".lock", "a")
+                fcntl.flock(fh, fcntl.LOCK_EX)
+            except OSError:
+                if fh is not None:
+                    fh.close()
+                fh = None
+        try:
+            yield
+        finally:
+            if fh is not None:
+                try:
+                    fcntl.flock(fh, fcntl.LOCK_UN)
+                finally:
+                    fh.close()
+
     def store(self, plan: DispatchPlan) -> None:
         """Persist a plan (atomic write; existing entries preserved).
 
-        Entries recorded under the *same* key whose payload disagrees
-        with its key are dropped on the way through — the cache
-        self-heals instead of accumulating unloadable entries.
+        The read-merge-write runs under an advisory file lock so two
+        processes storing into one cache file can't lose each other's
+        entries.  Entries recorded under the *same* key whose payload
+        disagrees with its key are dropped on the way through — the
+        cache self-heals instead of accumulating unloadable entries.
         """
-        plans = self._read_file()
-        cleaned = {}
-        for key, raw in plans.items():
-            try:
-                mach = raw["machine_fingerprint"]
-                op_fp = raw["operator_fingerprint"]
-            except (TypeError, KeyError):
-                self.corrupt += 1
-                continue
-            if key != self._key(op_fp, mach):
-                self.stale += 1
-                continue
-            cleaned[key] = raw
-        cleaned[self._key(plan.operator_fingerprint, plan.machine_fingerprint)] = (
-            plan.to_dict()
-        )
-        payload = {"version": CACHE_VERSION, "plans": cleaned}
         dirname = os.path.dirname(self.path) or "."
-        os.makedirs(dirname, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=dirname, prefix=".tune_cache.", suffix=".tmp"
-        )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=1, sort_keys=True)
-            os.replace(tmp, self.path)
+            os.makedirs(dirname, exist_ok=True)
         except OSError as exc:
             logger.warning(
                 "could not persist tuning plan to %s (%s)", self.path, exc
             )
+            return
+        with self._write_lock():
+            plans = self._read_file()
+            cleaned = {}
+            for key, raw in plans.items():
+                try:
+                    mach = raw["machine_fingerprint"]
+                    op_fp = raw["operator_fingerprint"]
+                except (TypeError, KeyError):
+                    self.corrupt += 1
+                    continue
+                if key != self._key(op_fp, mach):
+                    self.stale += 1
+                    continue
+                cleaned[key] = raw
+            cleaned[
+                self._key(plan.operator_fingerprint, plan.machine_fingerprint)
+            ] = plan.to_dict()
+            payload = {"version": CACHE_VERSION, "plans": cleaned}
+            fd, tmp = tempfile.mkstemp(
+                dir=dirname, prefix=".tune_cache.", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh, indent=1, sort_keys=True)
+                os.replace(tmp, self.path)
+            except OSError as exc:
+                logger.warning(
+                    "could not persist tuning plan to %s (%s)", self.path, exc
+                )
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

@@ -14,7 +14,9 @@ in the candidate set, and :meth:`DispatchPlan.assert_parity` re-checks
 the invariant for every entry before a plan is installed.  Because the
 default always competes, the chosen time is never slower than the
 baseline time measured in the same probe session, so
-:meth:`DispatchPlan.speedup` is ``>= 1.0`` by construction.
+:meth:`DispatchPlan.speedup` is ``>= 1.0`` by construction — and it
+is reported unclamped, so a plan that violates the selection
+invariant shows up below 1.0 instead of being masked.
 """
 
 from __future__ import annotations
@@ -169,10 +171,39 @@ class DispatchPlan:
         short = rung.short_name if isinstance(rung, Precision) else str(rung)
         return self.entries.get((op, short))
 
-    def backend_for(self, op: str, rung) -> str | None:
-        """Backend preference the registry consults at dispatch time."""
+    def backend_for(
+        self,
+        op: str,
+        rung,
+        fmt: str | None = None,
+        fmt_params: tuple | None = None,
+    ) -> str | None:
+        """Backend preference the registry consults at dispatch time.
+
+        Parity was probe-verified only for the chosen variant's own
+        format context, so the preference applies only to lookups that
+        match it: matrix ops must request the choice's format (and its
+        SELL-C-σ parameters, when the choice has any), and ops probed
+        format-agnostically must look up with ``fmt=None`` exactly as
+        the probe did.  Any other combination — e.g. the
+        level-scheduled smoother forcing ELL while the plan chose CSR —
+        returns ``None`` so the registry falls back to the active
+        backend, i.e. untuned dispatch, rather than routing a
+        combination whose parity was never verified.
+        """
         c = self.choice(op, rung)
-        return c.backend if c is not None else None
+        if c is None:
+            return None
+        if op in MATRIX_OPS:
+            if fmt != c.fmt:
+                return None
+            if c.fmt_params and tuple(fmt_params or ()) != tuple(
+                c.fmt_params
+            ):
+                return None
+        elif fmt is not None:
+            return None
+        return c.backend
 
     def fused_for(self, op: str, rung, default: bool) -> bool:
         c = self.choice(op, rung)
@@ -251,14 +282,18 @@ class DispatchPlan:
         """Aggregate probe-time speedup of tuned vs untuned dispatch.
 
         Ratio of summed baseline probe times to summed chosen probe
-        times; >= 1.0 by construction because the untuned default
-        competes in (and can win) every entry.
+        times.  >= 1.0 for any honestly-constructed plan because the
+        untuned default competes in (and can win) every entry — but the
+        ratio is returned *unclamped*, so a violated selection
+        invariant (a chosen variant slower than baseline, corrupted
+        entries) surfaces as a value below 1.0 that the CI floor gate
+        in ``check_regression.py`` can actually catch.
         """
         base = sum(c.baseline_seconds for c in self.entries.values())
         chosen = sum(c.seconds for c in self.entries.values())
         if chosen <= 0 or base <= 0:
             return 1.0
-        return max(base / chosen, 1.0)
+        return base / chosen
 
     # ------------------------------------------------------------------
     # Serialization

@@ -68,6 +68,27 @@ class TestRoundTrip:
         assert back.entries[("spmv", "fp64")].seconds == 0.5
         assert len(cache.entries()) == 1
 
+    def test_concurrent_stores_keep_every_entry(self, tmp_path):
+        """The flock around the read-merge-write: interleaved writers
+        sharing one cache file must not discard each other's entries."""
+        import threading
+
+        path = str(tmp_path / "cache.json")
+        fps = [f"op-{i}" for i in range(8)]
+
+        def worker(op_fp):
+            PlanCache(path).store(make_plan(op_fp=op_fp))
+
+        threads = [threading.Thread(target=worker, args=(fp,)) for fp in fps]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        cache = PlanCache(path)
+        for fp in fps:
+            assert cache.load(fp, "mach-a") is not None
+        assert len(cache.entries()) == len(fps)
+
 
 class TestStaleness:
     def test_other_machine_key_misses(self, tmp_path):

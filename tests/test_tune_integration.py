@@ -113,7 +113,7 @@ class TestRegistryPlanDispatch:
             return "alt"
 
         class StubPlan:
-            def backend_for(self, op, prec):
+            def backend_for(self, op, prec, fmt=None, fmt_params=None):
                 return "alt" if op == "spmv" else None
 
         assert reg.lookup("spmv", "ell", "fp64")() == "ref"
@@ -123,6 +123,45 @@ class TestRegistryPlanDispatch:
         assert reg.lookup("spmv", "ell", "fp64", backend="numpy")() == "ref"
         reg.set_plan(None)
         assert reg.lookup("spmv", "ell", "fp64")() == "ref"
+
+    def test_plan_does_not_steer_mismatched_format_lookups(self):
+        """The reviewed invariant hole: a plan that chose (csr, alt)
+        must not route an ELL lookup (e.g. from the level-scheduled
+        smoother, which forces ELL) to the alt backend — that
+        combination's parity was never verified."""
+        reg = KernelRegistry()
+
+        @reg.register("spmv", backend="numpy")
+        def spmv_ref():
+            return "ref"
+
+        @reg.register("spmv", backend="alt")
+        def spmv_alt():
+            return "alt"
+
+        entry = PlanChoice(
+            fmt="csr",
+            fmt_params=(),
+            backend="alt",
+            fused=True,
+            seconds=1.0,
+            baseline_seconds=2.0,
+        )
+        plan = DispatchPlan(
+            operator_fingerprint="op",
+            machine_fingerprint="mach",
+            baseline_format="ell",
+            baseline_params=(),
+            baseline_fusion=True,
+            baseline_backend="numpy",
+            entries={("spmv", "fp64"): entry},
+        )
+        reg.set_plan(plan)
+        try:
+            assert reg.lookup("spmv", "csr", "fp64")() == "alt"
+            assert reg.lookup("spmv", "ell", "fp64")() == "ref"
+        finally:
+            reg.set_plan(None)
 
     def test_global_registry_set_plan_round_trip(self, plan8):
         try:

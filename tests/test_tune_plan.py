@@ -57,8 +57,38 @@ class TestLookup:
 
     def test_backend_for_untuned_op_is_none(self):
         p = plan({("spmv", "fp64"): choice(backend="numba")})
-        assert p.backend_for("spmv", "fp64") == "numba"
-        assert p.backend_for("symgs_sweep", "fp64") is None
+        assert p.backend_for("spmv", "fp64", "ell") == "numba"
+        assert p.backend_for("symgs_sweep", "fp64", "ell") is None
+
+    def test_backend_for_requires_matching_format(self):
+        """Parity was verified only for the chosen format — a lookup
+        under any other format (e.g. levelsched MG forcing ELL while
+        the plan chose CSR) must fall back to untuned dispatch."""
+        p = plan({("spmv", "fp64"): choice(fmt="csr", backend="numba")})
+        assert p.backend_for("spmv", "fp64", "csr") == "numba"
+        assert p.backend_for("spmv", "fp64", "ell") is None
+        assert p.backend_for("spmv", "fp64", None) is None
+
+    def test_backend_for_requires_matching_sell_params(self):
+        params = (("chunk", 32), ("sigma", 128))
+        p = plan(
+            {
+                ("spmv", "fp64"): choice(
+                    fmt="sellcs", params=params, backend="numba"
+                )
+            }
+        )
+        assert p.backend_for("spmv", "fp64", "sellcs", params) == "numba"
+        other = (("chunk", 16), ("sigma", 64))
+        assert p.backend_for("spmv", "fp64", "sellcs", other) is None
+        assert p.backend_for("spmv", "fp64", "sellcs") is None
+
+    def test_backend_for_vector_op_matches_format_free_lookup(self):
+        """Format-agnostic ops are probed (and dispatched) at
+        ``fmt=None``; the recorded fmt is just the baseline placeholder."""
+        p = plan({("waxpby_dot", "fp64"): choice(backend="numba")})
+        assert p.backend_for("waxpby_dot", "fp64", None) == "numba"
+        assert p.backend_for("waxpby_dot", "fp64", "ell") is None
 
     def test_fused_for_falls_back_to_default(self):
         p = plan({("spmv_dot", "fp64"): choice(fused=False)})
@@ -127,7 +157,7 @@ class TestInvariants:
         p = plan({("spmv", "fp64"): choice()})
         p.assert_parity()
 
-    def test_speedup_is_summed_ratio_and_floored_at_one(self):
+    def test_speedup_is_summed_ratio(self):
         p = plan(
             {
                 ("spmv", "fp64"): choice(seconds=1.0, baseline_seconds=2.0),
@@ -138,6 +168,15 @@ class TestInvariants:
         )
         assert p.speedup() == pytest.approx(3.0 / 2.0)
         assert plan({}).speedup() == 1.0
+
+    def test_speedup_is_unclamped_so_the_ci_floor_can_fire(self):
+        """A plan violating the selection invariant (chosen slower than
+        baseline) must report < 1.0, not be masked by a clamp — the
+        check_regression.py floor gate depends on it."""
+        p = plan(
+            {("spmv", "fp64"): choice(seconds=2.0, baseline_seconds=1.0)}
+        )
+        assert p.speedup() == pytest.approx(0.5)
 
 
 class TestSerialization:
