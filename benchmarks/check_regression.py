@@ -51,6 +51,11 @@ metric regresses by more than the threshold:
   dispatch always competes in the probe and only bitwise-identical
   variants are selectable, so a sub-1.0 value means the tuner's
   selection invariant broke, not that the machine got slower.
+- ``resilience.*`` — the fault-injection phase's hard invariants when
+  ``--fault-inject`` ran: clean-run bitwise parity, ABFT detection
+  rate exactly 1.0 on covered sites, and checkpoint-replay recovery.
+  Deterministic by construction, so they gate on the current record
+  alone (no baseline entry).
 - ``motif_seconds_per_solve`` — per-motif wall clock (spmv / symgs /
   ortho / halo).  Even noisier than the total (each motif is a slice
   of an already-noisy measurement), so motifs gate only on
@@ -140,6 +145,13 @@ SERVICE_METRICS = {
     "setup_cache_hit_rate": 0.02,
     "panel_matrix_reuse": 0.02,
 }
+
+#: Key of the resilience phase block in the gated record (PR 10):
+#: present when the run drove a ``--fault-inject`` campaign.  Its
+#: invariants are deterministic by construction (the fault schedule is
+#: a pure function of the spec), so they gate hard on the current
+#: record alone — no baseline entry needed.
+RESILIENCE_KEY = "resilience"
 
 
 def _compare_one(
@@ -308,6 +320,51 @@ def compare(
             )
         else:
             notes.append(f"autotune_speedup: {speedup:.6g} (>= 1.0, ok)")
+    # Resilience phase (PR 10): every invariant here is deterministic
+    # by construction (the injector's schedule is a pure function of
+    # the --fault-inject spec), so the gate holds the *current* record
+    # to hard bounds with no baseline comparison:
+    # - clean_parity: resilience-on + zero faults stayed bitwise-equal
+    #   to resilience-off (detection must be read-only);
+    # - detection_rate == 1.0: every spmv corruption was injected into
+    #   an ABFT-covered dispatch, so each one must be caught;
+    # - recovered_converged: every faulted solve replayed from its
+    #   restart-boundary checkpoint and still converged.
+    cur_res = current.get(RESILIENCE_KEY) or {}
+    if cur_res:
+        if not cur_res.get("clean_parity", False):
+            failures.append(
+                f"{RESILIENCE_KEY}.clean_parity: resilience-enabled clean "
+                f"solve is no longer bitwise-identical to resilience-off"
+            )
+        else:
+            notes.append(f"{RESILIENCE_KEY}.clean_parity: ok")
+        injected_spmv = sum(
+            v
+            for k, v in (cur_res.get("injected") or {}).items()
+            if k.startswith("spmv:")
+        )
+        rate = float(cur_res.get("detection_rate", 0.0))
+        if injected_spmv and rate < 1.0:
+            failures.append(
+                f"{RESILIENCE_KEY}.detection_rate: {rate:.6g} < 1.0 with "
+                f"{injected_spmv} spmv fault(s) injected — an ABFT-covered "
+                f"corruption went undetected"
+            )
+        else:
+            notes.append(
+                f"{RESILIENCE_KEY}.detection_rate: {rate:.6g} "
+                f"({injected_spmv} spmv fault(s), ok)"
+            )
+        if not cur_res.get("recovered_converged", False):
+            failures.append(
+                f"{RESILIENCE_KEY}.recovered_converged: "
+                f"{cur_res.get('recovered_solves', 0)}/"
+                f"{cur_res.get('faulted_solves', 0)} faulted solve(s) "
+                f"converged after checkpoint replay"
+            )
+        else:
+            notes.append(f"{RESILIENCE_KEY}.recovered_converged: ok")
     return failures, notes
 
 

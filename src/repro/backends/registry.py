@@ -57,6 +57,7 @@ class KernelRegistry:
     _cache: dict[tuple, Callable] = field(default_factory=dict)
     _active: str = NUMPY_BACKEND
     _plan: object | None = None
+    _wrapper: Callable | None = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -178,6 +179,28 @@ class KernelRegistry:
         self._cache.clear()
 
     # ------------------------------------------------------------------
+    # Dispatch wrappers (repro.resilience)
+    # ------------------------------------------------------------------
+    @property
+    def wrapper(self) -> Callable | None:
+        """The installed dispatch wrapper, if any."""
+        return self._wrapper
+
+    def set_wrapper(self, wrapper: Callable | None) -> None:
+        """Install (or clear, with ``None``) a dispatch wrapper.
+
+        ``wrapper(op, fn) -> fn2`` sees every kernel as it resolves and
+        may return a substitute (the fault injector corrupts selected
+        outputs this way; returning ``fn`` unchanged opts an op out).
+        Wrapped callables are cached like plain ones, and clearing the
+        wrapper drops them — with no wrapper installed, lookup takes
+        exactly the pre-existing path, so the disabled case costs
+        nothing and dispatch stays bitwise identical.
+        """
+        self._wrapper = wrapper
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def lookup(
@@ -211,6 +234,8 @@ class KernelRegistry:
                 for p in (prec, None):
                     fn = self._kernels.get((op, f, p, b))
                     if fn is not None:
+                        if self._wrapper is not None:
+                            fn = self._wrapper(op, fn)
                         self._cache[cache_key] = fn
                         return fn
         raise KernelNotFoundError(

@@ -184,6 +184,18 @@ def _add_run_args(p: argparse.ArgumentParser) -> None:
         "artifact next to --bench-out)",
     )
     p.add_argument(
+        "--fault-inject",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="also run the deterministic fault-injection phase: "
+        "';'-separated clauses 'site:mode[:count]' plus 'seed=N' "
+        "(sites: spmv bitflip|nan, halo drop|delay|corrupt|straggle, "
+        "service transient).  Asserts clean-run bitwise parity, 1.0 "
+        "ABFT detection on covered sites, and replayed convergence "
+        "(CI-gated)",
+    )
+    p.add_argument(
         "--bench-out",
         type=str,
         default=None,
@@ -237,6 +249,7 @@ def cmd_run(args) -> int:
         rhs_panel=args.rhs_panel,
         service_clients=args.service,
         service_rounds=args.service_rounds,
+        fault_inject=args.fault_inject,
     )
     result = run_benchmark(config)
     if args.json:
@@ -275,6 +288,9 @@ def cmd_run(args) -> int:
             record["config"]["service_clients"] = config.service_clients
             record["config"]["service_rounds"] = config.service_rounds
             record["service"] = result.service.to_dict()
+        if result.resilience is not None:
+            record["config"]["fault_inject"] = config.fault_inject
+            record["resilience"] = result.resilience.to_dict()
         # Fold the measured halo counters into the alpha-beta network
         # fit: the recorded per-byte cost (and, with multiple samples,
         # per-message latency) this machine's transport actually

@@ -17,6 +17,10 @@ from repro.core.benchmark import (
     run_benchmark,
     run_distributed_phase,
 )
+from repro.core.resilience_phase import (
+    ResiliencePhaseMetrics,
+    run_fault_inject_phase,
+)
 from repro.core.service_phase import ServicePhaseMetrics, run_service_phase
 from repro.core.validation import ValidationResult, run_validation
 from repro.core.metrics import PhaseMetrics, motif_speedups, penalty_factor
@@ -53,7 +57,9 @@ __all__ = [
     "HPGMxPBenchmark",
     "run_benchmark",
     "run_distributed_phase",
+    "ResiliencePhaseMetrics",
     "ServicePhaseMetrics",
+    "run_fault_inject_phase",
     "run_service_phase",
     "ValidationResult",
     "run_validation",

@@ -24,6 +24,10 @@ from repro.core.flops import (
     hierarchy_dims,
 )
 from repro.core.metrics import PhaseMetrics, motif_speedups
+from repro.core.resilience_phase import (
+    ResiliencePhaseMetrics,
+    run_fault_inject_phase,
+)
 from repro.core.service_phase import ServicePhaseMetrics, run_service_phase
 from repro.core.validation import ValidationResult, run_validation
 from repro.fp.policy import PrecisionPolicy
@@ -236,6 +240,7 @@ class BenchmarkResult:
     speedups: dict[str, float] = field(default_factory=dict)
     distributed: DistributedPhaseMetrics | None = None
     service: ServicePhaseMetrics | None = None
+    resilience: ResiliencePhaseMetrics | None = None
 
     @property
     def speedup(self) -> float:
@@ -731,6 +736,9 @@ class HPGMxPBenchmark:
             run_distributed_phase(cfg) if cfg.distributed_grid else None
         )
         service = run_service_phase(cfg) if cfg.service_clients else None
+        resilience = (
+            run_fault_inject_phase(cfg) if cfg.fault_inject else None
+        )
         return BenchmarkResult(
             config=cfg,
             validation=validation,
@@ -740,6 +748,7 @@ class HPGMxPBenchmark:
             speedups=speedups,
             distributed=distributed,
             service=service,
+            resilience=resilience,
         )
 
 

@@ -193,6 +193,13 @@ class BenchmarkConfig:
     #: Plan-cache path override (default: ``REPRO_TUNE_CACHE`` or the
     #: user cache dir).
     tune_cache: str | None = None
+    #: Fault-injection campaign spec (``--fault-inject``), e.g.
+    #: ``"spmv:bitflip:2;service:transient:1;seed=7"`` — see
+    #: :mod:`repro.resilience.faults` for the grammar.  When set, the
+    #: benchmark runs an extra deterministic resilience phase (clean
+    #: bitwise parity + injected-fault detection/recovery); the other
+    #: phases are untouched.  ``None`` (default) skips the phase.
+    fault_inject: str | None = None
 
     @staticmethod
     def _auto_format(impl: str) -> str:
@@ -259,6 +266,15 @@ class BenchmarkConfig:
                 f"autotune must be 'off', 'on' or 'force', "
                 f"got {self.autotune!r}"
             )
+        if self.fault_inject is not None:
+            from repro.resilience.faults import parse_fault_spec
+
+            plan = parse_fault_spec(self.fault_inject)  # fail fast
+            if plan.empty:
+                raise ValueError(
+                    f"fault-inject spec {self.fault_inject!r} schedules "
+                    f"no faults (use at least one site:mode clause)"
+                )
         if self.sell_chunk < 1:
             raise ValueError(f"sell_chunk must be >= 1, got {self.sell_chunk}")
         if self.sell_sigma < 1:

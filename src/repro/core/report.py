@@ -120,6 +120,28 @@ def format_report(result: BenchmarkResult) -> str:
             f"  bitwise parity vs solo solve: "
             f"{'OK' if s.bitwise_parity else 'FAILED'}"
         )
+    if result.resilience is not None:
+        r = result.resilience
+        add("")
+        add(
+            f"[Phase: resilience]  spec {r.spec!r}, "
+            f"{r.injected_total} fault(s) injected in {r.wall_seconds:.3f} s"
+        )
+        add(
+            f"  ABFT detection rate: {r.detection_rate:.2f} "
+            f"({r.detected} detected), {r.replays} checkpoint replay(s)"
+        )
+        add(
+            f"  recovery: {r.recovered_solves}/{r.faulted_solves} faulted "
+            f"solve(s) converged; service "
+            f"{r.service_transients} transient(s) -> "
+            f"{r.service_fault_retries} retry(ies), "
+            f"{r.service_degradations} degradation(s)"
+        )
+        add(
+            f"  clean-run bitwise parity: "
+            f"{'OK' if r.clean_parity else 'FAILED'}"
+        )
     return "\n".join(lines)
 
 
@@ -163,4 +185,7 @@ def result_to_dict(result: BenchmarkResult) -> dict:
             result.distributed.to_dict() if result.distributed else None
         ),
         "service": (result.service.to_dict() if result.service else None),
+        "resilience": (
+            result.resilience.to_dict() if result.resilience else None
+        ),
     }

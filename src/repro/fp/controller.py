@@ -78,7 +78,7 @@ class PrecisionEvent:
     iteration: int  # inner-iteration count when the event fired
     restart: int  # restart cycles completed at that point
     relres: float  # outer relative residual that triggered it
-    reason: str  # "stall" | "floor" | "breakdown" | "recovered"
+    reason: str  # "stall" | "floor" | "breakdown" | "recovered" | "fault"
     from_low: Precision  # rung before the event
     to_low: Precision  # rung after
     ingredient: str = "policy"
@@ -477,6 +477,26 @@ class PrecisionControlPlane:
         if not self.config.active or self._binding_rung() is None:
             return []
         events = self._promote_binding("breakdown", relres, iteration, restarts)
+        if events:
+            self._prev_rho = None
+        return events
+
+    def observe_fault(
+        self, relres: float, iteration: int, restarts: int
+    ) -> list[PrecisionEvent]:
+        """A detected fault (ABFT mismatch, non-finite state) is being
+        replayed from the last checkpoint.
+
+        Same immediate-promotion semantics as :meth:`observe_breakdown`
+        — the fault may well be the active rung's own overflow, so the
+        replay runs one rung up — but tagged ``reason="fault"`` so
+        telemetry can tell recovery promotions from numerical ones.
+        Returns ``[]`` when no rung can move (the replay then retries
+        at the same rungs, which handles transient upsets).
+        """
+        if not self.config.active or self._binding_rung() is None:
+            return []
+        events = self._promote_binding("fault", relres, iteration, restarts)
         if events:
             self._prev_rho = None
         return events

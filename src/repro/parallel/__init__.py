@@ -10,6 +10,7 @@ against :class:`Communicator` are oblivious to the transport.
 
 from repro.parallel.comm import (
     CommStats,
+    CommTimeoutError,
     Communicator,
     CompletedRequest,
     RecvRequest,
@@ -29,6 +30,7 @@ from repro.parallel.collectives import (
 
 __all__ = [
     "CommStats",
+    "CommTimeoutError",
     "Communicator",
     "CompletedRequest",
     "RecvRequest",

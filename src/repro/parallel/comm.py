@@ -48,6 +48,28 @@ class CommStats:
             setattr(self, f, 0)
 
 
+class CommTimeoutError(RuntimeError):
+    """A receive missed its deadline.
+
+    Names the waiting rank and the (source, tag) it was matching so a
+    lost or dropped message surfaces as a diagnosable error instead of
+    a silent multi-rank hang.  Subclasses ``RuntimeError`` so existing
+    callers that catch broad transport errors keep working.
+    """
+
+    def __init__(
+        self, rank: int, source: int, tag: int, seconds: float
+    ) -> None:
+        super().__init__(
+            f"rank {rank}: recv(src={source}, tag={tag}) timed out after "
+            f"{seconds:g}s — message lost, sender failed, or deadlock"
+        )
+        self.rank = rank
+        self.source = source
+        self.tag = tag
+        self.seconds = seconds
+
+
 class Communicator(abc.ABC):
     """Minimal MPI-like communicator."""
 
@@ -89,10 +111,24 @@ class Communicator(abc.ABC):
         """Send an array to ``dest`` (buffered; never blocks)."""
 
     @abc.abstractmethod
-    def recv(self, source: int, tag: int) -> np.ndarray:
-        """Receive the matching array from ``source``."""
+    def recv(
+        self, source: int, tag: int, timeout: float | None = None
+    ) -> np.ndarray:
+        """Receive the matching array from ``source``.
 
-    def recv_into(self, source: int, tag: int, out: np.ndarray) -> None:
+        ``timeout`` is a per-call deadline in seconds; transports raise
+        :class:`CommTimeoutError` (naming rank, source, and tag) when
+        the matching message does not arrive in time.  ``None`` defers
+        to the transport's default patience.
+        """
+
+    def recv_into(
+        self,
+        source: int,
+        tag: int,
+        out: np.ndarray,
+        timeout: float | None = None,
+    ) -> None:
         """Receive the matching message directly into ``out``.
 
         ``out`` is typically a view of a larger vector (the halo path
@@ -102,7 +138,7 @@ class Communicator(abc.ABC):
         to recycle them, making repeated exchanges allocation-free
         after warmup.
         """
-        data = self.recv(source, tag)
+        data = self.recv(source, tag, timeout=timeout)
         if data.shape != out.shape:
             raise RuntimeError(
                 f"recv_into size mismatch from rank {source}: "
@@ -117,9 +153,12 @@ class Communicator(abc.ABC):
         self.send(array, dest, tag)
         return CompletedRequest(None)
 
-    def irecv(self, source: int, tag: int) -> "Request":
-        """Nonblocking receive; ``wait()`` blocks for the message."""
-        return RecvRequest(self, source, tag)
+    def irecv(
+        self, source: int, tag: int, timeout: float | None = None
+    ) -> "Request":
+        """Nonblocking receive; ``wait()`` blocks for the message (up
+        to ``timeout`` seconds when given)."""
+        return RecvRequest(self, source, tag, timeout=timeout)
 
     # Convenience ----------------------------------------------------
     def allreduce_scalar(self, x: float, op: str = "sum") -> float:
@@ -135,8 +174,11 @@ class Request(abc.ABC):
     """Handle to a nonblocking operation (mpi4py-style)."""
 
     @abc.abstractmethod
-    def wait(self):
-        """Block until complete; return the received array (recvs)."""
+    def wait(self, timeout: float | None = None):
+        """Block until complete; return the received array (recvs).
+
+        ``timeout`` bounds the wait for receive requests; a miss
+        raises :class:`CommTimeoutError`."""
 
     @abc.abstractmethod
     def test(self) -> bool:
@@ -149,7 +191,7 @@ class CompletedRequest(Request):
     def __init__(self, value) -> None:
         self._value = value
 
-    def wait(self):
+    def wait(self, timeout: float | None = None):
         return self._value
 
     def test(self) -> bool:
@@ -159,16 +201,26 @@ class CompletedRequest(Request):
 class RecvRequest(Request):
     """Lazy receive: completion is checked/awaited on demand."""
 
-    def __init__(self, comm: "Communicator", source: int, tag: int) -> None:
+    def __init__(
+        self,
+        comm: "Communicator",
+        source: int,
+        tag: int,
+        timeout: float | None = None,
+    ) -> None:
         self._comm = comm
         self._source = source
         self._tag = tag
+        self._timeout = timeout
         self._done = False
         self._value = None
 
-    def wait(self):
+    def wait(self, timeout: float | None = None):
         if not self._done:
-            self._value = self._comm.recv(self._source, self._tag)
+            deadline = timeout if timeout is not None else self._timeout
+            self._value = self._comm.recv(
+                self._source, self._tag, timeout=deadline
+            )
             self._done = True
         return self._value
 
@@ -212,5 +264,7 @@ class SerialComm(Communicator):
     def send(self, array: np.ndarray, dest: int, tag: int) -> None:
         raise RuntimeError("SerialComm has no peers to send to")
 
-    def recv(self, source: int, tag: int) -> np.ndarray:
+    def recv(
+        self, source: int, tag: int, timeout: float | None = None
+    ) -> np.ndarray:
         raise RuntimeError("SerialComm has no peers to receive from")

@@ -28,6 +28,17 @@ from repro.parallel.comm import Communicator
 #: directions between the same pair of ranks stay distinct.
 HALO_TAG_BASE = 1000
 
+#: Sequence tagging: each exchange round offsets its tags by
+#: ``HALO_SEQ_STRIDE * (round % HALO_SEQ_WINDOW)``.  Ranks run their
+#: exchanges in lockstep, so sender and receiver agree on the round
+#: number without negotiation; a message lost (or a stale one lingering)
+#: in round ``k`` can then never satisfy round ``k+1``'s receive — the
+#: receive times out instead of silently landing wrong-round data.  The
+#: stride clears the direction-index range (< 26) and the window is kept
+#: small so the transport's per-tag buffer free-lists stay bounded.
+HALO_SEQ_STRIDE = 64
+HALO_SEQ_WINDOW = 4
+
 
 class HaloExchange:
     """Executable halo-exchange plan bound to a communicator.
@@ -45,12 +56,23 @@ class HaloExchange:
         pattern: HaloPattern,
         comm: Communicator,
         workspace: Workspace | None = None,
+        deadline: float | None = None,
     ) -> None:
         self.pattern = pattern
         self.comm = comm
         self.ws = workspace if workspace is not None else Workspace("halo")
         self.nlocal = pattern.nlocal
         self.n_ghost = pattern.n_ghost
+        #: Per-exchange receive deadline in seconds.  ``None`` defers to
+        #: the transport's default patience; a finite value turns a
+        #: lost message into a prompt, typed
+        #: :class:`~repro.parallel.comm.CommTimeoutError` instead of a
+        #: full-timeout hang.
+        self.deadline = deadline
+        #: Exchange-round counter driving the sequence tags (not reset
+        #: by :meth:`reset_counters` — it is protocol state, not a
+        #: measurement).
+        self._seq = 0
         #: Accumulated wall-clock seconds spent packing/posting and
         #: landing halo messages, and the number of exchanges — the
         #: measured counters the benchmark record reports next to the
@@ -136,18 +158,25 @@ class HaloExchange:
         self.exchanges += 1
         return pending
 
+    def _seq_offset(self) -> int:
+        """Advance the exchange round; return its tag offset."""
+        off = HALO_SEQ_STRIDE * (self._seq % HALO_SEQ_WINDOW)
+        self._seq += 1
+        return off
+
     def _begin(self, xfull: np.ndarray) -> list:
         comm = self.comm
+        seq = self._seq_offset()
         pending = []
         for i, (nb, send_idx, send_tag, recv_tag, ghost_slice) in enumerate(
             self._plan
         ):
             buf = self.ws.get(("halo.send", i), (len(send_idx),), xfull.dtype)
             np.take(xfull, send_idx, out=buf, mode="clip")
-            comm.isend(buf, nb, send_tag)
+            comm.isend(buf, nb, send_tag + seq)
             self.messages += 1
             self.sent_bytes += buf.nbytes
-            pending.append((nb, recv_tag, ghost_slice))
+            pending.append((nb, recv_tag + seq, ghost_slice))
         return pending
 
     def exchange_finish(self, pending: list, xfull: np.ndarray) -> None:
@@ -168,7 +197,9 @@ class HaloExchange:
     def _finish(self, pending: list, xfull: np.ndarray) -> None:
         comm = self.comm
         for nb, recv_tag, ghost_slice in pending:
-            comm.recv_into(nb, recv_tag, xfull[ghost_slice])
+            comm.recv_into(
+                nb, recv_tag, xfull[ghost_slice], timeout=self.deadline
+            )
 
     # Wide (panel) exchange -------------------------------------------
     # One message per neighbor per exchange, N columns coalesced: the
@@ -208,6 +239,7 @@ class HaloExchange:
     def _begin_panel(self, XF: np.ndarray) -> list:
         comm = self.comm
         ncol = XF.shape[1]
+        seq = self._seq_offset()
         pending = []
         for i, (nb, send_idx, send_tag, recv_tag, ghost_slice) in enumerate(
             self._plan
@@ -216,10 +248,10 @@ class HaloExchange:
                 ("halo.send.panel", i), (len(send_idx), ncol), XF.dtype
             )
             np.take(XF, send_idx, axis=0, out=buf, mode="clip")
-            comm.isend(buf, nb, send_tag)
+            comm.isend(buf, nb, send_tag + seq)
             self.messages += 1
             self.sent_bytes += buf.nbytes
-            pending.append((nb, recv_tag, ghost_slice))
+            pending.append((nb, recv_tag + seq, ghost_slice))
         return pending
 
     def exchange_finish_panel(self, pending: list, XF: np.ndarray) -> None:
@@ -235,7 +267,9 @@ class HaloExchange:
     def _finish_panel(self, pending: list, XF: np.ndarray) -> None:
         comm = self.comm
         for nb, recv_tag, ghost_slice in pending:
-            comm.recv_into(nb, recv_tag, XF[ghost_slice, :])
+            comm.recv_into(
+                nb, recv_tag, XF[ghost_slice, :], timeout=self.deadline
+            )
 
     def reset_counters(self) -> None:
         """Restart the measured seconds/exchange/wire counters."""

@@ -17,7 +17,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.parallel.comm import CommStats, Communicator
+from repro.parallel.comm import CommStats, CommTimeoutError, Communicator
 
 #: Default seconds a blocking recv/barrier waits before declaring deadlock.
 DEFAULT_TIMEOUT = 120.0
@@ -148,30 +148,38 @@ class ThreadComm(Communicator):
         np.copyto(buf, array)
         self._ctx.mailbox(self._rank, dest, tag).put((buf, free))
 
-    def _pop_message(self, source: int, tag: int) -> tuple:
+    def _pop_message(
+        self, source: int, tag: int, timeout: float | None = None
+    ) -> tuple:
         q = self._ctx.mailbox(source, self._rank, tag)
+        wait = self._ctx.timeout if timeout is None else timeout
         try:
-            return q.get(timeout=self._ctx.timeout)
+            return q.get(timeout=wait)
         except queue.Empty:
-            raise RuntimeError(
-                f"rank {self._rank}: recv(src={source}, tag={tag}) timed out "
-                f"after {self._ctx.timeout}s — likely deadlock"
-            ) from None
+            raise CommTimeoutError(self._rank, source, tag, wait) from None
 
-    def recv(self, source: int, tag: int) -> np.ndarray:
+    def recv(
+        self, source: int, tag: int, timeout: float | None = None
+    ) -> np.ndarray:
         if not 0 <= source < self.size or source == self._rank:
             raise ValueError(f"bad source rank {source}")
-        array, _free = self._pop_message(source, tag)
+        array, _free = self._pop_message(source, tag, timeout)
         # Ownership of the buffer transfers to the caller, so it cannot
         # be recycled; the channel's next send allocates afresh.
         self.stats.recvs += 1
         self.stats.recv_bytes += array.nbytes
         return array
 
-    def recv_into(self, source: int, tag: int, out: np.ndarray) -> None:
+    def recv_into(
+        self,
+        source: int,
+        tag: int,
+        out: np.ndarray,
+        timeout: float | None = None,
+    ) -> None:
         if not 0 <= source < self.size or source == self._rank:
             raise ValueError(f"bad source rank {source}")
-        array, free = self._pop_message(source, tag)
+        array, free = self._pop_message(source, tag, timeout)
         if array.shape != out.shape:
             raise RuntimeError(
                 f"recv_into size mismatch from rank {source}: "

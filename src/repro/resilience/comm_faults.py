@@ -1,0 +1,92 @@
+"""Fault-wrapping communicator decorator.
+
+:class:`FaultyComm` implements the full
+:class:`~repro.parallel.comm.Communicator` contract by delegation and
+perturbs the message layer according to an installed
+:class:`~repro.resilience.faults.FaultInjector`:
+
+- ``drop``     — one outgoing message is silently discarded; the
+                 receiver's per-exchange deadline turns the loss into a
+                 typed :class:`~repro.parallel.comm.CommTimeoutError`
+                 instead of a hang.
+- ``corrupt``  — one outgoing payload gets an exponent-field bit flip.
+- ``delay``    — one outgoing message is held briefly before sending.
+- ``straggle`` — this rank sleeps before its next collective,
+                 emulating the slow-rank tail the paper's §3.2.3
+                 overlap exists to hide.
+
+The decorator is only ever *constructed* when fault injection is
+requested; a clean run has no wrapper anywhere near the transport.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.parallel.comm import Communicator
+from repro.resilience.faults import FAULT_DELAY_SECONDS, FaultInjector
+
+
+class FaultyComm(Communicator):
+    """A communicator decorator that injects message-layer faults."""
+
+    def __init__(self, inner: Communicator, injector: FaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.stats = inner.stats
+
+    # Delegated identity ----------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.inner.rank
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    # Collectives (straggler site) ------------------------------------
+    def _maybe_straggle(self) -> None:
+        if self.injector.fire("halo", modes=("straggle",)) is not None:
+            time.sleep(FAULT_DELAY_SECONDS)
+
+    def barrier(self) -> None:
+        self._maybe_straggle()
+        self.inner.barrier()
+
+    def allreduce(self, value, op: str = "sum"):
+        self._maybe_straggle()
+        return self.inner.allreduce(value, op=op)
+
+    def allgather(self, value) -> list:
+        return self.inner.allgather(value)
+
+    def bcast(self, value, root: int = 0):
+        return self.inner.bcast(value, root=root)
+
+    # Point-to-point (drop/corrupt/delay site) ------------------------
+    def send(self, array: np.ndarray, dest: int, tag: int) -> None:
+        mode = self.injector.fire("halo", modes=("drop", "corrupt", "delay"))
+        if mode == "drop":
+            return  # the message vanishes on the wire
+        if mode == "corrupt":
+            self.inner.send(self.injector.corrupt_message(array), dest, tag)
+            return
+        if mode == "delay":
+            time.sleep(FAULT_DELAY_SECONDS)
+        self.inner.send(array, dest, tag)
+
+    def recv(
+        self, source: int, tag: int, timeout: float | None = None
+    ) -> np.ndarray:
+        return self.inner.recv(source, tag, timeout=timeout)
+
+    def recv_into(
+        self,
+        source: int,
+        tag: int,
+        out: np.ndarray,
+        timeout: float | None = None,
+    ) -> None:
+        self.inner.recv_into(source, tag, out, timeout=timeout)

@@ -179,6 +179,16 @@ class ServiceMetrics:
     pool_reuses: int = 0
     pool_exhaustions: int = 0
     pool_peak_leased: int = 0
+    #: Injected transient worker faults observed by batches.
+    transient_faults: int = 0
+    #: Batch re-runs after a fault (normal path retried).
+    fault_retries: int = 0
+    #: Batch re-runs that fell back to untuned/non-overlapped dispatch.
+    degradations: int = 0
+    #: Client-side backoff retries taken by ``solve_with_retry``.
+    retries: int = 0
+    #: ``solve_with_retry`` calls that exhausted their attempt budget.
+    retry_giveups: int = 0
     #: Per-batch coalesce widths in completion order (diagnostics).
     widths: list[int] = field(default_factory=list)
 
@@ -226,4 +236,9 @@ class ServiceMetrics:
             "pool_reuses": self.pool_reuses,
             "pool_exhaustions": self.pool_exhaustions,
             "pool_peak_leased": self.pool_peak_leased,
+            "transient_faults": self.transient_faults,
+            "fault_retries": self.fault_retries,
+            "degradations": self.degradations,
+            "retries": self.retries,
+            "retry_giveups": self.retry_giveups,
         }

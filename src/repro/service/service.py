@@ -33,6 +33,7 @@ Batches against different operators overlap freely.
 from __future__ import annotations
 
 import asyncio
+import random
 import time
 from dataclasses import dataclass, field
 
@@ -44,6 +45,13 @@ from repro.fp.ladder import EscalationConfig
 from repro.fp.policy import DOUBLE_POLICY, PrecisionPolicy
 from repro.mg.multigrid import MGConfig
 from repro.parallel.comm import SerialComm
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.errors import (
+    FaultDetectedError,
+    NumericalBreakdownError,
+    TransientFaultError,
+)
+from repro.resilience.faults import FaultInjector, maybe_raise_transient
 from repro.service.requests import (
     ServiceClosedError,
     ServiceMetrics,
@@ -56,6 +64,15 @@ from repro.service.requests import (
 from repro.solvers.gmres_ir import GMRESIRSolver
 from repro.solvers.setup_cache import SetupCache, operator_fingerprint
 from repro.stencil.poisson27 import Problem
+
+#: Errors a batch treats as fault-recoverable: injected transients,
+#: ABFT detections and numerical breakdowns that escaped the solver's
+#: own replay budget.
+_FAULT_ERRORS = (
+    TransientFaultError,
+    FaultDetectedError,
+    NumericalBreakdownError,
+)
 
 
 @dataclass
@@ -124,6 +141,8 @@ class SolverService:
         ortho: str = "cgs2",
         matrix_format: str = "ell",
         format_params: dict | None = None,
+        resilience: ResilienceConfig | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
         if batch_window <= 0:
             raise ValueError("batch_window must be positive")
@@ -142,6 +161,12 @@ class SolverService:
         self.ortho = ortho
         self.matrix_format = matrix_format
         self.format_params = dict(format_params or {})
+        # Resilience: batch solvers run with this config (ABFT +
+        # checkpoint replay); the injector drives the service's
+        # transient-fault site (kernel/halo sites are installed by the
+        # campaign, not here).  Both default off with zero overhead.
+        self.resilience = resilience
+        self.injector = injector
         self.metrics = ServiceMetrics()
         self._problems: dict[str, Problem] = {}
         self._queue: asyncio.Queue[_Pending] = asyncio.Queue()
@@ -279,6 +304,43 @@ class SolverService:
             future.cancel()
             raise
 
+    async def solve_with_retry(
+        self,
+        request: SolveRequest,
+        max_attempts: int = 5,
+        base_delay: float = 0.01,
+        max_delay: float = 1.0,
+        rng: "random.Random | None" = None,
+    ) -> SolveResponse:
+        """Submit with jittered exponential backoff on overload.
+
+        Admission-control rejections
+        (:class:`~repro.service.requests.ServiceOverloadedError`) back
+        off and resubmit: the wait doubles each attempt from
+        ``base_delay`` up to ``max_delay``, carries full jitter (a
+        uniform factor in ``[0.5, 1)`` so synchronized clients
+        desynchronize), and never undercuts the service's own
+        ``retry_after`` hint.  After ``max_attempts`` submissions the
+        final rejection propagates.  Pass a seeded ``rng`` for
+        deterministic backoff schedules in tests.
+        """
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        rng = rng if rng is not None else random.Random()
+        attempt = 0
+        while True:
+            try:
+                return await self.solve(request)
+            except ServiceOverloadedError as exc:
+                attempt += 1
+                if attempt >= max_attempts:
+                    self.metrics.retry_giveups += 1
+                    raise
+                self.metrics.retries += 1
+                backoff = min(max_delay, base_delay * 2 ** (attempt - 1))
+                backoff *= 0.5 + rng.random() / 2
+                await asyncio.sleep(max(exc.retry_after, backoff))
+
     # ------------------------------------------------------------------
     def _expire(self, pending: _Pending) -> None:
         """Watchdog: the request's wall-clock deadline passed."""
@@ -380,9 +442,7 @@ class SolverService:
             async with lock:
                 t0 = time.monotonic()
                 try:
-                    outcome = await asyncio.to_thread(
-                        self._solve_batch, key, live, arena
-                    )
+                    outcome = await self._attempt_batch(key, live, arena)
                 except Exception as exc:  # construction/solve failure
                     for p in live:
                         if not p.future.done():
@@ -395,9 +455,48 @@ class SolverService:
             self.pool.release(arena)
         self._deliver(live, outcome, solve_seconds)
 
+    async def _attempt_batch(self, key: SolveKey, live: list[_Pending], arena):
+        """One batch with fault retry and graceful degradation.
+
+        Attempt 1 runs the normal (tuned/overlapped) path.  A fault
+        error — an injected transient, an ABFT detection or a
+        numerical breakdown the solver's own replay budget could not
+        absorb — earns one more normal attempt; a second fault demotes
+        attempt 3 to the *degraded* path (untuned dispatch, no
+        overlap), on the operating assumption that a persistent fault
+        lives in the optimized path.  A third failure propagates to
+        every member's future.
+        """
+        try:
+            return await asyncio.to_thread(self._solve_batch, key, live, arena)
+        except _FAULT_ERRORS as exc:
+            self._note_fault(exc)
+            self.metrics.fault_retries += 1
+        try:
+            return await asyncio.to_thread(self._solve_batch, key, live, arena)
+        except _FAULT_ERRORS as exc:
+            self._note_fault(exc)
+            self.metrics.degradations += 1
+        return await asyncio.to_thread(
+            self._solve_batch, key, live, arena, degraded=True
+        )
+
+    def _note_fault(self, exc: Exception) -> None:
+        if isinstance(exc, TransientFaultError):
+            self.metrics.transient_faults += 1
+
     # ------------------------------------------------------------------
-    def _solve_batch(self, key: SolveKey, live: list[_Pending], arena):
+    def _solve_batch(
+        self,
+        key: SolveKey,
+        live: list[_Pending],
+        arena,
+        degraded: bool = False,
+    ):
         """Worker thread: one coalesced panel solve."""
+        # Service fault site: an injected transient raises here, before
+        # any solver state is built (the retry path re-runs cleanly).
+        maybe_raise_transient(self.injector)
         problem = self._problems[key.operator]
         policy = (
             PrecisionPolicy.from_ladder(key.ladder)
@@ -423,6 +522,13 @@ class SolverService:
             control=control,
             setup_cache=self.setup_cache,
             workspace=arena,
+            resilience=self.resilience,
+            # Degraded retry: decline the tuned dispatch plan and the
+            # overlapped schedules — the reference path a persistent
+            # fault on the optimized one falls back to.
+            adopt_plan=not degraded,
+            overlap=False if degraded else "auto",
+            overlap_symgs=False if degraded else "auto",
         )
         n = problem.nlocal
         B = np.empty((n, len(live)), dtype=np.float64, order="F")

@@ -59,6 +59,10 @@ from repro.parallel.distributed import (
     dnorm2_from_local,
     dnorm2_panel_from_local,
 )
+from repro.resilience.abft import ABFTCheck, abft_checksums, abft_rel_tol
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.errors import FaultDetectedError, NumericalBreakdownError
+from repro.resilience.stats import ResilienceStats
 from repro.solvers.givens import GivensQR
 from repro.solvers.operator import DistributedOperator
 from repro.solvers.ortho import ORTHO_METHODS, cgs2_fused
@@ -99,6 +103,10 @@ class SolverStats:
     #: A caller-supplied ``cancel`` callback stopped this solve (or
     #: this panel column) at a restart boundary before convergence.
     cancelled: bool = False
+    #: Detection/recovery counters; ``None`` unless the solver was
+    #: built with a :class:`~repro.resilience.config.ResilienceConfig`
+    #: (so pre-existing stats consumers and JSON records are unchanged).
+    resilience: "ResilienceStats | None" = None
 
     @property
     def demotions(self) -> list[PrecisionEvent]:
@@ -166,6 +174,8 @@ class GMRESIRSolver:
         setup_cache: SetupCache | None = None,
         workspace: Workspace | None = None,
         format_params: dict | None = None,
+        resilience: ResilienceConfig | None = None,
+        adopt_plan: bool = True,
     ) -> None:
         if ortho not in ORTHO_METHODS:
             raise ValueError(f"unknown orthogonalization {ortho!r}")
@@ -229,8 +239,11 @@ class GMRESIRSolver:
         # only, so adoption never changes numerics.  This is the seam
         # through which solve_panel and the SolverService inherit tuned
         # dispatch: they share the SetupCache, nothing else.
+        # ``adopt_plan=False`` declines a stored plan outright — the
+        # service's degraded-retry path runs the untuned reference
+        # dispatch when a fault persists on the tuned one.
         self.dispatch_plan = None
-        if setup_cache is not None:
+        if setup_cache is not None and adopt_plan:
             plan = setup_cache.plan_for(self._fingerprint)
             if plan is not None and plan.applies_to(
                 self.matrix_format,
@@ -302,6 +315,23 @@ class GMRESIRSolver:
             partition=self._setup_partition(self.A64, "fp64"),
         )
         self._r64 = np.zeros(problem.nlocal, dtype=np.float64)
+
+        # Resilience: ABFT column-sum checksums, computed ONCE in fp64
+        # from A64 and cached with the other setup products.  Scaled
+        # low-precision kernels fold their row scales back into the
+        # output, so every rung presents the *original* operator and one
+        # fp64 checksum pair serves the whole ladder — only the
+        # verification tolerance tracks the rung's unit roundoff.
+        self.resilience = resilience
+        self._abft = None
+        if resilience is not None and resilience.abft:
+            self._abft = self._setup(
+                "abft", self._format_key, lambda: abft_checksums(self.A64)
+            )
+            c, cabs = self._abft
+            self.op64.attach_abft(
+                ABFTCheck(c, cabs, self._abft_tol(np.float64))
+            )
         # Givens QR state and the Hessenberg-column staging buffer are
         # policy-independent (always fp64) and fully reset per restart
         # cycle, so one allocation serves every solve — repeated
@@ -342,6 +372,12 @@ class GMRESIRSolver:
             lambda: partition_matrix(A, self.problem.halo),
         )
 
+    def _abft_tol(self, dtype) -> float:
+        """ABFT relative tolerance for one rung's arithmetic."""
+        if self.resilience is not None and self.resilience.abft_rel_tol:
+            return self.resilience.abft_rel_tol
+        return abft_rel_tol(dtype)
+
     # ------------------------------------------------------------------
     def _bind_policy(self, policy: PrecisionPolicy) -> None:
         """(Re)build every precision-dependent piece for ``policy``.
@@ -375,6 +411,13 @@ class GMRESIRSolver:
                 overlap=self.overlap,
                 partition=self._setup_partition(self.A_low, prec_name),
             )
+            if self._abft is not None:
+                # Same fp64 checksums (the scaled kernels present the
+                # original operator); tolerance at this rung's roundoff.
+                c, cabs = self._abft
+                self.op_inner.attach_abft(
+                    ABFTCheck(c, cabs, self._abft_tol(policy.matrix.dtype))
+                )
 
         # Multigrid preconditioner on the policy's per-level schedule.
         # When the fine level runs in the inner-operator precision (and
@@ -535,6 +578,50 @@ class GMRESIRSolver:
         self._shared_precond = None
         self._bind_policy(self.plane.live_policy())
 
+    def _replay_fault(
+        self,
+        fault: Exception,
+        stats: SolverStats,
+        x: np.ndarray,
+        x_ckpt: np.ndarray | None,
+    ) -> bool:
+        """Recover from a fault detected inside a restart cycle.
+
+        Returns ``True`` after restoring the restart-boundary
+        checkpoint, charging the replay budget and promoting the
+        binding ingredient one rung through the control plane's
+        breakdown path (a corrupted low-precision unit retries with
+        more headroom); ``False`` tells the caller to re-raise —
+        resilience off, finite guards off for a breakdown, or the
+        replay budget spent (the persistent-fault escape hatch).
+        """
+        res, rstats = self.resilience, stats.resilience
+        if res is None or rstats is None or x_ckpt is None:
+            return False
+        if isinstance(fault, FaultDetectedError):
+            rstats.detected += 1
+        else:
+            if not res.finite_guards:
+                return False
+            rstats.breakdowns += 1
+        if rstats.replays >= res.max_replays:
+            return False
+        rstats.replays += 1
+        np.copyto(x, x_ckpt)
+        events = self.plane.observe_fault(
+            stats.final_relres, stats.iterations, stats.restarts
+        )
+        if events:
+            self._apply_events(stats, events)
+        return True
+
+    @staticmethod
+    def _note_recovery(stats: SolverStats) -> None:
+        """Mark a converged solve that needed at least one replay."""
+        rs = stats.resilience
+        if rs is not None and rs.replays and stats.converged:
+            rs.recovered = 1
+
     # ------------------------------------------------------------------
     def solve(
         self,
@@ -588,135 +675,161 @@ class GMRESIRSolver:
         r64 = self._r64
         qr = self._qr
 
+        # Resilience: checkpoint buffer + per-solve counters.  ``None``
+        # (the default) skips both the copy and the stats block — the
+        # hot loop pays one ``is None`` test per restart boundary.
+        x_ckpt = None
+        if self.resilience is not None:
+            stats.resilience = ResilienceStats()
+            x_ckpt = self.ws.get("gmres.ckpt", (n,), np.float64)
+
         while stats.iterations < maxiter:
-            # --- outer (iterative-refinement) step: double precision ---
-            # Fused: the residual subtraction and its local dot ride
-            # the SpMV's memory pass (spmv_dot / waxpby_dot); only the
-            # scalar reduction crosses ranks.  Bitwise-identical to
-            # the unfused sequence under the reference backend.
-            if self.fusion:
-                with timers.section("spmv"):
-                    local = self.op64.residual_norm2_local(b, x, out=r64)
-                with timers.section("dot"):
-                    rho = dnorm2_from_local(comm, local)
-            else:
-                with timers.section("spmv"):
-                    self.op64.residual(b, x, out=r64)  # line 7, fp64
-                with timers.section("dot"):
-                    rho = dnorm2(comm, r64)
-            stats.final_relres = rho / rho0
-            if rho <= abs_tol:
-                stats.converged = True
-                self._export_setup_stats(stats)
-                return x, stats
+            if x_ckpt is not None:
+                # Restart-boundary checkpoint: a fault detected inside
+                # this cycle discards it and replays from here.  The
+                # copy reads state only, so a fault-free run is bitwise
+                # identical with or without it.
+                np.copyto(x_ckpt, x)
+            try:
+                # --- outer (iterative-refinement) step: double precision ---
+                # Fused: the residual subtraction and its local dot ride
+                # the SpMV's memory pass (spmv_dot / waxpby_dot); only the
+                # scalar reduction crosses ranks.  Bitwise-identical to
+                # the unfused sequence under the reference backend.
+                if self.fusion:
+                    with timers.section("spmv"):
+                        local = self.op64.residual_norm2_local(b, x, out=r64)
+                    with timers.section("dot"):
+                        rho = dnorm2_from_local(comm, local)
+                else:
+                    with timers.section("spmv"):
+                        self.op64.residual(b, x, out=r64)  # line 7, fp64
+                    with timers.section("dot"):
+                        rho = dnorm2(comm, r64)
+                stats.final_relres = rho / rho0
+                if not np.isfinite(rho):
+                    # NaN/inf never compares <= abs_tol: without this
+                    # guard the solver silently burns iterations to
+                    # maxiter on poisoned state.  Typed abort (or, with
+                    # resilience enabled, a checkpoint replay).
+                    raise NumericalBreakdownError("outer residual norm", rho)
+                if rho <= abs_tol:
+                    stats.converged = True
+                    self._note_recovery(stats)
+                    self._export_setup_stats(stats)
+                    return x, stats
 
-            # --- cancellation checkpoint (restart-boundary granularity) ---
-            if cancel is not None and cancel():
-                stats.cancelled = True
-                break
-
-            # --- precision control plane: judge the restart boundary ---
-            # Stagnation promotes the binding rung (whole policy in
-            # "policy" mode, the lowest-rung controllers otherwise);
-            # sustained recovery demotes per-ingredient controllers
-            # after the hysteresis window.
-            events = self.plane.observe_restart(
-                rho, self._relres(rho), stats.iterations, stats.restarts
-            )
-            if events:
-                self._apply_events(stats, events)
-
-            # Per-rung bindings (a promotion above replaces these).
-            Q = self.Q
-            basis_dtype = self.policy.krylov_basis.dtype
-
-            # Start a restart cycle (lines 11-13).
-            qr.start(rho)
-            np.divide(r64, rho, out=Q[:, 0])  # casts to the basis dtype
-            stats.restarts += 1
-
-            k = 0
-            rho_implicit = rho
-            while k < m and stats.iterations < maxiter:
-                # --- inner Arnoldi step, low precision allowed ---
-                qk = Q[:, k]
-                z = self.M.apply(qk, out=self._z_prec)  # line 18: MG precond
-                if self._z_op is not None:
-                    np.copyto(self._z_op, z)  # precision cast, no alloc
-                    z = self._z_op
-                with timers.section("spmv"):
-                    self.op_inner.matvec(z, out=self._w_op)  # line 19
-                w = self._w_basis
-                if w is not self._w_op:
-                    np.copyto(w, self._w_op)
-
-                with timers.section("ortho"):
-                    if self._ortho_fused is not None:
-                        # lines 20-27 with the norm's local reduction
-                        # fused into the second projection pass.
-                        h, local = self._ortho_fused(
-                            comm, Q, k + 1, w, ws=self.ws
-                        )
-                        beta = dnorm2_from_local(comm, local)
-                    else:
-                        h = self._orthogonalize(
-                            comm, Q, k + 1, w, ws=self.ws
-                        )  # lines 20-27
-                        beta = dnorm2(comm, w)
-
-                stats.iterations += 1
-                # (Near-)breakdown: the new direction is numerically
-                # dependent on the basis at this precision.  End the
-                # cycle without the degenerate column; the IR outer loop
-                # restarts from a fresh double-precision residual.
-                pre_ortho_norm = float(np.sqrt(h @ h + beta * beta))
-                if beta <= 4.0 * np.finfo(basis_dtype).eps * max(
-                    pre_ortho_norm, 1e-300
-                ):
-                    stats.breakdown = True
+                # --- cancellation checkpoint (restart-boundary granularity) ---
+                if cancel is not None and cancel():
+                    stats.cancelled = True
                     break
 
-                np.divide(
-                    w, np.asarray(beta, dtype=basis_dtype), out=Q[:, k + 1]
-                )  # lines 28-30
-                with timers.section("qr_host"):
-                    # Stage the Hessenberg column in the preallocated
-                    # buffer (add_column copies, so the view is safe).
-                    col = self._hcol[: k + 2]
-                    col[: k + 1] = h
-                    col[k + 1] = beta
-                    rho_implicit = qr.add_column(col)  # lines 31-43
-                k += 1
-                stats.implicit_history.append(rho_implicit / rho0)
-                if rho_implicit <= abs_tol:
-                    break  # lines 15-17: implicit convergence
-            self.plane.cycle_completed()
-
-            stats.cycle_lengths.append(k)
-            if k > 0:
-                # --- solution update (lines 45-47) ---
-                with timers.section("qr_host"):
-                    y = qr.solve(k)  # t <- H^{-1} t
-                with timers.section("ortho"):
-                    yc = self._ycast[:k]
-                    np.copyto(yc, y)  # basis-precision cast, no alloc
-                    gemv(Q, k, yc, out=self._u)  # r <- Q t
-                z = self.M.apply(self._u, out=self._z_prec)  # M^{-1} r
-                with timers.section("waxpby"):
-                    np.add(x, z, out=x)  # fp64 update mandated
-            elif stats.breakdown:
-                # Breakdown with an empty cycle: this precision cannot
-                # extend the basis at all.  With rungs left on the
-                # ladder, promote and retry; otherwise further restarts
-                # would spin.
-                events = self.plane.observe_breakdown(
+                # --- precision control plane: judge the restart boundary ---
+                # Stagnation promotes the binding rung (whole policy in
+                # "policy" mode, the lowest-rung controllers otherwise);
+                # sustained recovery demotes per-ingredient controllers
+                # after the hysteresis window.
+                events = self.plane.observe_restart(
                     rho, self._relres(rho), stats.iterations, stats.restarts
                 )
                 if events:
                     self._apply_events(stats, events)
-                    stats.breakdown = False
-                    continue
-                break
+
+                # Per-rung bindings (a promotion above replaces these).
+                Q = self.Q
+                basis_dtype = self.policy.krylov_basis.dtype
+
+                # Start a restart cycle (lines 11-13).
+                qr.start(rho)
+                np.divide(r64, rho, out=Q[:, 0])  # casts to the basis dtype
+                stats.restarts += 1
+
+                k = 0
+                rho_implicit = rho
+                while k < m and stats.iterations < maxiter:
+                    # --- inner Arnoldi step, low precision allowed ---
+                    qk = Q[:, k]
+                    z = self.M.apply(qk, out=self._z_prec)  # line 18: MG precond
+                    if self._z_op is not None:
+                        np.copyto(self._z_op, z)  # precision cast, no alloc
+                        z = self._z_op
+                    with timers.section("spmv"):
+                        self.op_inner.matvec(z, out=self._w_op)  # line 19
+                    w = self._w_basis
+                    if w is not self._w_op:
+                        np.copyto(w, self._w_op)
+
+                    with timers.section("ortho"):
+                        if self._ortho_fused is not None:
+                            # lines 20-27 with the norm's local reduction
+                            # fused into the second projection pass.
+                            h, local = self._ortho_fused(
+                                comm, Q, k + 1, w, ws=self.ws
+                            )
+                            beta = dnorm2_from_local(comm, local)
+                        else:
+                            h = self._orthogonalize(
+                                comm, Q, k + 1, w, ws=self.ws
+                            )  # lines 20-27
+                            beta = dnorm2(comm, w)
+
+                    stats.iterations += 1
+                    # (Near-)breakdown: the new direction is numerically
+                    # dependent on the basis at this precision.  End the
+                    # cycle without the degenerate column; the IR outer loop
+                    # restarts from a fresh double-precision residual.
+                    pre_ortho_norm = float(np.sqrt(h @ h + beta * beta))
+                    if beta <= 4.0 * np.finfo(basis_dtype).eps * max(
+                        pre_ortho_norm, 1e-300
+                    ):
+                        stats.breakdown = True
+                        break
+
+                    np.divide(
+                        w, np.asarray(beta, dtype=basis_dtype), out=Q[:, k + 1]
+                    )  # lines 28-30
+                    with timers.section("qr_host"):
+                        # Stage the Hessenberg column in the preallocated
+                        # buffer (add_column copies, so the view is safe).
+                        col = self._hcol[: k + 2]
+                        col[: k + 1] = h
+                        col[k + 1] = beta
+                        rho_implicit = qr.add_column(col)  # lines 31-43
+                    k += 1
+                    stats.implicit_history.append(rho_implicit / rho0)
+                    if rho_implicit <= abs_tol:
+                        break  # lines 15-17: implicit convergence
+                self.plane.cycle_completed()
+
+                stats.cycle_lengths.append(k)
+                if k > 0:
+                    # --- solution update (lines 45-47) ---
+                    with timers.section("qr_host"):
+                        y = qr.solve(k)  # t <- H^{-1} t
+                    with timers.section("ortho"):
+                        yc = self._ycast[:k]
+                        np.copyto(yc, y)  # basis-precision cast, no alloc
+                        gemv(Q, k, yc, out=self._u)  # r <- Q t
+                    z = self.M.apply(self._u, out=self._z_prec)  # M^{-1} r
+                    with timers.section("waxpby"):
+                        np.add(x, z, out=x)  # fp64 update mandated
+                elif stats.breakdown:
+                    # Breakdown with an empty cycle: this precision cannot
+                    # extend the basis at all.  With rungs left on the
+                    # ladder, promote and retry; otherwise further restarts
+                    # would spin.
+                    events = self.plane.observe_breakdown(
+                        rho, self._relres(rho), stats.iterations, stats.restarts
+                    )
+                    if events:
+                        self._apply_events(stats, events)
+                        stats.breakdown = False
+                        continue
+                    break
+            except (FaultDetectedError, NumericalBreakdownError) as fault:
+                if not self._replay_fault(fault, stats, x, x_ckpt):
+                    raise
+                continue
 
         # Final true residual (covers the maxiter and breakdown exits).
         if self.fusion:
@@ -731,6 +844,7 @@ class GMRESIRSolver:
                 rho = dnorm2(comm, r64)
         stats.final_relres = rho / rho0
         stats.converged = rho <= abs_tol
+        self._note_recovery(stats)
         self._export_setup_stats(stats)
         return x, stats
 
@@ -841,6 +955,17 @@ class GMRESIRSolver:
                 # One vector all-reduce for the whole panel's norms
                 # (O(1) collectives in the panel width).
                 rhos = dnorm2_panel_from_local(comm, locals_sq)
+            if not np.all(np.isfinite(rhos)):
+                # Typed abort instead of burning every column to
+                # maxiter on poisoned state.  The panel path has no
+                # per-cycle replay (lockstep columns share one
+                # schedule); the service's retry path re-runs the
+                # whole batch instead.
+                bad = int(np.flatnonzero(~np.isfinite(rhos))[0])
+                raise NumericalBreakdownError(
+                    f"panel outer residual norm (column {active[bad]})",
+                    float(rhos[bad]),
+                )
 
             # --- convergence + deflation at the panel boundary ---
             cycle_cols: list[tuple[int, int]] = []

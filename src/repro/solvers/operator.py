@@ -40,6 +40,7 @@ from repro.backends.workspace import Workspace
 from repro.geometry.halo import HaloPattern
 from repro.parallel.comm import Communicator
 from repro.parallel.halo_exchange import HaloExchange
+from repro.resilience.faults import abft_scope
 from repro.sparse.partitioned import partition_matrix
 
 
@@ -85,6 +86,16 @@ class DistributedOperator:
         # single-RHS solves, → panel width for batched ones).
         self.matrix_passes = 0
         self.rhs_columns = 0
+        #: Optional :class:`~repro.resilience.abft.ABFTCheck` verifying
+        #: every single-vector matvec output against the cached
+        #: column-sum checksum.  ``None`` (the default) adds nothing to
+        #: the hot path; the check itself is read-only, so attaching
+        #: one never changes results on fault-free runs.
+        self.abft = None
+
+    def attach_abft(self, check) -> None:
+        """Install (or clear, with ``None``) the ABFT verifier."""
+        self.abft = check
 
     @property
     def dtype(self) -> np.dtype:
@@ -99,7 +110,15 @@ class DistributedOperator:
         self.halo_ex.exchange(xf)
         self.matrix_passes += 1
         self.rhs_columns += 1
-        return spmv(self.A, xf, out=out, ws=self.ws)
+        if self.abft is None:
+            return spmv(self.A, xf, out=out, ws=self.ws)
+        # The scope marker tells a covered-site fault injector this
+        # dispatch's output is checksum-verified; it reads state only,
+        # so the fault-free path stays bitwise identical.
+        with abft_scope():
+            y = spmv(self.A, xf, out=out, ws=self.ws)
+        self.abft.verify(xf, y)
+        return y
 
     def matvec_overlapped(
         self, x: np.ndarray, out: np.ndarray | None = None
@@ -125,7 +144,12 @@ class DistributedOperator:
         spmv_interior(P, xf, out=y, ws=self.ws)
         # ... land the ghosts in the vector tail, then the boundary block.
         self.halo_ex.exchange_finish(pending, xf)
-        spmv_boundary(P, xf, out=y, ws=self.ws)
+        if self.abft is None:
+            spmv_boundary(P, xf, out=y, ws=self.ws)
+            return
+        with abft_scope():
+            spmv_boundary(P, xf, out=y, ws=self.ws)
+        self.abft.verify(xf, y)
 
     def matvec_panel(
         self, X: np.ndarray, out: np.ndarray | None = None
@@ -181,7 +205,12 @@ class DistributedOperator:
         self.halo_ex.exchange(xf)
         self.matrix_passes += 1
         self.rhs_columns += 1
-        return spmv(P, xf, out=out, ws=self.ws)
+        if self.abft is None:
+            return spmv(P, xf, out=out, ws=self.ws)
+        with abft_scope():
+            y = spmv(P, xf, out=out, ws=self.ws)
+        self.abft.verify(xf, y)
+        return y
 
     def _require_partition(self):
         if self.P is None:

@@ -104,7 +104,11 @@ class PlanCache:
             return None
         try:
             plan = DispatchPlan.from_dict(raw)
-        except (KeyError, TypeError, ValueError) as exc:
+        except (AttributeError, KeyError, TypeError, ValueError) as exc:
+            # AttributeError covers entry *values* fuzzed into
+            # non-dicts (``from_dict`` calls ``.get`` on them); the
+            # never-raise policy holds for damage below the layout
+            # check too.
             self.corrupt += 1
             self.misses += 1
             logger.warning(
